@@ -1,0 +1,105 @@
+//! Criterion benchmarks for the Batch-Biggest-B pipeline: batch rewrite
+//! (sequential vs parallel ✦), master-list merge, progressive execution,
+//! and the round-robin baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use batchbb_core::{
+    bounded::evaluate_bounded, round_robin::RoundRobin, BatchQueries, MasterList,
+    ProgressiveExecutor,
+};
+use batchbb_penalty::Sse;
+use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
+use batchbb_relation::synth;
+use batchbb_storage::MemoryStore;
+use batchbb_tensor::Shape;
+use batchbb_wavelet::Wavelet;
+
+struct Fixture {
+    store: MemoryStore,
+    domain: Shape,
+    queries: Vec<RangeSum>,
+    strategy: WaveletStrategy,
+    batch: BatchQueries,
+}
+
+fn fixture(cells: usize) -> Fixture {
+    let dataset = synth::clustered(2, 8, 100_000, 4, 11);
+    let dfd = dataset.to_frequency_distribution();
+    let domain = dfd.schema().domain();
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+    let queries: Vec<RangeSum> = partition::random_partition(&domain, cells, 3)
+        .into_iter()
+        .map(RangeSum::count)
+        .collect();
+    let batch = BatchQueries::rewrite(&strategy, queries.clone(), &domain).unwrap();
+    Fixture {
+        store,
+        domain,
+        queries,
+        strategy,
+        batch,
+    }
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let f = fixture(256);
+    let mut g = c.benchmark_group("batch_rewrite_256q");
+    g.sample_size(20);
+    g.bench_function("sequential", |b| {
+        b.iter(|| BatchQueries::rewrite(&f.strategy, f.queries.clone(), &f.domain).unwrap())
+    });
+    for threads in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    BatchQueries::rewrite_parallel(
+                        &f.strategy,
+                        f.queries.clone(),
+                        &f.domain,
+                        threads,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_master_and_executor(c: &mut Criterion) {
+    let f = fixture(256);
+    let mut g = c.benchmark_group("executor_256q");
+    g.sample_size(20);
+    g.bench_function("master_list_merge", |b| {
+        b.iter(|| MasterList::build(&f.batch))
+    });
+    g.bench_function("heap_build", |b| {
+        b.iter(|| ProgressiveExecutor::new(&f.batch, &Sse, &f.store))
+    });
+    g.bench_function("run_to_end", |b| {
+        b.iter(|| {
+            let mut e = ProgressiveExecutor::new(&f.batch, &Sse, &f.store);
+            e.run_to_end();
+            e.estimates()[0]
+        })
+    });
+    g.bench_function("round_robin_to_end", |b| {
+        b.iter(|| {
+            let mut rr = RoundRobin::new(&f.batch, &f.store);
+            rr.run_to_end()
+        })
+    });
+    g.bench_function("bounded_b256", |b| {
+        b.iter(|| {
+            evaluate_bounded(&f.strategy, &f.queries, &f.domain, &f.store, &Sse, 256).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rewrite, bench_master_and_executor);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for importance evaluation — the per-coefficient
+//! cost of step 4 of Batch-Biggest-B under each penalty family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use batchbb_penalty::{DiagonalQuadratic, LaplacianPenalty, LpPenalty, Penalty, QuadraticForm, Sse};
+
+fn columns(batch: usize, nnz: usize) -> Vec<Vec<(usize, f64)>> {
+    (0..512)
+        .map(|c| {
+            (0..nnz)
+                .map(|j| (((c * 37 + j * 101) % batch), (j as f64 - 1.5) * 0.7))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_importance(c: &mut Criterion) {
+    let batch = 512;
+    let cols = columns(batch, 8);
+    let tridiag: Vec<f64> = {
+        let mut a = vec![0.0; batch * batch];
+        for i in 0..batch {
+            a[i * batch + i] = 2.0;
+            if i + 1 < batch {
+                a[i * batch + i + 1] = -1.0;
+                a[(i + 1) * batch + i] = -1.0;
+            }
+        }
+        a
+    };
+    let penalties: Vec<(&str, Box<dyn Penalty>)> = vec![
+        ("sse", Box::new(Sse)),
+        (
+            "diagonal",
+            Box::new(DiagonalQuadratic::new(vec![1.0; batch])),
+        ),
+        ("quadratic_form", Box::new(QuadraticForm::new(batch, tridiag))),
+        ("laplacian_path", Box::new(LaplacianPenalty::path(batch))),
+        ("l1", Box::new(LpPenalty::l1())),
+        ("linf", Box::new(LpPenalty::linf())),
+    ];
+    let mut g = c.benchmark_group("importance_512cols_nnz8");
+    for (name, p) in &penalties {
+        g.bench_with_input(BenchmarkId::from_parameter(name), p, |b, p| {
+            b.iter(|| {
+                cols.iter()
+                    .map(|col| p.importance(col, batch))
+                    .sum::<f64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_importance);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the coefficient stores, including the
+//! ✦ block-layout ablation (KeyOrder vs LevelMajor under a progressive
+//! access pattern).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use batchbb_storage::{
+    ArrayStore, BlockLayout, BlockStore, CoefficientStore, FileStore, MemoryStore,
+};
+use batchbb_tensor::{CoeffKey, Shape, Tensor};
+
+fn entries(n: usize) -> Vec<(CoeffKey, f64)> {
+    (0..n)
+        .map(|i| (CoeffKey::new(&[i % 256, i / 256]), (i % 97) as f64 + 0.5))
+        .collect()
+}
+
+/// A coarse-to-fine access pattern approximating the progressive order.
+fn access_pattern(n: usize) -> Vec<CoeffKey> {
+    let mut keys: Vec<CoeffKey> = entries(n).into_iter().map(|(k, _)| k).collect();
+    keys.sort_by_key(|k| k.coords().iter().map(|&c| if c == 0 { 0 } else { c.ilog2() + 1 }).sum::<u32>());
+    keys
+}
+
+fn bench_get_throughput(c: &mut Criterion) {
+    let n = 1 << 16;
+    let es = entries(n);
+    let pattern = access_pattern(n);
+    let mut g = c.benchmark_group("store_get_64k_coeffs");
+    g.sample_size(20);
+
+    let mem = MemoryStore::from_entries(es.clone());
+    g.bench_function("memory", |b| {
+        b.iter(|| pattern.iter().map(|k| mem.get(k).unwrap_or(0.0)).sum::<f64>())
+    });
+
+    let shape = Shape::new(vec![256, 256]).unwrap();
+    let mut t = Tensor::zeros(shape);
+    for (k, v) in &es {
+        t[&[k.coord(0), k.coord(1)]] = *v;
+    }
+    let arr = ArrayStore::from_tensor(t);
+    g.bench_function("array", |b| {
+        b.iter(|| pattern.iter().map(|k| arr.get(k).unwrap_or(0.0)).sum::<f64>())
+    });
+
+    let fpath = std::env::temp_dir().join(format!("batchbb-bench-file-{}", std::process::id()));
+    let file = FileStore::create(&fpath, es.clone()).unwrap();
+    g.bench_function("file", |b| {
+        b.iter(|| pattern.iter().map(|k| file.get(k).unwrap_or(0.0)).sum::<f64>())
+    });
+
+    for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
+        let bpath = std::env::temp_dir().join(format!(
+            "batchbb-bench-block-{layout:?}-{}",
+            std::process::id()
+        ));
+        let block = BlockStore::create(&bpath, es.clone(), 512, 16, layout).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("block", format!("{layout:?}")),
+            &block,
+            |b, store| {
+                b.iter(|| {
+                    pattern
+                        .iter()
+                        .map(|k| store.get(k).unwrap_or(0.0))
+                        .sum::<f64>()
+                })
+            },
+        );
+        let st = block.stats();
+        eprintln!(
+            "block {layout:?}: {} physical reads / {} retrievals ({} hits)",
+            st.physical_reads, st.retrievals, st.cache_hits
+        );
+        drop(block);
+        std::fs::remove_file(&bpath).unwrap();
+    }
+    g.finish();
+    std::fs::remove_file(&fpath).unwrap();
+}
+
+criterion_group!(benches, bench_get_throughput);
+criterion_main!(benches);

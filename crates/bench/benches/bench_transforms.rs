@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks for the wavelet substrate: dense transforms,
+//! the lazy query transform (✦ lazy-vs-dense ablation), and the sparse
+//! point transform backing tuple insertion.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use batchbb_tensor::{Shape, Tensor};
+use batchbb_wavelet::{
+    dense_query_transform, dwt_full, dwt_nd, lazy_query_transform, point_transform, Poly, Wavelet,
+    DEFAULT_TOL,
+};
+
+fn bench_dwt_1d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dwt_1d_n4096");
+    let signal: Vec<f64> = (0..4096).map(|i| ((i * 31 + 7) % 97) as f64).collect();
+    for w in [Wavelet::Haar, Wavelet::Db4, Wavelet::Db8, Wavelet::Db12] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| {
+                let mut x = signal.clone();
+                dwt_full(black_box(&mut x), w);
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dwt_nd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dwt_nd");
+    g.sample_size(20);
+    for dims in [vec![256usize, 256], vec![32, 32, 32]] {
+        let shape = Shape::new(dims.clone()).unwrap();
+        let t = Tensor::from_fn(shape, |ix| ix.iter().sum::<usize>() as f64);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims:?}")),
+            &t,
+            |b, t| {
+                b.iter(|| {
+                    let mut x = t.clone();
+                    dwt_nd(black_box(&mut x), Wavelet::Db4);
+                    x
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_query_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_transform_deg1_db4");
+    for bits in [10u32, 14, 18] {
+        let n = 1usize << bits;
+        let (lo, hi) = (n / 5, n - n / 7);
+        let p = Poly::monomial(1);
+        g.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, &n| {
+            b.iter(|| lazy_query_transform(n, lo, hi, &p, Wavelet::Db4, DEFAULT_TOL).unwrap())
+        });
+        if bits <= 14 {
+            g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+                b.iter(|| dense_query_transform(n, lo, hi, &p, Wavelet::Db4, DEFAULT_TOL).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_point_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("point_transform_n65536");
+    for w in [Wavelet::Haar, Wavelet::Db4, Wavelet::Db12] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| point_transform(black_box(1 << 16), 12345, 1.0, w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dwt_1d,
+    bench_dwt_nd,
+    bench_query_transform,
+    bench_point_transform
+);
+criterion_main!(benches);

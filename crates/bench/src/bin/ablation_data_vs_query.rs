@@ -1,0 +1,77 @@
+//! ✦ Data approximation vs query approximation (§1.1's central contrast).
+//!
+//! Prior wavelet systems keep a compressed synopsis of the *data* (top-B
+//! data coefficients) and answer all queries against it; the paper keeps
+//! the data exact and approximates the *queries* (Batch-Biggest-B).  This
+//! harness compares the two at matched budgets `B` on two datasets:
+//!
+//! * the smooth gridded temperature cube (favourable to synopses), and
+//! * the rough independently-sampled variant (the paper's point: "there
+//!   is no reason to expect a general relation to have a good wavelet
+//!   approximation").
+//!
+//! For each B it prints the batch mean relative error of (a) the B-term
+//! data synopsis with unlimited query work, and (b) Batch-Biggest-B after
+//! B retrievals from the exact store.  Query approximation reaches exact
+//! answers at the master-list size; data approximation plateaus at the
+//! dataset's compressibility floor.
+//!
+//! Flags: `--records` (default 1,000,000), `--cells` (default 256),
+//! `--seed`.
+
+use batchbb_bench::{log_budgets, temperature_workload_ext, Args};
+use batchbb_core::{
+    data_approx::CompressedView, metrics, BatchQueries, MasterList, ProgressiveExecutor,
+};
+use batchbb_penalty::Sse;
+use batchbb_query::{LinearStrategy, WaveletStrategy};
+use batchbb_storage::MemoryStore;
+use batchbb_wavelet::Wavelet;
+
+fn main() {
+    let args = Args::parse();
+    let records = args.usize("records", 1_000_000);
+    let cells = args.usize("cells", 256);
+    let seed = args.u64("seed", 2002);
+
+    println!("== ✦ data approximation vs query approximation ==");
+    for (label, gridded) in [("smooth (gridded network)", true), ("rough (independent draws)", false)] {
+        let w = temperature_workload_ext(records, cells, false, true, gridded, seed);
+        let strategy = WaveletStrategy::new(Wavelet::Db4);
+        let entries = strategy.transform_data(w.cube.tensor());
+        let store = MemoryStore::from_entries(entries.clone());
+        let batch = BatchQueries::rewrite(&strategy, w.queries.clone(), &w.domain).unwrap();
+        let master = MasterList::build(&batch).len();
+
+        println!(
+            "\n[{label}] {} records, {} nonzero data coefficients, exact at B = {master}",
+            w.records,
+            entries.len()
+        );
+        println!(
+            "{:>10} {:>22} {:>22} {:>14}",
+            "B", "data-approx MRE", "query-approx MRE", "energy loss"
+        );
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        for b in log_budgets(master) {
+            let view = CompressedView::new(entries.clone(), b);
+            let data_mre = metrics::mean_relative_error(&view.evaluate(&batch), &w.exact);
+            exec.run(b - exec.retrieved());
+            let query_mre = metrics::mean_relative_error(exec.estimates(), &w.exact);
+            println!(
+                "{:>10} {:>22.4e} {:>22.4e} {:>14.3e}",
+                b,
+                data_mre,
+                query_mre,
+                view.energy_loss()
+            );
+        }
+    }
+    println!(
+        "\nReading: on compressible data both approaches work; on rough data\n\
+         the synopsis hits its energy-loss floor while Batch-Biggest-B\n\
+         still converges to exact answers — and the synopsis's budget is\n\
+         spent once for all workloads, while the progressive budget adapts\n\
+         to the submitted batch and its penalty function."
+    );
+}

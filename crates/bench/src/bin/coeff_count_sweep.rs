@@ -1,0 +1,114 @@
+//! §2.1 / §3.1 cost claims: query-coefficient counts and update costs are
+//! polylogarithmic in the domain size.
+//!
+//! Prints three sweeps:
+//!
+//! 1. nonzero query coefficients vs domain size `N` for COUNT (Haar) and
+//!    degree-1/2 polynomial range-sums (Db4/Db6) in 1-D — the
+//!    `O((4δ+2) log N)` law;
+//! 2. nonzero query coefficients vs dimension `d` — the `(·)^d` law;
+//! 3. coefficients touched by a single tuple insert vs `N` — the
+//!    `O((2δ+2) log N)^d` update law.
+//!
+//! Also times the lazy vs dense query transform (the ✦ ablation the
+//! DESIGN.md calls out).
+
+use std::time::Instant;
+
+use batchbb_query::{HyperRect, LinearStrategy, NonstandardStrategy, RangeSum, WaveletStrategy};
+use batchbb_relation::cube::point_entries;
+use batchbb_tensor::Shape;
+use batchbb_wavelet::{
+    dense_query_transform, lazy_query_transform, Poly, Wavelet, DEFAULT_TOL,
+};
+
+fn main() {
+    println!("== sweep 1: 1-D query coefficient count vs N ==");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "N", "COUNT/Haar", "deg-1/Db4", "deg-2/Db6"
+    );
+    for bits in [6u32, 8, 10, 12, 14, 16] {
+        let n = 1usize << bits;
+        let (lo, hi) = (n / 5, n - n / 7);
+        let count = lazy_query_transform(n, lo, hi, &Poly::constant(1.0), Wavelet::Haar, DEFAULT_TOL)
+            .unwrap()
+            .nnz();
+        let deg1 = lazy_query_transform(n, lo, hi, &Poly::monomial(1), Wavelet::Db4, DEFAULT_TOL)
+            .unwrap()
+            .nnz();
+        let deg2 = lazy_query_transform(n, lo, hi, &Poly::monomial(2), Wavelet::Db6, DEFAULT_TOL)
+            .unwrap()
+            .nnz();
+        println!("{:>10} {:>12} {:>14} {:>14}", n, count, deg1, deg2);
+    }
+
+    println!("\n== sweep 2: d-dimensional COUNT coefficient count (N=256/dim) ==");
+    println!(
+        "{:>4} {:>14} {:>18} {:>18}",
+        "d", "standard nnz", "(2 log N)^d bound", "nonstandard nnz"
+    );
+    for d in 1..=4usize {
+        let domain = Shape::cube(d, 256).unwrap();
+        let q = RangeSum::count(HyperRect::new(vec![37; d], vec![200; d]));
+        let standard = WaveletStrategy::new(Wavelet::Haar)
+            .query_coefficients(&q, &domain)
+            .unwrap()
+            .nnz();
+        // §7 ablation: the nonstandard decomposition keeps O(|∂R|)
+        // coefficients — whole faces — so it loses asymptotically.
+        let nonstd = if d <= 2 {
+            NonstandardStrategy::new(Wavelet::Haar)
+                .query_coefficients(&q, &domain)
+                .unwrap()
+                .nnz()
+                .to_string()
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>4} {:>14} {:>18} {:>18}",
+            d,
+            standard,
+            (2usize * 9).pow(d as u32),
+            nonstd
+        );
+    }
+
+    println!("\n== sweep 3: single-tuple insert cost (coefficients touched) ==");
+    println!("{:>10} {:>12} {:>12}", "N (2-D)", "Haar", "Db4");
+    for bits in [6u32, 8, 10, 12] {
+        let n = 1usize << bits;
+        let domain = Shape::new(vec![n, n]).unwrap();
+        let p = [n / 3, n / 2 + 1];
+        let haar = point_entries(&domain, &p, 1.0, Wavelet::Haar).len();
+        let db4 = point_entries(&domain, &p, 1.0, Wavelet::Db4).len();
+        println!("{:>10} {:>12} {:>12}", format!("{n}²"), haar, db4);
+    }
+
+    println!("\n== ✦ ablation: lazy vs dense query transform (1-D, deg-1, Db4) ==");
+    println!("{:>10} {:>14} {:>14} {:>8}", "N", "lazy", "dense", "speedup");
+    for bits in [10u32, 14, 18, 20] {
+        let n = 1usize << bits;
+        let (lo, hi) = (n / 5, n - n / 7);
+        let p = Poly::monomial(1);
+        let reps = 10;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = lazy_query_transform(n, lo, hi, &p, Wavelet::Db4, DEFAULT_TOL).unwrap();
+        }
+        let lazy_t = t0.elapsed() / reps;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = dense_query_transform(n, lo, hi, &p, Wavelet::Db4, DEFAULT_TOL).unwrap();
+        }
+        let dense_t = t0.elapsed() / reps;
+        println!(
+            "{:>10} {:>14?} {:>14?} {:>7.0}×",
+            n,
+            lazy_t,
+            dense_t,
+            dense_t.as_secs_f64() / lazy_t.as_secs_f64().max(1e-12)
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! A batch of queries rewritten into the transform domain.
+
+use batchbb_query::{LinearStrategy, RangeSum, StrategyError};
+use batchbb_tensor::Shape;
+use batchbb_wavelet::SparseCoeffs;
+
+/// A query batch after step 2 of Batch-Biggest-B: every query's sparse
+/// coefficient list in the strategy's transform domain.
+#[derive(Debug, Clone)]
+pub struct BatchQueries {
+    queries: Vec<RangeSum>,
+    coeffs: Vec<SparseCoeffs>,
+}
+
+impl BatchQueries {
+    /// Rewrites the batch sequentially.
+    pub fn rewrite(
+        strategy: &dyn LinearStrategy,
+        queries: Vec<RangeSum>,
+        domain: &Shape,
+    ) -> Result<Self, StrategyError> {
+        let coeffs = queries
+            .iter()
+            .map(|q| strategy.query_coefficients(q, domain))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchQueries { queries, coeffs })
+    }
+
+    /// Rewrites the batch on `threads` worker threads (crossbeam scoped).
+    ///
+    /// Query rewriting is embarrassingly parallel — each query's
+    /// coefficient list is independent — and dominates preprocessing time
+    /// for large batches.
+    pub fn rewrite_parallel(
+        strategy: &(dyn LinearStrategy + Sync),
+        queries: Vec<RangeSum>,
+        domain: &Shape,
+        threads: usize,
+    ) -> Result<Self, StrategyError> {
+        assert!(threads >= 1, "need at least one thread");
+        if threads == 1 || queries.len() < 2 {
+            return BatchQueries::rewrite(strategy, queries, domain);
+        }
+        let mut slots: Vec<Option<Result<SparseCoeffs, StrategyError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let chunk = queries.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (q, out) in qs.iter().zip(outs.iter_mut()) {
+                        *out = Some(strategy.query_coefficients(q, domain));
+                    }
+                });
+            }
+        })
+        .expect("rewrite worker panicked");
+        let coeffs = slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchQueries { queries, coeffs })
+    }
+
+    /// The queries, in batch order.
+    pub fn queries(&self) -> &[RangeSum] {
+        &self.queries
+    }
+
+    /// Per-query sparse coefficient lists, aligned with
+    /// [`BatchQueries::queries`].
+    pub fn coefficients(&self) -> &[SparseCoeffs] {
+        &self.coeffs
+    }
+
+    /// Batch size `s`.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Total coefficient count over all queries — what the round-robin
+    /// single-query baseline must retrieve (no sharing).
+    pub fn total_coefficients(&self) -> usize {
+        self.coeffs.iter().map(SparseCoeffs::nnz).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchbb_query::{HyperRect, WaveletStrategy};
+    use batchbb_wavelet::Wavelet;
+
+    fn batch(n_queries: usize) -> Vec<RangeSum> {
+        (0..n_queries)
+            .map(|i| RangeSum::count(HyperRect::new(vec![i, 0], vec![i + 4, 7])))
+            .collect()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let domain = Shape::new(vec![16, 16]).unwrap();
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let seq = BatchQueries::rewrite(&strategy, batch(8), &domain).unwrap();
+        for threads in [1, 2, 3, 8, 16] {
+            let par =
+                BatchQueries::rewrite_parallel(&strategy, batch(8), &domain, threads).unwrap();
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.coefficients().iter().zip(par.coefficients()) {
+                assert!(a.max_abs_diff(b) < 1e-12, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_propagates_from_any_query() {
+        let domain = Shape::new(vec![16, 16]).unwrap();
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let mut queries = batch(3);
+        queries.push(RangeSum::count(HyperRect::new(vec![0, 0], vec![16, 7]))); // out of domain
+        assert!(BatchQueries::rewrite(&strategy, queries.clone(), &domain).is_err());
+        assert!(BatchQueries::rewrite_parallel(&strategy, queries, &domain, 4).is_err());
+    }
+
+    #[test]
+    fn total_coefficients_sums_nnz() {
+        let domain = Shape::new(vec![16, 16]).unwrap();
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let b = BatchQueries::rewrite(&strategy, batch(4), &domain).unwrap();
+        let total: usize = b.coefficients().iter().map(|c| c.nnz()).sum();
+        assert_eq!(b.total_coefficients(), total);
+        assert!(total > 0);
+    }
+}

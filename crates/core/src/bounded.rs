@@ -1,0 +1,180 @@
+//! Bounded-workspace evaluation (§2.2).
+//!
+//! "It is of practical interest to avoid simultaneous materialization of
+//! all of the query coefficients and reduce workspace requirements."
+//! This module implements a two-pass variant of Batch-Biggest-B whose
+//! resident state never exceeds `O(budget + max single-query coefficient
+//! count)`:
+//!
+//! * **Pass 1 (score):** rewrite queries one at a time, streaming their
+//!   coefficient keys into a bounded top-`budget` selection of the most
+//!   important coefficients (importance accumulates across queries — SSE
+//!   and any diagonal quadratic accumulate exactly; see
+//!   [`evaluate_bounded`] for the restriction).
+//! * **Retrieve:** fetch exactly the selected coefficients.
+//! * **Pass 2 (apply):** rewrite queries one at a time again, dotting each
+//!   against the retrieved values.
+//!
+//! The price is doing the query rewrite twice; the reward is that the
+//! master list is never materialized.
+
+use std::collections::HashMap;
+
+use batchbb_penalty::Penalty;
+use batchbb_query::{LinearStrategy, RangeSum, StrategyError};
+use batchbb_storage::CoefficientStore;
+use batchbb_tensor::{CoeffKey, Shape};
+
+/// Result of a bounded-workspace evaluation.
+#[derive(Debug, Clone)]
+pub struct BoundedResult {
+    /// Per-query progressive estimates using the selected coefficients.
+    pub estimates: Vec<f64>,
+    /// Number of coefficients retrieved (≤ the requested budget).
+    pub retrieved: usize,
+    /// Peak number of scored coefficient keys held resident in pass 1.
+    pub peak_workspace: usize,
+}
+
+/// Evaluates `queries` with at most `budget` coefficient retrievals while
+/// keeping the workspace bounded.
+///
+/// Restriction: importance must accumulate additively per query —
+/// `ι_p(ξ) = Σ_i contribution(q̂ᵢ[ξ])` — which holds for every *diagonal*
+/// quadratic penalty (SSE, cursored SSE).  Cross-query quadratic forms need
+/// the full master list; use [`crate::ProgressiveExecutor`] for those.
+pub fn evaluate_bounded(
+    strategy: &dyn LinearStrategy,
+    queries: &[RangeSum],
+    domain: &Shape,
+    store: &dyn CoefficientStore,
+    penalty: &dyn Penalty,
+    budget: usize,
+) -> Result<BoundedResult, StrategyError> {
+    let s = queries.len();
+    // Pass 1: accumulate importance per key, pruning to a working cap.
+    // The cap is 4× the budget: pruning only removes keys whose importance
+    // can no longer reach the running top-`budget` cut, and a slack factor
+    // keeps the amortized cost low while staying O(budget).
+    let cap = budget.saturating_mul(4).max(16);
+    let mut scores: HashMap<CoeffKey, f64> = HashMap::with_capacity(cap.min(1 << 20));
+    let mut peak = 0usize;
+    for (qi, q) in queries.iter().enumerate() {
+        let coeffs = strategy.query_coefficients(q, domain)?;
+        for &(key, v) in coeffs.entries() {
+            let contribution = penalty.importance(&[(qi, v)], s);
+            *scores.entry(key).or_insert(0.0) += contribution;
+        }
+        peak = peak.max(scores.len());
+        if scores.len() > cap {
+            // Keep the current top `cap/2` keys. Keys dropped here may be
+            // re-inserted by later queries; their earlier contributions are
+            // lost, which makes the selection approximate — the exactness
+            // of the *estimates* for the selected set is unaffected.
+            let mut ranked: Vec<(CoeffKey, f64)> = scores.drain().collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            ranked.truncate(cap / 2);
+            scores = ranked.into_iter().collect();
+        }
+    }
+    let mut ranked: Vec<(CoeffKey, f64)> = scores.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(budget);
+
+    // Retrieve the selected coefficients.
+    let mut values: HashMap<CoeffKey, f64> = HashMap::with_capacity(ranked.len());
+    for (key, _) in &ranked {
+        values.insert(*key, store.get(key).unwrap_or(0.0));
+    }
+
+    // Pass 2: apply.
+    let mut estimates = vec![0.0; s];
+    for (qi, q) in queries.iter().enumerate() {
+        let coeffs = strategy.query_coefficients(q, domain)?;
+        estimates[qi] = coeffs
+            .entries()
+            .iter()
+            .filter_map(|(k, v)| values.get(k).map(|w| v * w))
+            .sum();
+    }
+
+    Ok(BoundedResult {
+        estimates,
+        retrieved: values.len(),
+        peak_workspace: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchQueries, ProgressiveExecutor};
+    use batchbb_penalty::Sse;
+    use batchbb_query::{HyperRect, WaveletStrategy};
+    use batchbb_storage::MemoryStore;
+    use batchbb_tensor::Tensor;
+    use batchbb_wavelet::Wavelet;
+
+    fn fixture() -> (Tensor, MemoryStore, Shape, WaveletStrategy, Vec<RangeSum>) {
+        let shape = Shape::new(vec![32, 32]).unwrap();
+        let data = Tensor::from_fn(shape.clone(), |ix| ((ix[0] * ix[1] + 3) % 6) as f64);
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let queries: Vec<RangeSum> = (0..8)
+            .map(|i| {
+                RangeSum::count(HyperRect::new(vec![i * 4, 0], vec![i * 4 + 3, 31]))
+            })
+            .collect();
+        (data, store, shape, strategy, queries)
+    }
+
+    #[test]
+    fn unlimited_budget_is_exact() {
+        let (data, store, shape, strategy, queries) = fixture();
+        let r = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, usize::MAX / 8)
+            .unwrap();
+        for (q, est) in queries.iter().zip(&r.estimates) {
+            let truth = q.eval_direct(&data);
+            assert!((est - truth).abs() < 1e-6, "{est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn matches_full_executor_selection() {
+        // With additive (SSE) importance and a budget below the master-list
+        // size, the bounded variant must select the same top-B keys and
+        // produce the same estimates as running the executor B steps.
+        let (_, store, shape, strategy, queries) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries.clone(), &shape).unwrap();
+        let master_len = crate::MasterList::build(&batch).len();
+        let b = master_len / 2;
+        assert!(b > 0, "fixture must produce a non-trivial master list");
+        let bounded = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, b).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        exec.run(b);
+        for (a, e) in bounded.estimates.iter().zip(exec.estimates()) {
+            assert!((a - e).abs() < 1e-9, "{a} vs {e}");
+        }
+        assert_eq!(bounded.retrieved, b);
+    }
+
+    #[test]
+    fn workspace_stays_bounded() {
+        let (_, store, shape, strategy, queries) = fixture();
+        let budget = 8;
+        let r = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, budget).unwrap();
+        assert!(
+            r.peak_workspace <= budget * 4 + 200,
+            "workspace {} should be O(budget)",
+            r.peak_workspace
+        );
+    }
+
+    #[test]
+    fn zero_budget_returns_zero_estimates() {
+        let (_, store, shape, strategy, queries) = fixture();
+        let r = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, 0).unwrap();
+        assert!(r.estimates.iter().all(|&e| e == 0.0));
+        assert_eq!(r.retrieved, 0);
+    }
+}

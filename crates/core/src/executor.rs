@@ -1,0 +1,485 @@
+//! The progressive executor (steps 4–5 of Batch-Biggest-B).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use batchbb_penalty::Penalty;
+use batchbb_storage::CoefficientStore;
+use batchbb_tensor::CoeffKey;
+
+use crate::{BatchQueries, MasterList};
+
+/// A heap entry ordered by importance (ties broken by key for
+/// reproducibility).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    importance: f64,
+    key: CoeffKey,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on importance; ties resolved toward the smaller key so
+        // every component (executor, bounded variant, optimality ranking)
+        // agrees on one deterministic progression order.
+        self.importance
+            .total_cmp(&other.importance)
+            .then_with(|| other.key.cmp(&self.key))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// What one [`ProgressiveExecutor::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepInfo {
+    /// The coefficient key retrieved.
+    pub key: CoeffKey,
+    /// Its importance `ι_p(ξ)` under the executor's penalty.
+    pub importance: f64,
+    /// The retrieved data coefficient (0 when absent from the store).
+    pub value: f64,
+    /// How many queries this retrieval advanced.
+    pub queries_advanced: usize,
+}
+
+/// Progressive evaluation state for one batch under one penalty function.
+///
+/// The penalty is supplied *at query time* — the same preprocessed store
+/// serves any penalty, which is the flexibility argument of §5 ("an online
+/// approximation of the query batch leads to a much more flexible scheme").
+pub struct ProgressiveExecutor<'a> {
+    store: &'a dyn CoefficientStore,
+    columns: HashMap<CoeffKey, Vec<(u32, f64)>>,
+    heap: BinaryHeap<HeapEntry>,
+    estimates: Vec<f64>,
+    homogeneity: f64,
+    retrieved: usize,
+    /// Keys already pulled from the store, with the value observed — needed
+    /// to repair estimates when the view is updated mid-progression.
+    seen: HashMap<CoeffKey, f64>,
+    /// Σ ι_p over the coefficients still in the heap — Theorem 2's
+    /// expected-penalty numerator, maintained incrementally.
+    remaining_importance: f64,
+}
+
+impl<'a> ProgressiveExecutor<'a> {
+    /// Builds the executor: merges the batch into a master list, scores
+    /// every coefficient with `ι_p`, and heapifies.
+    pub fn new(batch: &BatchQueries, penalty: &dyn Penalty, store: &'a dyn CoefficientStore) -> Self {
+        let master = MasterList::build(batch);
+        ProgressiveExecutor::from_master(batch.len(), master, penalty, store)
+    }
+
+    /// Builds from a pre-merged master list (lets callers reuse the merge
+    /// across penalties).
+    pub fn from_master(
+        batch_size: usize,
+        master: MasterList,
+        penalty: &dyn Penalty,
+        store: &'a dyn CoefficientStore,
+    ) -> Self {
+        let columns = master.into_columns();
+        let mut heap = BinaryHeap::with_capacity(columns.len());
+        let mut remaining_importance = 0.0;
+        for (key, column) in &columns {
+            let column_usize: Vec<(usize, f64)> =
+                column.iter().map(|&(i, v)| (i as usize, v)).collect();
+            let importance = penalty.importance(&column_usize, batch_size);
+            remaining_importance += importance;
+            heap.push(HeapEntry {
+                importance,
+                key: *key,
+            });
+        }
+        ProgressiveExecutor {
+            store,
+            columns,
+            heap,
+            estimates: vec![0.0; batch_size],
+            homogeneity: penalty.homogeneity(),
+            retrieved: 0,
+            seen: HashMap::new(),
+            remaining_importance,
+        }
+    }
+
+    /// Extracts the most important unretrieved coefficient, fetches its
+    /// data value, and advances every query that needs it (Equation 2).
+    /// Returns `None` once the heap is empty — at which point
+    /// [`ProgressiveExecutor::estimates`] holds the exact results.
+    pub fn step(&mut self) -> Option<StepInfo> {
+        let entry = self.heap.pop()?;
+        let value = self.store.get(&entry.key).unwrap_or(0.0);
+        let column = self
+            .columns
+            .get(&entry.key)
+            .expect("heap keys come from the master list");
+        if value != 0.0 {
+            for &(qi, c) in column {
+                self.estimates[qi as usize] += c * value;
+            }
+        }
+        self.seen.insert(entry.key, value);
+        self.retrieved += 1;
+        self.remaining_importance = if self.heap.is_empty() {
+            0.0 // avoid leaving rounding residue after the final step
+        } else {
+            (self.remaining_importance - entry.importance).max(0.0)
+        };
+        Some(StepInfo {
+            key: entry.key,
+            importance: entry.importance,
+            value,
+            queries_advanced: column.len(),
+        })
+    }
+
+    /// Advances up to `steps` retrievals; returns how many actually ran.
+    pub fn run(&mut self, steps: usize) -> usize {
+        let mut done = 0;
+        while done < steps && self.step().is_some() {
+            done += 1;
+        }
+        done
+    }
+
+    /// Drains the heap, making the estimates exact. Returns total
+    /// retrievals performed by this call.
+    pub fn run_to_end(&mut self) -> usize {
+        let mut done = 0;
+        while self.step().is_some() {
+            done += 1;
+        }
+        done
+    }
+
+    /// The current progressive estimates (exact after the heap drains).
+    pub fn estimates(&self) -> &[f64] {
+        &self.estimates
+    }
+
+    /// Number of coefficients retrieved so far.
+    pub fn retrieved(&self) -> usize {
+        self.retrieved
+    }
+
+    /// Number of coefficients still pending.
+    pub fn remaining(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when evaluation is exact.
+    pub fn is_exact(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The importance of the next coefficient to be retrieved.
+    pub fn next_importance(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.importance)
+    }
+
+    /// Repairs the progressive state after the underlying view changed:
+    /// coefficient `key` gained `delta` (e.g. a tuple insert added
+    /// `delta = weight·(point transform)[key]`, see
+    /// `batchbb_relation::cube::point_entries`).
+    ///
+    /// Contract: the caller updates the *store* first (so unretrieved
+    /// coefficients are read fresh later), then calls this for every
+    /// changed key so that already-retrieved coefficients are re-applied.
+    /// After a full repair, running to completion yields the exact results
+    /// on the updated database — progressive evaluation and the paper's
+    /// `O((2δ+1)^d log^d N)` update path compose.
+    pub fn apply_update(&mut self, key: &CoeffKey, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        if let Some(seen) = self.seen.get_mut(key) {
+            *seen += delta;
+            let column = self
+                .columns
+                .get(key)
+                .expect("seen keys come from the master list");
+            for &(qi, c) in column {
+                self.estimates[qi as usize] += c * delta;
+            }
+        }
+        // Unretrieved keys need no repair: their importance is query-side
+        // only, and their value will be read from the (updated) store.
+    }
+
+    /// Theorem 2's estimate of the penalty expected on a random unit-norm
+    /// database: `(n_total − 1)^{-1} · Σ_{unretrieved ξ} ι_p(ξ)`, where
+    /// `n_total` is the domain size `N^d`.  The paper: "the proof of
+    /// Theorem 2 provides an estimate of the average penalty."  Maintained
+    /// incrementally, so each call is O(1).  Meaningful for quadratic
+    /// penalties (homogeneity 2); scale by the data's squared norm for
+    /// non-unit databases.
+    pub fn expected_penalty(&self, n_total: usize) -> f64 {
+        assert!(n_total > 1, "need a non-trivial domain");
+        self.remaining_importance / (n_total as f64 - 1.0)
+    }
+
+    /// Theorem 1's guaranteed worst-case penalty bound for the *current*
+    /// progressive estimate: `K^α · ι_p(ξ′)`, where `K = Σ_ξ |Δ̂[ξ]|` and
+    /// `ξ′` is the most important unretrieved coefficient. Zero once exact.
+    pub fn worst_case_bound(&self, k_abs_sum: f64) -> f64 {
+        match self.next_importance() {
+            Some(iota) => k_abs_sum.powf(self.homogeneity) * iota,
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchbb_penalty::{DiagonalQuadratic, Sse};
+    use batchbb_query::{HyperRect, LinearStrategy, RangeSum, WaveletStrategy};
+    use batchbb_relation::{Attribute, FrequencyDistribution, Schema};
+    use batchbb_storage::MemoryStore;
+    use batchbb_tensor::Shape;
+    use batchbb_wavelet::Wavelet;
+
+    fn fixture() -> (FrequencyDistribution, MemoryStore, Shape, WaveletStrategy) {
+        let schema = Schema::new(vec![
+            Attribute::new("x", 0.0, 16.0, 4),
+            Attribute::new("y", 0.0, 16.0, 4),
+        ])
+        .unwrap();
+        let mut dfd = FrequencyDistribution::new(schema);
+        for i in 0..16 {
+            for j in 0..16 {
+                let w = ((i * 7 + j * 3) % 5) as f64;
+                if w != 0.0 {
+                    dfd.insert_binned(&[i, j], w);
+                }
+            }
+        }
+        let strategy = WaveletStrategy::new(Wavelet::Db4);
+        let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+        let shape = dfd.schema().domain();
+        (dfd, store, shape, strategy)
+    }
+
+    fn queries() -> Vec<RangeSum> {
+        vec![
+            RangeSum::count(HyperRect::new(vec![0, 0], vec![7, 7])),
+            RangeSum::count(HyperRect::new(vec![8, 0], vec![15, 15])),
+            RangeSum::sum(HyperRect::new(vec![2, 3], vec![12, 14]), 1),
+        ]
+    }
+
+    #[test]
+    fn drains_to_exact_results() {
+        let (dfd, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        assert!(!exec.is_exact());
+        exec.run_to_end();
+        assert!(exec.is_exact());
+        for (q, est) in batch.queries().iter().zip(exec.estimates()) {
+            let truth = q.eval_direct(dfd.tensor());
+            assert!(
+                (est - truth).abs() < 1e-6 * truth.abs().max(1.0),
+                "{est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn importance_is_monotone_nonincreasing() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let mut last = f64::INFINITY;
+        while let Some(info) = exec.step() {
+            assert!(
+                info.importance <= last + 1e-12,
+                "importance must be non-increasing: {} after {last}",
+                info.importance
+            );
+            last = info.importance;
+        }
+    }
+
+    #[test]
+    fn one_retrieval_advances_all_needing_queries() {
+        let (_, store, shape, strategy) = fixture();
+        let q = RangeSum::count(HyperRect::new(vec![0, 0], vec![15, 15]));
+        let batch =
+            BatchQueries::rewrite(&strategy, vec![q.clone(), q.clone(), q], &shape).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let info = exec.step().unwrap();
+        assert_eq!(info.queries_advanced, 3);
+        let e = exec.estimates();
+        assert_eq!(e[0], e[1]);
+        assert_eq!(e[1], e[2]);
+    }
+
+    #[test]
+    fn retrieval_count_equals_master_list() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let master_len = MasterList::build(&batch).len();
+        store.reset_stats();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let steps = exec.run_to_end();
+        assert_eq!(steps, master_len);
+        assert_eq!(store.stats().retrievals, master_len as u64);
+        assert!(
+            master_len < batch.total_coefficients(),
+            "sharing must beat per-query totals"
+        );
+    }
+
+    #[test]
+    fn worst_case_bound_decreases_and_hits_zero() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let k = store.abs_sum();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let mut last = f64::INFINITY;
+        loop {
+            let bound = exec.worst_case_bound(k);
+            assert!(bound <= last + 1e-9);
+            last = bound;
+            if exec.step().is_none() {
+                break;
+            }
+        }
+        assert_eq!(exec.worst_case_bound(k), 0.0);
+    }
+
+    #[test]
+    fn penalty_choice_changes_progression_order() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let cursored = DiagonalQuadratic::cursored(3, &[2], 1000.0);
+        let mut sse_exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let mut cur_exec = ProgressiveExecutor::new(&batch, &cursored, &store);
+        let sse_first: Vec<CoeffKey> = (0..5).filter_map(|_| sse_exec.step().map(|i| i.key)).collect();
+        let cur_first: Vec<CoeffKey> = (0..5).filter_map(|_| cur_exec.step().map(|i| i.key)).collect();
+        assert_ne!(
+            sse_first, cur_first,
+            "a heavily boosted query must reorder the progression"
+        );
+    }
+
+    #[test]
+    fn updates_mid_progression_stay_exact() {
+        use batchbb_relation::cube::point_entries;
+        use batchbb_storage::SharedStore;
+
+        let (mut dfd, store, shape, strategy) = fixture();
+        let shared = SharedStore::from_entries(strategy.transform_data(dfd.tensor()));
+        drop(store);
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let total = MasterList::build(&batch).len();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &shared);
+        exec.run(total / 2);
+        // Two tuples arrive mid-progression: update the shared store, then
+        // repair the executor's already-retrieved coefficients.
+        for (coords, weight) in [(vec![3usize, 3usize], 2.0), (vec![12, 9], 1.0)] {
+            dfd.insert_binned(&coords, weight);
+            for (k, d) in point_entries(&shape, &coords, weight, batchbb_wavelet::Wavelet::Db4) {
+                shared.add_shared(k, d);
+                exec.apply_update(&k, d);
+            }
+        }
+        exec.run_to_end();
+        for (q, est) in batch.queries().iter().zip(exec.estimates()) {
+            let truth = q.eval_direct(dfd.tensor());
+            assert!(
+                (est - truth).abs() < 1e-6 * truth.abs().max(1.0),
+                "{est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_update_repairs_seen_keys_only() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let first = exec.step().unwrap();
+        let before = exec.estimates().to_vec();
+        // Updating a retrieved key shifts estimates by column · delta.
+        exec.apply_update(&first.key, 2.0);
+        let master = MasterList::build(&batch);
+        for (i, (&a, &b)) in exec.estimates().iter().zip(&before).enumerate() {
+            let c = master
+                .column(&first.key)
+                .unwrap()
+                .iter()
+                .find(|(qi, _)| *qi as usize == i)
+                .map(|&(_, c)| c)
+                .unwrap_or(0.0);
+            assert!((a - (b + 2.0 * c)).abs() < 1e-12);
+        }
+        // Updating an unretrieved key is a no-op on estimates.
+        let pending = exec
+            .next_importance()
+            .expect("more coefficients pending");
+        let _ = pending;
+        let snapshot = exec.estimates().to_vec();
+        let unseen_key = {
+            // find some key in the master list that is not the first
+            master
+                .iter()
+                .map(|(k, _)| *k)
+                .find(|k| *k != first.key)
+                .unwrap()
+        };
+        exec.apply_update(&unseen_key, 5.0);
+        assert_eq!(exec.estimates(), snapshot.as_slice());
+    }
+
+    #[test]
+    fn expected_penalty_matches_optimality_module() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let n_total = shape.len();
+        // Compare the incremental tracker against the reference recompute
+        // from the optimality module at several prefixes.
+        let mut kept = std::collections::HashSet::new();
+        loop {
+            let fast = exec.expected_penalty(n_total);
+            let slow = crate::optimality::expected_penalty(&batch, &Sse, &kept, n_total);
+            // incremental subtraction accumulates rounding ~1e-16 per
+            // step relative to the initial total
+            assert!(
+                (fast - slow).abs() < 1e-6 * slow + 1e-9,
+                "{fast} vs {slow} after {} steps",
+                exec.retrieved()
+            );
+            match exec.step() {
+                Some(info) => {
+                    kept.insert(info.key);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(exec.expected_penalty(n_total), 0.0);
+    }
+
+    #[test]
+    fn run_respects_step_budget() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let total = exec.remaining();
+        assert_eq!(exec.run(3), 3);
+        assert_eq!(exec.retrieved(), 3);
+        assert_eq!(exec.remaining(), total - 3);
+        assert_eq!(exec.run(usize::MAX), total - 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Error metrics used throughout the paper's experiments (§6).
+
+use batchbb_penalty::Penalty;
+
+/// Mean relative error over the batch (Figure 5's vertical axis).
+///
+/// Queries with exact result zero are skipped unless the estimate is also
+/// nonzero, in which case the error counts as 1 (fully wrong).
+pub fn mean_relative_error(estimates: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), exact.len(), "batch size mismatch");
+    assert!(!exact.is_empty(), "empty batch has no error");
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (&e, &x) in estimates.iter().zip(exact.iter()) {
+        if x != 0.0 {
+            total += ((e - x) / x).abs();
+            counted += 1;
+        } else if e.abs() > 1e-9 {
+            total += 1.0;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Normalized SSE: "the SSE divided by the sum of square query results"
+/// (Figure 6).
+pub fn normalized_sse(estimates: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), exact.len(), "batch size mismatch");
+    let sse: f64 = estimates
+        .iter()
+        .zip(exact.iter())
+        .map(|(&e, &x)| (e - x) * (e - x))
+        .sum();
+    let scale: f64 = exact.iter().map(|&x| x * x).sum();
+    assert!(scale > 0.0, "cannot normalize against all-zero exact results");
+    sse / scale
+}
+
+/// Normalized penalty: `p(estimates − exact) / p(exact)` — the
+/// generalization of normalized SSE used for Figure 7's cursored SSE.
+pub fn normalized_penalty(penalty: &dyn Penalty, estimates: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), exact.len(), "batch size mismatch");
+    let errors: Vec<f64> = estimates
+        .iter()
+        .zip(exact.iter())
+        .map(|(&e, &x)| e - x)
+        .collect();
+    let scale = penalty.evaluate(exact);
+    assert!(scale > 0.0, "cannot normalize against zero-penalty exact results");
+    penalty.evaluate(&errors) / scale
+}
+
+/// One sample of a progressive run, as captured by [`trace_progression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Coefficients retrieved so far.
+    pub retrieved: usize,
+    /// Mean relative error against the exact answers.
+    pub mean_relative_error: f64,
+    /// Normalized SSE against the exact answers.
+    pub normalized_sse: f64,
+    /// Normalized penalty (under the traced penalty) against the exact
+    /// answers.
+    pub normalized_penalty: f64,
+    /// Theorem 1's worst-case bound `K^α·ι(next)` at this point.
+    pub worst_case_bound: f64,
+}
+
+/// Runs the executor through `budgets` (ascending retrieval counts),
+/// sampling the error metrics at each — the series behind every figure in
+/// §6.  `k_abs_sum` is `Σ|Δ̂|` for the bound column (pass 0.0 to skip).
+pub fn trace_progression(
+    exec: &mut crate::ProgressiveExecutor<'_>,
+    penalty: &dyn Penalty,
+    exact: &[f64],
+    budgets: &[usize],
+    k_abs_sum: f64,
+) -> Vec<TracePoint> {
+    let mut out = Vec::with_capacity(budgets.len());
+    for &b in budgets {
+        if b > exec.retrieved() {
+            exec.run(b - exec.retrieved());
+        }
+        out.push(TracePoint {
+            retrieved: exec.retrieved(),
+            mean_relative_error: mean_relative_error(exec.estimates(), exact),
+            normalized_sse: normalized_sse(exec.estimates(), exact),
+            normalized_penalty: normalized_penalty(penalty, exec.estimates(), exact),
+            worst_case_bound: exec.worst_case_bound(k_abs_sum),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchbb_penalty::{DiagonalQuadratic, Sse};
+
+    #[test]
+    fn mre_of_exact_is_zero() {
+        assert_eq!(mean_relative_error(&[2.0, 4.0], &[2.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn mre_averages_relative_errors() {
+        // errors: 50% and 10% -> mean 30%
+        let got = mean_relative_error(&[1.0, 9.0], &[2.0, 10.0]);
+        assert!((got - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_handles_zero_exact() {
+        assert_eq!(mean_relative_error(&[0.0, 1.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(mean_relative_error(&[5.0], &[0.0]), 1.0);
+        assert_eq!(mean_relative_error(&[1e-12], &[0.0]), 0.0, "fp dust ignored");
+    }
+
+    #[test]
+    fn normalized_sse_scales() {
+        // err (1,0), exact (2,1): 1 / 5
+        assert!((normalized_sse(&[3.0, 1.0], &[2.0, 1.0]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_penalty_generalizes_sse() {
+        let est = [3.0, 1.5];
+        let exact = [2.0, 1.0];
+        assert!(
+            (normalized_penalty(&Sse, &est, &exact) - normalized_sse(&est, &exact)).abs() < 1e-12
+        );
+        let w = DiagonalQuadratic::new(vec![10.0, 1.0]);
+        // p(err) = 10·1 + 0.25, p(exact) = 40 + 1
+        let expect = 10.25 / 41.0;
+        assert!((normalized_penalty(&w, &est, &exact) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn size_mismatch_panics() {
+        let _ = normalized_sse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn trace_progression_samples_budgets() {
+        use crate::{BatchQueries, ProgressiveExecutor};
+        use batchbb_query::{HyperRect, LinearStrategy, RangeSum, WaveletStrategy};
+        use batchbb_storage::MemoryStore;
+        use batchbb_tensor::{Shape, Tensor};
+        use batchbb_wavelet::Wavelet;
+
+        let shape = Shape::new(vec![16, 16]).unwrap();
+        let data = Tensor::from_fn(shape.clone(), |ix| ((ix[0] + ix[1]) % 3) as f64 + 1.0);
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let queries = vec![
+            RangeSum::count(HyperRect::new(vec![0, 0], vec![7, 15])),
+            RangeSum::count(HyperRect::new(vec![8, 0], vec![15, 15])),
+        ];
+        let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(&data)).collect();
+        let batch = BatchQueries::rewrite(&strategy, queries, &shape).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let k = store.abs_sum();
+        let trace = trace_progression(&mut exec, &Sse, &exact, &[1, 2, 1000], k);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].retrieved, 1);
+        assert!(trace.last().unwrap().normalized_sse < 1e-20, "exact at end");
+        assert_eq!(trace.last().unwrap().worst_case_bound, 0.0);
+        // the bound is non-increasing along the trace
+        assert!(trace.windows(2).all(|w| w[1].worst_case_bound <= w[0].worst_case_bound));
+    }
+}

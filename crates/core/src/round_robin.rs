@@ -1,0 +1,177 @@
+//! The round-robin single-query baseline (§2.2).
+//!
+//! "One simple solution is to use s instances of the single query
+//! evaluation technique, and advance them in a round-robin fashion. This
+//! turns out to waste a tremendous amount of I/O."  Each query runs its own
+//! biggest-B progression (ordered by its own `|q̂ᵢ[ξ]|²`), retrieving its
+//! coefficients independently — shared coefficients are fetched once *per
+//! query* instead of once per batch.
+
+use batchbb_storage::CoefficientStore;
+use batchbb_tensor::CoeffKey;
+
+use crate::BatchQueries;
+
+/// One query's private progression state.
+struct SingleQuery {
+    /// Coefficients sorted by decreasing |value| (single-query biggest-B,
+    /// i.e. ProPolyne's progression order).
+    plan: Vec<(CoeffKey, f64)>,
+    cursor: usize,
+    estimate: f64,
+}
+
+/// Round-robin evaluation of a batch using independent single-query
+/// instances.
+pub struct RoundRobin<'a> {
+    store: &'a dyn CoefficientStore,
+    queries: Vec<SingleQuery>,
+    retrievals: u64,
+    next: usize,
+}
+
+impl<'a> RoundRobin<'a> {
+    /// Builds per-query plans from a rewritten batch.
+    pub fn new(batch: &BatchQueries, store: &'a dyn CoefficientStore) -> Self {
+        let queries = batch
+            .coefficients()
+            .iter()
+            .map(|coeffs| {
+                let mut plan: Vec<(CoeffKey, f64)> = coeffs.entries().to_vec();
+                plan.sort_by(|a, b| {
+                    (b.1 * b.1)
+                        .total_cmp(&(a.1 * a.1))
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                SingleQuery {
+                    plan,
+                    cursor: 0,
+                    estimate: 0.0,
+                }
+            })
+            .collect();
+        RoundRobin {
+            store,
+            queries,
+            retrievals: 0,
+            next: 0,
+        }
+    }
+
+    /// Advances one query by one retrieval, cycling through the batch.
+    /// Returns `false` when every query is exact.
+    pub fn step(&mut self) -> bool {
+        let s = self.queries.len();
+        if s == 0 {
+            return false;
+        }
+        for probe in 0..s {
+            let qi = (self.next + probe) % s;
+            let q = &mut self.queries[qi];
+            if q.cursor < q.plan.len() {
+                let (key, coeff) = q.plan[q.cursor];
+                q.cursor += 1;
+                let value = self.store.get(&key).unwrap_or(0.0);
+                q.estimate += coeff * value;
+                self.retrievals += 1;
+                self.next = (qi + 1) % s;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs to exact completion, returning total retrievals.
+    pub fn run_to_end(&mut self) -> u64 {
+        while self.step() {}
+        self.retrievals
+    }
+
+    /// Current progressive estimates.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.queries.iter().map(|q| q.estimate).collect()
+    }
+
+    /// Retrievals so far.
+    pub fn retrievals(&self) -> u64 {
+        self.retrievals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgressiveExecutor;
+    use batchbb_penalty::Sse;
+    use batchbb_query::{HyperRect, LinearStrategy, RangeSum, WaveletStrategy};
+    use batchbb_storage::MemoryStore;
+    use batchbb_tensor::{Shape, Tensor};
+    use batchbb_wavelet::Wavelet;
+
+    fn fixture() -> (Tensor, MemoryStore, Shape, WaveletStrategy) {
+        let shape = Shape::new(vec![16, 16]).unwrap();
+        let data = Tensor::from_fn(shape.clone(), |ix| ((ix[0] + 2 * ix[1]) % 4) as f64);
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        (data, store, shape, strategy)
+    }
+
+    fn queries() -> Vec<RangeSum> {
+        vec![
+            RangeSum::count(HyperRect::new(vec![0, 0], vec![7, 15])),
+            RangeSum::count(HyperRect::new(vec![8, 0], vec![15, 15])),
+            RangeSum::count(HyperRect::new(vec![4, 4], vec![11, 11])),
+        ]
+    }
+
+    #[test]
+    fn exact_at_completion() {
+        let (data, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut rr = RoundRobin::new(&batch, &store);
+        rr.run_to_end();
+        for (q, est) in batch.queries().iter().zip(rr.estimates()) {
+            let truth = q.eval_direct(&data);
+            assert!((est - truth).abs() < 1e-6, "{est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn wastes_io_relative_to_batch() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut rr = RoundRobin::new(&batch, &store);
+        let rr_cost = rr.run_to_end();
+        assert_eq!(rr_cost as usize, batch.total_coefficients());
+
+        store.reset_stats();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let batch_cost = exec.run_to_end();
+        assert!(
+            (batch_cost as u64) < rr_cost,
+            "batch {batch_cost} should beat round-robin {rr_cost}"
+        );
+    }
+
+    #[test]
+    fn cycles_between_queries() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut rr = RoundRobin::new(&batch, &store);
+        for _ in 0..3 {
+            assert!(rr.step());
+        }
+        // After s steps every query should have advanced exactly once.
+        for q in &rr.queries {
+            assert_eq!(q.cursor, 1);
+        }
+    }
+
+    #[test]
+    fn empty_batch_terminates() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, vec![], &shape).unwrap();
+        let mut rr = RoundRobin::new(&batch, &store);
+        assert_eq!(rr.run_to_end(), 0);
+    }
+}

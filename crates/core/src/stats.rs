@@ -1,0 +1,208 @@
+//! Progressive summary statistics over a batch of ranges (§3).
+//!
+//! "The three vector queries above can be used to compute AVERAGE and
+//! VARIANCE of any attribute, as well as the COVARIANCE between any two
+//! attributes."  [`stats_queries`] builds the COUNT / SUM / SUM-of-squares
+//! triple (plus cross terms for covariance) for every range as *one*
+//! batch, so Batch-Biggest-B shares their heavily overlapping coefficient
+//! lists; [`decode_stats`] turns any progressive estimate vector back into
+//! per-range statistics.
+
+use batchbb_query::{derived, HyperRect, RangeSum};
+
+/// Queries emitted per range by [`stats_queries`].
+pub const QUERIES_PER_RANGE: usize = 3;
+
+/// Queries emitted per range by [`covariance_queries`].
+pub const QUERIES_PER_RANGE_COV: usize = 5;
+
+/// Builds `[COUNT, SUM(attr), SUMSQ(attr)]` for each range, concatenated
+/// in range order.
+pub fn stats_queries(ranges: &[HyperRect], attr: usize) -> Vec<RangeSum> {
+    ranges
+        .iter()
+        .flat_map(|r| {
+            [
+                RangeSum::count(r.clone()),
+                RangeSum::sum(r.clone(), attr),
+                RangeSum::sum_product(r.clone(), attr, attr),
+            ]
+        })
+        .collect()
+}
+
+/// Builds `[COUNT, SUM(a), SUM(b), SUMSQ-cross(a·b), …]` per range for
+/// covariance between attributes `a` and `b`.
+pub fn covariance_queries(ranges: &[HyperRect], a: usize, b: usize) -> Vec<RangeSum> {
+    ranges
+        .iter()
+        .flat_map(|r| {
+            [
+                RangeSum::count(r.clone()),
+                RangeSum::sum(r.clone(), a),
+                RangeSum::sum(r.clone(), b),
+                RangeSum::sum_product(r.clone(), a, b),
+                RangeSum::sum_product(r.clone(), a, a),
+            ]
+        })
+        .collect()
+}
+
+/// Derived statistics for one range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeStats {
+    /// Estimated tuple count.
+    pub count: f64,
+    /// Estimated attribute sum.
+    pub sum: f64,
+    /// Estimated mean (`None` when the count estimate is not positive).
+    pub mean: Option<f64>,
+    /// Estimated population variance (clamped at zero).
+    pub variance: Option<f64>,
+}
+
+/// Decodes estimates produced against [`stats_queries`] into per-range
+/// statistics. Works on progressive estimates at any point, not just exact
+/// results.
+pub fn decode_stats(estimates: &[f64]) -> Vec<RangeStats> {
+    assert_eq!(
+        estimates.len() % QUERIES_PER_RANGE,
+        0,
+        "estimates are not a stats batch"
+    );
+    estimates
+        .chunks_exact(QUERIES_PER_RANGE)
+        .map(|c| {
+            let (count, sum, sumsq) = (c[0], c[1], c[2]);
+            RangeStats {
+                count,
+                sum,
+                mean: derived::average(sum, count),
+                variance: derived::variance(sum, sumsq, count),
+            }
+        })
+        .collect()
+}
+
+/// Decodes estimates produced against [`covariance_queries`] into per-range
+/// covariances (`None` where the count estimate is not positive).
+pub fn decode_covariances(estimates: &[f64]) -> Vec<Option<f64>> {
+    assert_eq!(
+        estimates.len() % QUERIES_PER_RANGE_COV,
+        0,
+        "estimates are not a covariance batch"
+    );
+    estimates
+        .chunks_exact(QUERIES_PER_RANGE_COV)
+        .map(|c| derived::covariance(c[1], c[2], c[3], c[0]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchQueries, ProgressiveExecutor};
+    use batchbb_penalty::Sse;
+    use batchbb_query::{partition, LinearStrategy, WaveletStrategy};
+    use batchbb_relation::synth;
+    use batchbb_storage::MemoryStore;
+    use batchbb_wavelet::Wavelet;
+
+    #[test]
+    fn exact_stats_match_direct_computation() {
+        let dataset = synth::salary(4_000, 9);
+        let dfd = dataset.to_frequency_distribution();
+        let domain = dfd.schema().domain();
+        let ranges = partition::grid_partition(&domain, &[2, 2]);
+        let queries = stats_queries(&ranges, 1);
+        assert_eq!(queries.len(), 4 * QUERIES_PER_RANGE);
+
+        let strategy = WaveletStrategy::new(Wavelet::Db6);
+        let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+        let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        exec.run_to_end();
+        let stats = decode_stats(exec.estimates());
+        assert_eq!(stats.len(), 4);
+
+        for (r, s) in ranges.iter().zip(&stats) {
+            let vals: Vec<f64> = dataset
+                .tuples()
+                .iter()
+                .map(|t| dataset.schema().bin_tuple(t).unwrap())
+                .filter(|c| r.contains(c))
+                .map(|c| c[1] as f64)
+                .collect();
+            if vals.is_empty() {
+                assert!(s.count.abs() < 1e-6);
+                continue;
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            assert!((s.count - vals.len() as f64).abs() < 1e-6);
+            assert!((s.mean.unwrap() - mean).abs() < 1e-6 * mean.max(1.0));
+            assert!((s.variance.unwrap() - var).abs() < 1e-5 * var.max(1.0));
+        }
+    }
+
+    #[test]
+    fn covariances_match_direct() {
+        let dataset = synth::salary(3_000, 4);
+        let dfd = dataset.to_frequency_distribution();
+        let domain = dfd.schema().domain();
+        let ranges = vec![batchbb_query::HyperRect::full(&domain)];
+        let queries = covariance_queries(&ranges, 0, 1);
+        let strategy = WaveletStrategy::new(Wavelet::Db6);
+        let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+        let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        exec.run_to_end();
+        let cov = decode_covariances(exec.estimates())[0].unwrap();
+
+        let pts: Vec<(f64, f64)> = dataset
+            .tuples()
+            .iter()
+            .map(|t| {
+                let c = dataset.schema().bin_tuple(t).unwrap();
+                (c[0] as f64, c[1] as f64)
+            })
+            .collect();
+        let n = pts.len() as f64;
+        let (mx, my) = (
+            pts.iter().map(|p| p.0).sum::<f64>() / n,
+            pts.iter().map(|p| p.1).sum::<f64>() / n,
+        );
+        let direct = pts.iter().map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        assert!(
+            (cov - direct).abs() < 1e-5 * direct.abs().max(1.0),
+            "{cov} vs {direct}"
+        );
+        assert!(direct > 0.0, "age and salary are positively correlated");
+    }
+
+    #[test]
+    fn stats_batch_shares_io_heavily() {
+        // COUNT/SUM/SUMSQ over the same range share all coefficient *keys*
+        // (same range geometry), so the master list is ~1/3 the unshared
+        // total.
+        let dataset = synth::salary(2_000, 2);
+        let dfd = dataset.to_frequency_distribution();
+        let domain = dfd.schema().domain();
+        let ranges = partition::grid_partition(&domain, &[4, 4]);
+        let queries = stats_queries(&ranges, 1);
+        let strategy = WaveletStrategy::new(Wavelet::Db6);
+        let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+        let master = crate::MasterList::build(&batch).len();
+        assert!(
+            master * 2 <= batch.total_coefficients(),
+            "master {master} vs unshared {}",
+            batch.total_coefficients()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a stats batch")]
+    fn decode_validates_arity() {
+        let _ = decode_stats(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the Batch-Biggest-B invariants: exactness at
+//! completion, non-increasing importance, I/O sharing never losing to the
+//! round-robin baseline, and Theorem 1/2 optimality against random
+//! alternative retained sets.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use batchbb_core::{
+    bounded::evaluate_bounded, optimality, round_robin::RoundRobin, BatchQueries, MasterList,
+    ProgressiveExecutor,
+};
+use batchbb_penalty::{DiagonalQuadratic, Penalty, Sse};
+use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
+use batchbb_storage::MemoryStore;
+use batchbb_tensor::{CoeffKey, Shape, Tensor};
+use batchbb_wavelet::Wavelet;
+
+/// A random instance: data tensor, store, and a partition-count batch.
+fn arb_instance() -> impl Strategy<Value = (Tensor, Vec<RangeSum>, Shape)> {
+    (2u32..5, 2u32..5, 2usize..12, 0u64..1000).prop_flat_map(|(bx, by, cells, seed)| {
+        let shape = Shape::new(vec![1usize << bx, 1usize << by]).unwrap();
+        let len = shape.len();
+        let cells = cells.min(len);
+        prop::collection::vec(0.0f64..9.0, len).prop_map(move |vals| {
+            let shape = Shape::new(vec![1usize << bx, 1usize << by]).unwrap();
+            let data = Tensor::from_vec(shape.clone(), vals).unwrap();
+            let queries = partition::random_partition(&shape, cells, seed)
+                .into_iter()
+                .map(RangeSum::count)
+                .collect();
+            (data, queries, shape)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Progressive estimates equal direct evaluation once the heap drains,
+    /// for both Haar and Db4.
+    #[test]
+    fn exact_at_completion((data, queries, shape) in arb_instance()) {
+        for w in [Wavelet::Haar, Wavelet::Db4] {
+            let strategy = WaveletStrategy::new(w);
+            let store = MemoryStore::from_entries(strategy.transform_data(&data));
+            let batch = BatchQueries::rewrite(&strategy, queries.clone(), &shape).unwrap();
+            let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+            exec.run_to_end();
+            for (q, est) in batch.queries().iter().zip(exec.estimates()) {
+                let truth = q.eval_direct(&data);
+                prop_assert!((est - truth).abs() < 1e-6 * truth.abs().max(1.0),
+                    "{w}: {est} vs {truth}");
+            }
+        }
+    }
+
+    /// The executor's importance stream is non-increasing, and the number
+    /// of retrievals equals the master-list size — never more than the
+    /// round-robin baseline.
+    #[test]
+    fn sharing_never_loses((data, queries, shape) in arb_instance()) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let batch = BatchQueries::rewrite(&strategy, queries, &shape).unwrap();
+        let master = MasterList::build(&batch).len();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let mut last = f64::INFINITY;
+        let mut steps = 0;
+        while let Some(info) = exec.step() {
+            prop_assert!(info.importance <= last + 1e-12);
+            last = info.importance;
+            steps += 1;
+        }
+        prop_assert_eq!(steps, master);
+        let mut rr = RoundRobin::new(&batch, &store);
+        let rr_cost = rr.run_to_end();
+        prop_assert!(master as u64 <= rr_cost);
+        // and both are exact
+        for (a, b) in exec.estimates().iter().zip(rr.estimates()) {
+            prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    /// Theorem 1 bound holds on arbitrary data at every step: observed
+    /// penalty ≤ K^α · ι(next) with K = Σ|Δ̂|.
+    #[test]
+    fn theorem1_bound_pointwise((data, queries, shape) in arb_instance()) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let k = store.abs_sum();
+        let batch = BatchQueries::rewrite(&strategy, queries, &shape).unwrap();
+        let exact: Vec<f64> = batch.queries().iter().map(|q| q.eval_direct(&data)).collect();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        loop {
+            let bound = exec.worst_case_bound(k);
+            let sse: f64 = exec.estimates().iter().zip(&exact)
+                .map(|(e, x)| (e - x) * (e - x)).sum();
+            prop_assert!(sse <= bound * (1.0 + 1e-9) + 1e-9,
+                "SSE {sse} > bound {bound}");
+            if exec.step().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Theorem 1/2: the biggest-B retained set is never beaten by a random
+    /// B-subset on the worst-case or expected penalty, under SSE and a
+    /// random diagonal quadratic.
+    #[test]
+    fn biggest_b_is_best(
+        (data, queries, shape) in arb_instance(),
+        weights in prop::collection::vec(0.0f64..5.0, 12),
+        frac in 0.1f64..0.9,
+        subset_seed in 0u64..100,
+    ) {
+        let _ = data;
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let batch = BatchQueries::rewrite(&strategy, queries, &shape).unwrap();
+        let s = batch.len();
+        let penalties: Vec<Box<dyn Penalty>> = vec![
+            Box::new(Sse),
+            Box::new(DiagonalQuadratic::new(weights[..s.min(12)].iter().copied()
+                .chain(std::iter::repeat(1.0)).take(s).collect())),
+        ];
+        for p in &penalties {
+            let ranked = optimality::importance_ranking(&batch, p.as_ref());
+            let b = ((ranked.len() as f64) * frac) as usize;
+            let best = optimality::biggest_b_set(&batch, p.as_ref(), b);
+            let best_wc = optimality::worst_case_penalty(&batch, p.as_ref(), &best, 1.0);
+            let best_e = optimality::expected_penalty(&batch, p.as_ref(), &best, shape.len());
+            // one deterministic "random" alternative subset
+            let mut alt: Vec<CoeffKey> = ranked.iter().map(|(k, _)| *k).collect();
+            let n = alt.len();
+            for i in 0..b {
+                let j = i + ((subset_seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % (n - i);
+                alt.swap(i, j);
+            }
+            let alt: HashSet<CoeffKey> = alt[..b].iter().copied().collect();
+            prop_assert!(best_wc <= optimality::worst_case_penalty(&batch, p.as_ref(), &alt, 1.0) + 1e-12);
+            prop_assert!(best_e <= optimality::expected_penalty(&batch, p.as_ref(), &alt, shape.len()) + 1e-12);
+        }
+    }
+
+    /// Bounded-workspace evaluation with an unlimited budget is exact.
+    #[test]
+    fn bounded_exact_with_full_budget((data, queries, shape) in arb_instance()) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let r = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, usize::MAX / 8).unwrap();
+        for (q, est) in queries.iter().zip(&r.estimates) {
+            let truth = q.eval_direct(&data);
+            prop_assert!((est - truth).abs() < 1e-6 * truth.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The penalty-function trait.
+
+/// A structural error penalty function (Definition 2).
+///
+/// Implementations must be non-negative, convex, symmetric
+/// (`p(-e) = p(e)`), zero at zero, and homogeneous of degree
+/// [`Penalty::homogeneity`]: `p(c·e) = |c|^α · p(e)`.
+/// These properties are what the optimality proofs (Theorems 1–2) use; the
+/// test suites of the concrete penalties verify them numerically.
+pub trait Penalty: Send + Sync {
+    /// Human-readable name for harness output.
+    fn name(&self) -> String;
+
+    /// Evaluates the penalty of a full error vector of length `s` (the
+    /// batch size).
+    fn evaluate(&self, errors: &[f64]) -> f64;
+
+    /// The importance `ι_p(ξ) = p(q̂₀[ξ], …, q̂_{s-1}[ξ])` of a wavelet,
+    /// given the *sparse column* of per-query coefficients at ξ — pairs
+    /// `(query index, q̂ᵢ[ξ])` for the queries whose coefficient is
+    /// nonzero.  Entries absent from the column are zero, so penalties
+    /// must compute the value as if the full length-`s` vector had been
+    /// materialized.
+    fn importance(&self, column: &[(usize, f64)], batch_size: usize) -> f64;
+
+    /// Degree of homogeneity `α` (2 for quadratic forms, 1 for norms) —
+    /// the exponent in Theorem 1's worst-case bound `K^α·ι_p(ξ′)`.
+    fn homogeneity(&self) -> f64;
+}
+
+/// Reference implementation of [`Penalty::importance`] by materializing the
+/// dense column; used by tests to validate the sparse fast paths.
+#[cfg(test)]
+pub(crate) fn importance_via_dense(
+    p: &dyn Penalty,
+    column: &[(usize, f64)],
+    batch_size: usize,
+) -> f64 {
+    let mut dense = vec![0.0; batch_size];
+    for &(i, v) in column {
+        dense[i] = v;
+    }
+    p.evaluate(&dense)
+}

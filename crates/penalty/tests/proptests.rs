@@ -1,0 +1,104 @@
+//! Property-based verification of Definition 2: every provided penalty is
+//! non-negative, symmetric, zero at zero, homogeneous of its declared
+//! degree, and convex; and its sparse importance fast-path agrees with a
+//! dense evaluation.
+
+use proptest::prelude::*;
+
+use batchbb_penalty::{
+    Combination, DiagonalQuadratic, LaplacianPenalty, LpPenalty, Penalty, QuadraticForm, Sse,
+};
+
+const S: usize = 6;
+
+fn penalties() -> Vec<Box<dyn Penalty>> {
+    // A fixed PSD matrix: A = MᵀM for a small integer M.
+    let m: Vec<f64> = (0..S * S).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
+    let mut a = vec![0.0; S * S];
+    for i in 0..S {
+        for j in 0..S {
+            a[i * S + j] = (0..S).map(|k| m[k * S + i] * m[k * S + j]).sum();
+        }
+    }
+    vec![
+        Box::new(Sse),
+        Box::new(DiagonalQuadratic::new(vec![1.0, 0.0, 10.0, 2.0, 0.5, 3.0])),
+        Box::new(QuadraticForm::new(S, a)),
+        Box::new(LaplacianPenalty::path(S)),
+        Box::new(LpPenalty::l1()),
+        Box::new(LpPenalty::l2()),
+        Box::new(LpPenalty::new(3.0)),
+        Box::new(LpPenalty::linf()),
+        Box::new(Combination::new(vec![
+            (0.5, Box::new(Sse) as Box<dyn Penalty>),
+            (2.0, Box::new(LaplacianPenalty::path(S))),
+        ])),
+    ]
+}
+
+fn arb_errors() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-20.0f64..20.0, S)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Non-negativity, zero at zero, and symmetry `p(-e) = p(e)`.
+    #[test]
+    fn definition2_basics(e in arb_errors()) {
+        for p in penalties() {
+            let v = p.evaluate(&e);
+            prop_assert!(v >= 0.0, "{}: negative penalty {v}", p.name());
+            prop_assert_eq!(p.evaluate(&[0.0; S]), 0.0, "{}", p.name());
+            let neg: Vec<f64> = e.iter().map(|x| -x).collect();
+            prop_assert!((p.evaluate(&neg) - v).abs() < 1e-9 * v.max(1.0), "{}", p.name());
+        }
+    }
+
+    /// Homogeneity: `p(c·e) = |c|^α · p(e)`.
+    #[test]
+    fn homogeneity(e in arb_errors(), c in -5.0f64..5.0) {
+        for p in penalties() {
+            let scaled: Vec<f64> = e.iter().map(|x| c * x).collect();
+            let expect = c.abs().powf(p.homogeneity()) * p.evaluate(&e);
+            let got = p.evaluate(&scaled);
+            prop_assert!((got - expect).abs() < 1e-7 * expect.max(1.0),
+                "{}: {got} vs {expect}", p.name());
+        }
+    }
+
+    /// Convexity along random chords: `p(t·a + (1-t)·b) ≤ t·p(a) + (1-t)·p(b)`.
+    #[test]
+    fn convexity(a in arb_errors(), b in arb_errors(), t in 0.0f64..1.0) {
+        for p in penalties() {
+            let mid: Vec<f64> = a.iter().zip(&b).map(|(x, y)| t * x + (1.0 - t) * y).collect();
+            let lhs = p.evaluate(&mid);
+            let rhs = t * p.evaluate(&a) + (1.0 - t) * p.evaluate(&b);
+            prop_assert!(lhs <= rhs + 1e-7 * rhs.max(1.0), "{}: {lhs} > {rhs}", p.name());
+        }
+    }
+
+    /// Sparse importance equals the dense evaluation of the padded column.
+    #[test]
+    fn importance_matches_dense(col in prop::collection::vec((0usize..S, -10.0f64..10.0), 0..S)) {
+        // dedupe indices (keep last) to form a well-defined sparse column
+        let mut dedup: Vec<(usize, f64)> = Vec::new();
+        for (i, v) in col {
+            if let Some(slot) = dedup.iter_mut().find(|(j, _)| *j == i) {
+                slot.1 = v;
+            } else {
+                dedup.push((i, v));
+            }
+        }
+        let mut dense = vec![0.0; S];
+        for &(i, v) in &dedup {
+            dense[i] = v;
+        }
+        for p in penalties() {
+            let fast = p.importance(&dedup, S);
+            let slow = p.evaluate(&dense);
+            prop_assert!((fast - slow).abs() < 1e-8 * slow.max(1.0),
+                "{}: {fast} vs {slow}", p.name());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Derived statistics from batches of vector queries (§3).
+//!
+//! "The three vector queries above can be used to compute AVERAGE and
+//! VARIANCE of any attribute, as well as the COVARIANCE between any two
+//! attributes."  These helpers perform that post-processing on the scalar
+//! results of COUNT / SUM / SUMPRODUCT queries — exact or progressive.
+
+/// `AVERAGE = SUM / COUNT`; `None` when the range is empty.
+pub fn average(sum: f64, count: f64) -> Option<f64> {
+    if count <= 0.0 {
+        None
+    } else {
+        Some(sum / count)
+    }
+}
+
+/// Population variance from the three aggregate results:
+/// `VAR(X) = E[X²] − E[X]² = sum_sq/count − (sum/count)²`.
+///
+/// `None` when the range is empty. Tiny negative values from progressive
+/// estimates are clamped to zero.
+pub fn variance(sum: f64, sum_sq: f64, count: f64) -> Option<f64> {
+    if count <= 0.0 {
+        return None;
+    }
+    let mean = sum / count;
+    Some((sum_sq / count - mean * mean).max(0.0))
+}
+
+/// Population covariance:
+/// `COV(X,Y) = E[XY] − E[X]E[Y]`.
+pub fn covariance(sum_x: f64, sum_y: f64, sum_xy: f64, count: f64) -> Option<f64> {
+    if count <= 0.0 {
+        return None;
+    }
+    Some(sum_xy / count - (sum_x / count) * (sum_y / count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_known_values() {
+        assert_eq!(average(10.0, 4.0), Some(2.5));
+        assert_eq!(average(1.0, 0.0), None);
+    }
+
+    #[test]
+    fn variance_matches_direct() {
+        // values {1, 2, 3, 6}: mean 3, E[X²] = (1+4+9+36)/4 = 12.5, var 3.5
+        let (sum, sum_sq, n) = (12.0, 50.0, 4.0);
+        assert_eq!(variance(sum, sum_sq, n), Some(3.5));
+    }
+
+    #[test]
+    fn variance_clamps_negative_noise() {
+        assert_eq!(variance(4.0, 3.999, 4.0), Some(0.0));
+    }
+
+    #[test]
+    fn covariance_matches_direct() {
+        // pairs (1,2), (3,6): E[XY] = (2+18)/2 = 10, E[X]=2, E[Y]=4 -> 2
+        assert_eq!(covariance(4.0, 8.0, 20.0, 2.0), Some(2.0));
+        assert_eq!(covariance(0.0, 0.0, 0.0, 0.0), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! Vector queries and linear storage/evaluation strategies.
+//!
+//! §3 of the paper recasts range aggregates as *vector queries* — inner
+//! products `⟨q, Δ⟩` of a query vector with the data frequency
+//! distribution.  This crate provides:
+//!
+//! * [`HyperRect`] — rectangular ranges `R ⊂ Dom(F)`;
+//! * [`RangeSum`] — polynomial range-sums `q[x] = p(x)·χ_R(x)` with
+//!   constructors for COUNT, SUM, and SUMPRODUCT (Definition 1);
+//! * [`derived`] — AVERAGE, VARIANCE, COVARIANCE computed from batches of
+//!   vector queries, as §3 describes;
+//! * [`partition`] — workload generators (the paper's experiments partition
+//!   the whole domain into 512 randomly sized ranges);
+//! * [`LinearStrategy`] — the abstraction of §1.2: any linear transform of
+//!   the data with a left inverse yields an evaluation strategy, with
+//!   [`WaveletStrategy`], [`PrefixSumStrategy`], [`IdentityStrategy`] and
+//!   [`NonstandardStrategy`] implementations.
+//!
+//! # Example: rewrite a COUNT query against two different views
+//!
+//! ```
+//! use batchbb_query::{HyperRect, LinearStrategy, PrefixSumStrategy, RangeSum, WaveletStrategy};
+//! use batchbb_tensor::Shape;
+//! use batchbb_wavelet::Wavelet;
+//!
+//! let domain = Shape::new(vec![64, 64]).unwrap();
+//! let q = RangeSum::count(HyperRect::new(vec![5, 10], vec![40, 63]));
+//!
+//! let wavelet = WaveletStrategy::new(Wavelet::Haar);
+//! let prefix = PrefixSumStrategy::count(2);
+//! let w_coeffs = wavelet.query_coefficients(&q, &domain).unwrap();
+//! let p_coeffs = prefix.query_coefficients(&q, &domain).unwrap();
+//! assert!(w_coeffs.nnz() <= 2 * (2 * 7) * (2 * 7)); // O((2 log N)^d)
+//! assert!(p_coeffs.nnz() <= 4);                     // ≤ 2^d corners
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod derived;
+pub mod partition;
+mod range;
+mod rangesum;
+mod strategy;
+
+pub use range::HyperRect;
+pub use rangesum::{Monomial, RangeSum};
+pub use strategy::{
+    IdentityStrategy, LinearStrategy, NonstandardStrategy, PrefixSumStrategy, StrategyError,
+    WaveletStrategy,
+};

@@ -1,0 +1,222 @@
+//! Polynomial range-sum queries (Definition 1 of the paper).
+
+use batchbb_tensor::Tensor;
+
+use crate::HyperRect;
+
+/// A monomial `c · Π_i x_i^{e_i}` over the schema's attributes.
+///
+/// General polynomials are sums of monomials; each monomial is separable
+/// across dimensions, which is what lets query wavelet coefficients be
+/// computed as tensor products of 1-D factor transforms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monomial {
+    /// Scalar coefficient `c`.
+    pub coeff: f64,
+    /// Per-dimension exponents `e_i`.
+    pub exponents: Vec<u32>,
+}
+
+impl Monomial {
+    /// The constant monomial `c` over `d` dimensions.
+    pub fn constant(d: usize, c: f64) -> Self {
+        Monomial {
+            coeff: c,
+            exponents: vec![0; d],
+        }
+    }
+
+    /// The monomial `x_axis` over `d` dimensions.
+    pub fn linear(d: usize, axis: usize) -> Self {
+        let mut exponents = vec![0; d];
+        exponents[axis] = 1;
+        Monomial {
+            coeff: 1.0,
+            exponents,
+        }
+    }
+
+    /// Evaluates at a domain point.
+    pub fn eval(&self, point: &[usize]) -> f64 {
+        let mut v = self.coeff;
+        for (&x, &e) in point.iter().zip(self.exponents.iter()) {
+            if e > 0 {
+                v *= (x as f64).powi(e as i32);
+            }
+        }
+        v
+    }
+
+    /// Maximum per-dimension exponent.
+    pub fn degree(&self) -> u32 {
+        self.exponents.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A polynomial range-sum `q[x] = p(x)·χ_R(x)`: the vector query whose
+/// result is `⟨q, Δ⟩ = Σ_{x∈R} p(x)·Δ[x]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeSum {
+    range: HyperRect,
+    monomials: Vec<Monomial>,
+}
+
+impl RangeSum {
+    /// A general polynomial range-sum. Panics if any monomial's arity
+    /// differs from the range's.
+    pub fn new(range: HyperRect, monomials: Vec<Monomial>) -> Self {
+        assert!(!monomials.is_empty(), "polynomial must have at least one term");
+        for m in &monomials {
+            assert_eq!(
+                m.exponents.len(),
+                range.rank(),
+                "monomial arity mismatch"
+            );
+        }
+        RangeSum { range, monomials }
+    }
+
+    /// `COUNT(R)` — how many tuples fall in `R` (§2.1).
+    pub fn count(range: HyperRect) -> Self {
+        let d = range.rank();
+        RangeSum::new(range, vec![Monomial::constant(d, 1.0)])
+    }
+
+    /// `SUM(R, attribute axis)` — `Σ_{x∈R} x_axis·Δ[x]` (§3, query 2).
+    pub fn sum(range: HyperRect, axis: usize) -> Self {
+        let d = range.rank();
+        assert!(axis < d, "axis out of range");
+        RangeSum::new(range, vec![Monomial::linear(d, axis)])
+    }
+
+    /// `SUMPRODUCT(R, i, j)` — `Σ_{x∈R} x_i·x_j·Δ[x]` (§3, query 3).
+    /// `i == j` gives the sum of squares.
+    pub fn sum_product(range: HyperRect, i: usize, j: usize) -> Self {
+        let d = range.rank();
+        assert!(i < d && j < d, "axis out of range");
+        let mut exponents = vec![0u32; d];
+        exponents[i] += 1;
+        exponents[j] += 1;
+        RangeSum::new(
+            range,
+            vec![Monomial {
+                coeff: 1.0,
+                exponents,
+            }],
+        )
+    }
+
+    /// The range `R`.
+    pub fn range(&self) -> &HyperRect {
+        &self.range
+    }
+
+    /// The polynomial's monomials.
+    pub fn monomials(&self) -> &[Monomial] {
+        &self.monomials
+    }
+
+    /// Maximum per-dimension degree `δ` — determines the minimal filter
+    /// length `2δ+2` (§3.1).
+    pub fn degree(&self) -> u32 {
+        self.monomials.iter().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Evaluates the query vector at one domain point.
+    pub fn eval_at(&self, point: &[usize]) -> f64 {
+        if !self.range.contains(point) {
+            return 0.0;
+        }
+        self.monomials.iter().map(|m| m.eval(point)).sum()
+    }
+
+    /// Direct evaluation against a dense data vector — the `O(N^d)`
+    /// reference oracle.
+    pub fn eval_direct(&self, data: &Tensor) -> f64 {
+        assert_eq!(data.shape().rank(), self.range.rank(), "rank mismatch");
+        let mut acc = 0.0;
+        let mut idx = self.range.lo().to_vec();
+        loop {
+            let delta = data[idx.as_slice()];
+            if delta != 0.0 {
+                acc += self.eval_at(&idx) * delta;
+            }
+            let mut axis = idx.len();
+            loop {
+                if axis == 0 {
+                    return acc;
+                }
+                axis -= 1;
+                idx[axis] += 1;
+                if idx[axis] <= self.range.hi()[axis] {
+                    break;
+                }
+                idx[axis] = self.range.lo()[axis];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchbb_tensor::Shape;
+
+    fn data() -> Tensor {
+        let mut t = Tensor::zeros(Shape::new(vec![8, 8]).unwrap());
+        t[&[1, 1]] = 1.0;
+        t[&[2, 5]] = 2.0;
+        t[&[7, 7]] = 1.0;
+        t
+    }
+
+    #[test]
+    fn count_counts() {
+        let q = RangeSum::count(HyperRect::new(vec![0, 0], vec![3, 7]));
+        assert_eq!(q.eval_direct(&data()), 3.0);
+        assert_eq!(q.degree(), 0);
+    }
+
+    #[test]
+    fn sum_weights_by_coordinate() {
+        let q = RangeSum::sum(HyperRect::new(vec![0, 0], vec![7, 7]), 1);
+        // 1·1 + 5·2 + 7·1 = 18
+        assert_eq!(q.eval_direct(&data()), 18.0);
+        assert_eq!(q.degree(), 1);
+    }
+
+    #[test]
+    fn sum_product_cross_and_square() {
+        let q = RangeSum::sum_product(HyperRect::new(vec![0, 0], vec![7, 7]), 0, 1);
+        // 1·1·1 + 2·5·2 + 7·7·1 = 70
+        assert_eq!(q.eval_direct(&data()), 70.0);
+        let sq = RangeSum::sum_product(HyperRect::new(vec![0, 0], vec![7, 7]), 1, 1);
+        // 1 + 25·2 + 49 = 100, degree 2 on axis 1
+        assert_eq!(sq.eval_direct(&data()), 100.0);
+        assert_eq!(sq.degree(), 2);
+    }
+
+    #[test]
+    fn eval_at_respects_range() {
+        let q = RangeSum::count(HyperRect::new(vec![2, 2], vec![4, 4]));
+        assert_eq!(q.eval_at(&[3, 3]), 1.0);
+        assert_eq!(q.eval_at(&[1, 3]), 0.0);
+    }
+
+    #[test]
+    fn multi_monomial_polynomial() {
+        // p(x) = 2 + 3·x0  over a singleton range {(2,0)}
+        let range = HyperRect::new(vec![2, 0], vec![2, 0]);
+        let q = RangeSum::new(
+            range,
+            vec![
+                Monomial::constant(2, 2.0),
+                Monomial {
+                    coeff: 3.0,
+                    exponents: vec![1, 0],
+                },
+            ],
+        );
+        assert_eq!(q.eval_at(&[2, 0]), 8.0);
+    }
+}

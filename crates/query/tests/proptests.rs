@@ -1,0 +1,132 @@
+//! Property-based tests for the query layer: every linear strategy must
+//! evaluate every supported query exactly, on arbitrary data.
+
+use proptest::prelude::*;
+
+use batchbb_query::{
+    partition, HyperRect, IdentityStrategy, LinearStrategy, Monomial, PrefixSumStrategy, RangeSum,
+    WaveletStrategy,
+};
+use batchbb_tensor::{CoeffKey, Shape, Tensor};
+use batchbb_wavelet::Wavelet;
+use std::collections::HashMap;
+
+fn evaluate(strategy: &dyn LinearStrategy, q: &RangeSum, data: &Tensor) -> f64 {
+    let view: HashMap<CoeffKey, f64> = strategy.transform_data(data).into_iter().collect();
+    strategy
+        .query_coefficients(q, data.shape())
+        .unwrap()
+        .entries()
+        .iter()
+        .map(|(k, v)| v * view.get(k).copied().unwrap_or(0.0))
+        .sum()
+}
+
+fn arb_data_and_range() -> impl Strategy<Value = (Tensor, HyperRect)> {
+    (2u32..5, 2u32..5).prop_flat_map(|(bx, by)| {
+        let (nx, ny) = (1usize << bx, 1usize << by);
+        let shape = Shape::new(vec![nx, ny]).unwrap();
+        let len = shape.len();
+        (
+            prop::collection::vec(0.0f64..20.0, len),
+            0..nx,
+            0..nx,
+            0..ny,
+            0..ny,
+        )
+            .prop_map(move |(vals, a, b, c, d)| {
+                let shape = Shape::new(vec![nx, ny]).unwrap();
+                let t = Tensor::from_vec(shape, vals).unwrap();
+                let range = HyperRect::new(
+                    vec![a.min(b), c.min(d)],
+                    vec![a.max(b), c.max(d)],
+                );
+                (t, range)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// COUNT agrees with direct evaluation across every strategy.
+    #[test]
+    fn count_exact_everywhere((data, range) in arb_data_and_range()) {
+        let q = RangeSum::count(range);
+        let expect = q.eval_direct(&data);
+        let strategies: Vec<Box<dyn LinearStrategy>> = vec![
+            Box::new(WaveletStrategy::new(Wavelet::Haar)),
+            Box::new(WaveletStrategy::new(Wavelet::Db6)),
+            Box::new(PrefixSumStrategy::count(2)),
+            Box::new(IdentityStrategy),
+        ];
+        for s in &strategies {
+            let got = evaluate(s.as_ref(), &q, &data);
+            prop_assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                "{}: {got} vs {expect}", s.name());
+        }
+    }
+
+    /// SUM and SUMPRODUCT agree with direct evaluation (wavelet/identity).
+    #[test]
+    fn polynomial_exact((data, range) in arb_data_and_range(), axis in 0usize..2) {
+        for q in [
+            RangeSum::sum(range.clone(), axis),
+            RangeSum::sum_product(range.clone(), 0, 1),
+            RangeSum::sum_product(range.clone(), axis, axis),
+        ] {
+            let expect = q.eval_direct(&data);
+            let w = Wavelet::for_degree(q.degree() as usize).unwrap();
+            let strategies: Vec<Box<dyn LinearStrategy>> = vec![
+                Box::new(WaveletStrategy::new(w)),
+                Box::new(IdentityStrategy),
+            ];
+            for s in &strategies {
+                let got = evaluate(s.as_ref(), &q, &data);
+                prop_assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                    "{}: {got} vs {expect}", s.name());
+            }
+        }
+    }
+
+    /// Prefix-sum strategies evaluate their tuned measure exactly.
+    #[test]
+    fn prefix_sum_measures((data, range) in arb_data_and_range(), axis in 0usize..2) {
+        let q = RangeSum::sum(range, axis);
+        let expect = q.eval_direct(&data);
+        let s = PrefixSumStrategy::sum(2, axis);
+        let got = evaluate(&s, &q, &data);
+        prop_assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0));
+    }
+
+    /// eval_at is the indicator-weighted polynomial.
+    #[test]
+    fn eval_at_consistent((_, range) in arb_data_and_range(), x in 0usize..16, y in 0usize..16) {
+        let q = RangeSum::new(range.clone(), vec![
+            Monomial::constant(2, 2.0),
+            Monomial::linear(2, 0),
+        ]);
+        let point = [x, y];
+        let expect = if range.contains(&point) { 2.0 + x as f64 } else { 0.0 };
+        prop_assert_eq!(q.eval_at(&point), expect);
+    }
+
+    /// Random partitions tile the domain (and the dyadic variant is
+    /// aligned) for arbitrary shapes/seeds/sizes.
+    #[test]
+    fn partitions_always_tile(bx in 1u32..5, by in 1u32..5, cells in 1usize..40, seed in 0u64..500) {
+        let shape = Shape::new(vec![1 << bx, 1 << by]).unwrap();
+        let cells = cells.min(shape.len());
+        let parts = partition::random_partition(&shape, cells, seed);
+        prop_assert!(partition::is_partition(&shape, &parts));
+        let dyadic = partition::dyadic_partition(&shape, cells, seed);
+        prop_assert!(partition::is_partition(&shape, &dyadic));
+        for r in &dyadic {
+            for a in 0..2 {
+                let len = r.extent(a);
+                prop_assert!(len.is_power_of_two() && r.lo()[a] % len == 0,
+                    "{r} not aligned on axis {a}");
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! A bag of raw tuples under a schema.
+
+use crate::{FrequencyDistribution, Schema, SchemaError};
+
+/// A dataset: a schema plus raw (un-binned) tuples.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Schema,
+    tuples: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new(schema: Schema) -> Self {
+        Dataset {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a dataset from tuples, validating arity.
+    pub fn from_tuples(schema: Schema, tuples: Vec<Vec<f64>>) -> Result<Self, SchemaError> {
+        if let Some(t) = tuples.iter().find(|t| t.len() != schema.arity()) {
+            return Err(SchemaError::ArityMismatch {
+                expected: schema.arity(),
+                got: t.len(),
+            });
+        }
+        Ok(Dataset { schema, tuples })
+    }
+
+    /// Appends a tuple, validating arity.
+    pub fn push(&mut self, tuple: Vec<f64>) -> Result<(), SchemaError> {
+        if tuple.len() != self.schema.arity() {
+            return Err(SchemaError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.len(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The raw tuples.
+    pub fn tuples(&self) -> &[Vec<f64>] {
+        &self.tuples
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Bins every tuple into the dense data frequency distribution `Δ`.
+    pub fn to_frequency_distribution(&self) -> FrequencyDistribution {
+        let mut dfd = FrequencyDistribution::new(self.schema.clone());
+        for t in &self.tuples {
+            dfd.insert(t).expect("arity validated at insert time");
+        }
+        dfd
+    }
+
+    /// Builds a *measure cube*: a weighted frequency distribution over all
+    /// attributes except `measure_attr`, with each tuple contributing
+    /// `raw_measure + offset` instead of 1.
+    ///
+    /// This is the standard OLAP layout the paper's §6 experiment uses —
+    /// "sum the temperature in each range" is a COUNT-shaped vector query
+    /// against the temperature-weighted cube over (lat, lon, alt, time).
+    /// `offset` shifts the measure (e.g. +273.15 to report Kelvin so every
+    /// weight is positive).
+    pub fn to_measure_cube(&self, measure_attr: usize, offset: f64) -> FrequencyDistribution {
+        assert!(measure_attr < self.schema.arity(), "measure attribute out of range");
+        let attrs: Vec<crate::Attribute> = self
+            .schema
+            .attributes()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != measure_attr)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let cube_schema = Schema::new(attrs).expect("sub-schema valid");
+        let mut cube = FrequencyDistribution::new(cube_schema.clone());
+        for t in &self.tuples {
+            let reduced: Vec<f64> = t
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != measure_attr)
+                .map(|(_, &v)| v)
+                .collect();
+            let coords = cube_schema.bin_tuple(&reduced).expect("arity matches");
+            cube.insert_binned(&coords, t[measure_attr] + offset);
+        }
+        cube
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("x", 0.0, 4.0, 2),
+            Attribute::new("y", 0.0, 4.0, 2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let mut d = Dataset::new(schema());
+        assert!(d.push(vec![1.0, 2.0]).is_ok());
+        assert!(d.push(vec![1.0]).is_err());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn from_tuples_validates() {
+        assert!(Dataset::from_tuples(schema(), vec![vec![0.0, 0.0], vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn measure_cube_sums_weights() {
+        let d = Dataset::from_tuples(
+            schema(),
+            vec![vec![0.5, 2.0], vec![0.5, 3.0], vec![3.5, 1.0]],
+        )
+        .unwrap();
+        // measure = attribute 1; cube over attribute 0 only
+        let cube = d.to_measure_cube(1, 0.0);
+        assert_eq!(cube.schema().arity(), 1);
+        assert_eq!(cube.tensor()[&[0]], 5.0, "2+3 at bin 0");
+        assert_eq!(cube.tensor()[&[3]], 1.0);
+        let shifted = d.to_measure_cube(1, 10.0);
+        assert_eq!(shifted.tensor()[&[0]], 25.0, "offset added per tuple");
+    }
+
+    #[test]
+    fn dfd_counts_occurrences() {
+        let d = Dataset::from_tuples(
+            schema(),
+            vec![vec![0.5, 0.5], vec![0.5, 0.5], vec![3.5, 3.5]],
+        )
+        .unwrap();
+        let dfd = d.to_frequency_distribution();
+        assert_eq!(dfd.tensor()[&[0, 0]], 2.0);
+        assert_eq!(dfd.tensor()[&[3, 3]], 1.0);
+        assert_eq!(dfd.total(), 3.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Statistical sanity checks on the synthetic generators — these
+//! distributions drive every experiment, so their shape is worth pinning.
+
+use batchbb_relation::synth;
+
+#[test]
+fn gridded_network_is_spatially_smoother_than_independent() {
+    // The whole point of the `gridded` flag: per-cell occupancy variance
+    // (relative to the mean) should be far smaller for the station grid.
+    let occupancy_cv = |gridded: bool| -> f64 {
+        let cfg = synth::TemperatureConfig {
+            records: 100_000,
+            lat_bits: 4,
+            lon_bits: 5,
+            time_bits: 4,
+            temp_bits: 4,
+            gridded,
+            ..Default::default()
+        };
+        let dataset = cfg.generate();
+        // spatial occupancy: counts per (lat, lon) cell
+        let schema = dataset.schema().clone();
+        let (nlat, nlon) = (16usize, 32usize);
+        let mut counts = vec![0f64; nlat * nlon];
+        for t in dataset.tuples() {
+            let c = schema.bin_tuple(t).unwrap();
+            counts[c[0] * nlon + c[1]] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        var.sqrt() / mean
+    };
+    let cv_grid = occupancy_cv(true);
+    let cv_indep = occupancy_cv(false);
+    assert!(
+        cv_grid < cv_indep,
+        "gridded occupancy must be smoother: cv {cv_grid} vs {cv_indep}"
+    );
+}
+
+#[test]
+fn temperature_has_a_latitudinal_gradient_in_both_modes() {
+    for gridded in [true, false] {
+        let cfg = synth::TemperatureConfig {
+            records: 50_000,
+            gridded,
+            ..Default::default()
+        };
+        let d = cfg.generate();
+        let band_mean = |lo: f64, hi: f64| {
+            let xs: Vec<f64> = d
+                .tuples()
+                .iter()
+                .filter(|t| t[0] >= lo && t[0] < hi)
+                .map(|t| t[3])
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let tropics = band_mean(-15.0, 15.0);
+        let poles = (band_mean(-90.0, -60.0) + band_mean(60.0, 90.0)) / 2.0;
+        assert!(
+            tropics > poles + 15.0,
+            "gridded={gridded}: tropics {tropics:.1} vs poles {poles:.1}"
+        );
+    }
+}
+
+#[test]
+fn clustered_is_skewed_uniform_is_not() {
+    let top_cell_share = |d: &batchbb_relation::Dataset| -> f64 {
+        let dfd = d.to_frequency_distribution();
+        let max = dfd
+            .tensor()
+            .data()
+            .iter()
+            .fold(0.0f64, |a, &v| a.max(v));
+        max / dfd.total()
+    };
+    let clustered = synth::clustered(2, 5, 50_000, 2, 3);
+    let uniform = synth::uniform(2, 5, 50_000, 3);
+    assert!(
+        top_cell_share(&clustered) > 4.0 * top_cell_share(&uniform),
+        "clusters must concentrate mass"
+    );
+}
+
+#[test]
+fn salary_correlates_with_age() {
+    let d = synth::salary(30_000, 5);
+    let pts: Vec<(f64, f64)> = d.tuples().iter().map(|t| (t[0], t[1])).collect();
+    let n = pts.len() as f64;
+    let (mx, my) = (
+        pts.iter().map(|p| p.0).sum::<f64>() / n,
+        pts.iter().map(|p| p.1).sum::<f64>() / n,
+    );
+    let cov = pts.iter().map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+    let (sx, sy) = (
+        (pts.iter().map(|(x, _)| (x - mx).powi(2)).sum::<f64>() / n).sqrt(),
+        (pts.iter().map(|(_, y)| (y - my).powi(2)).sum::<f64>() / n).sqrt(),
+    );
+    let r = cov / (sx * sy);
+    assert!(r > 0.4, "age-salary correlation should be positive, r = {r}");
+}
+
+#[test]
+fn generators_scale_record_counts() {
+    for records in [100usize, 5_000] {
+        assert_eq!(synth::uniform(2, 4, records, 1).len(), records);
+        assert_eq!(synth::clustered(3, 4, records, 4, 1).len(), records);
+        assert_eq!(synth::salary(records, 1).len(), records);
+        // the station grid rounds to whole station-report schedules
+        let t = synth::TemperatureConfig {
+            records,
+            lat_bits: 3,
+            lon_bits: 3,
+            time_bits: 3,
+            temp_bits: 3,
+            ..Default::default()
+        }
+        .generate();
+        assert!(t.len() >= records.min(64), "grid generates at least one sweep");
+    }
+}

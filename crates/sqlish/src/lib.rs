@@ -1,0 +1,56 @@
+//! A tiny SQL-ish front end for `batchbb`.
+//!
+//! §7 of the paper plans "progressive implementations of relational algebra
+//! as well as commercial OLAP query languages"; this crate is the first
+//! step: a parser and planner that turns textual aggregate queries into
+//! batches of vector queries plus the post-processing that derives
+//! AVG/VARIANCE from them (§3).
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT <agg> [, <agg>…] FROM <table>
+//!   [WHERE <pred> [AND <pred>…]]
+//!   [GROUP BY attr(buckets) [, attr(buckets)…]]
+//! agg  := COUNT(*) | SUM(attr) | AVG(attr) | VARIANCE(attr)
+//!       | SUMPRODUCT(attr, attr)
+//! pred := attr BETWEEN lo AND hi | attr >= v | attr > v
+//!       | attr <= v | attr < v | attr = v
+//! ```
+//!
+//! `GROUP BY` splits the WHERE range into a grid of cells — one result row
+//! per cell — which is exactly the *batch* workload Batch-Biggest-B shares
+//! I/O across (neighbouring cells reuse most of their coefficients).
+//!
+//! Predicates are expressed in *raw* attribute values and snap to the
+//! schema's bin boundaries (the same granularity every range-sum in the
+//! system has).  Conjunction only — rectangular ranges are what polynomial
+//! range-sums support.
+//!
+//! # Example
+//!
+//! ```
+//! use batchbb_relation::{Attribute, Schema};
+//! use batchbb_sqlish::plan;
+//!
+//! let schema = Schema::new(vec![
+//!     Attribute::new("age", 0.0, 128.0, 7),
+//!     Attribute::new("salary", 0.0, 128.0, 7),
+//! ]).unwrap();
+//! let p = plan(
+//!     "SELECT COUNT(*), AVG(salary) FROM emp \
+//!      WHERE age BETWEEN 25 AND 40 AND salary >= 55",
+//!     &schema,
+//! ).unwrap();
+//! assert_eq!(p.queries().len(), 2); // COUNT and SUM(salary), shared by AVG
+//! ```
+
+#![warn(missing_docs)]
+
+mod lexer;
+mod parser;
+mod planner;
+
+pub use lexer::{tokenize, Token};
+pub use parser::{parse, Aggregate, ParseError, Predicate, QueryAst};
+pub use planner::{plan, plan_ast, Output, Plan, PlanError};

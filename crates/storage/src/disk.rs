@@ -1,0 +1,136 @@
+//! File-backed coefficient store: one positioned read per retrieval.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use batchbb_tensor::CoeffKey;
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::stats::Counters;
+use crate::{CoefficientStore, IoStats};
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// A read-only coefficient store backed by a values file plus an in-memory
+/// hash index (`key → slot`).
+///
+/// Each [`CoefficientStore::get`] issues one positioned 8-byte read, so
+/// `physical_reads` equals `retrievals` — the paper's cost model of §1.3,
+/// which deliberately ignores blocking ("we ignore the possibility that
+/// several useful values may be allocated on the same disk block").
+/// [`crate::BlockStore`] drops that simplification.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    index: HashMap<CoeffKey, u64>,
+    counters: Counters,
+}
+
+impl FileStore {
+    /// Creates a store at `path` from `(key, value)` pairs (duplicates
+    /// summed) and opens it for reading.
+    pub fn create(
+        path: &Path,
+        entries: impl IntoIterator<Item = (CoeffKey, f64)>,
+    ) -> io::Result<Self> {
+        let mut map: HashMap<CoeffKey, f64> = HashMap::new();
+        for (k, v) in entries {
+            *map.entry(k).or_insert(0.0) += v;
+        }
+        let mut sorted: Vec<(CoeffKey, f64)> = map.into_iter().collect();
+        sorted.sort_by_key(|&(k, _)| k);
+
+        let mut buf = BytesMut::with_capacity(sorted.len() * 8);
+        let mut index = HashMap::with_capacity(sorted.len());
+        for (slot, (k, v)) in sorted.iter().enumerate() {
+            buf.put_f64_le(*v);
+            index.insert(*k, slot as u64);
+        }
+        let mut f = File::create(path)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+        drop(f);
+
+        Ok(FileStore {
+            file: File::open(path)?,
+            index,
+            counters: Counters::default(),
+        })
+    }
+
+    fn read_slot(&self, slot: u64) -> io::Result<f64> {
+        let mut raw = [0u8; 8];
+        #[cfg(unix)]
+        self.file.read_exact_at(&mut raw, slot * 8)?;
+        #[cfg(not(unix))]
+        compile_error!("FileStore requires a unix platform for positioned reads");
+        Ok((&raw[..]).get_f64_le())
+    }
+}
+
+impl CoefficientStore for FileStore {
+    fn get(&self, key: &CoeffKey) -> Option<f64> {
+        self.counters.count_retrieval();
+        let slot = *self.index.get(key)?;
+        self.counters.count_physical();
+        Some(self.read_slot(slot).expect("store file read failed"))
+    }
+
+    fn nnz(&self) -> usize {
+        self.index.len()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("batchbb-filestore-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_values() {
+        let path = tmpfile("roundtrip");
+        let entries = vec![
+            (CoeffKey::new(&[0, 1]), 1.25),
+            (CoeffKey::new(&[3, 7]), -9.5),
+            (CoeffKey::new(&[2, 2]), 0.125),
+        ];
+        let store = FileStore::create(&path, entries.clone()).unwrap();
+        for (k, v) in &entries {
+            assert_eq!(store.get(k), Some(*v));
+        }
+        assert_eq!(store.get(&CoeffKey::new(&[9, 9])), None);
+        assert_eq!(store.nnz(), 3);
+        let st = store.stats();
+        assert_eq!(st.retrievals, 4);
+        assert_eq!(st.physical_reads, 3, "misses do not touch the file");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicates_summed() {
+        let path = tmpfile("dups");
+        let store = FileStore::create(
+            &path,
+            vec![(CoeffKey::one(5), 1.0), (CoeffKey::one(5), 2.0)],
+        )
+        .unwrap();
+        assert_eq!(store.get(&CoeffKey::one(5)), Some(3.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! Coefficient storage with retrieval accounting.
+//!
+//! The paper's cost model (§1.3) assumes the transformed data vector `Δ̂` is
+//! "held in either array-based or hash-based storage that allows
+//! constant-time access to any single value", and every experimental result
+//! is reported in *number of retrievals*.  This crate provides that storage
+//! abstraction:
+//!
+//! * [`CoefficientStore`] — read access plus built-in retrieval counters;
+//! * [`MemoryStore`] — hash-based in-memory store;
+//! * [`ArrayStore`] — dense array-based store for small domains;
+//! * [`FileStore`] — a file-backed store doing one `pread` per retrieval;
+//! * [`BlockStore`] — coefficients packed into fixed-size blocks behind an
+//!   LRU buffer pool, quantifying the paper's future-work remark on disk
+//!   layout and smart buffer management (§7);
+//! * [`SharedStore`] — a lock-protected store for live updates during
+//!   progressive evaluation;
+//! * [`CachingStore`] — a memoizing wrapper that turns repeated retrievals
+//!   (e.g. the round-robin baseline's) into cache hits, isolating how much
+//!   of Batch-Biggest-B's win is I/O sharing vs shared computation.
+//!
+//! All stores are safe to share across threads (`&self` reads, atomic
+//! counters).
+//!
+//! # Example
+//!
+//! ```
+//! use batchbb_storage::{CoefficientStore, MemoryStore};
+//! use batchbb_tensor::CoeffKey;
+//!
+//! let store = MemoryStore::from_entries([
+//!     (CoeffKey::new(&[0, 0]), 12.5),
+//!     (CoeffKey::new(&[1, 3]), -2.0),
+//! ]);
+//! assert_eq!(store.get(&CoeffKey::new(&[1, 3])), Some(-2.0));
+//! assert_eq!(store.get(&CoeffKey::new(&[9, 9])), None); // zero, still charged
+//! assert_eq!(store.stats().retrievals, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod block;
+mod caching;
+mod disk;
+mod memory;
+mod shared;
+mod stats;
+mod store;
+
+pub use block::{BlockLayout, BlockStore};
+pub use caching::CachingStore;
+pub use disk::FileStore;
+pub use memory::{ArrayStore, MemoryStore};
+pub use shared::SharedStore;
+pub use stats::IoStats;
+pub use store::{CoefficientStore, MutableStore};

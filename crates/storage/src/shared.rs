@@ -1,0 +1,99 @@
+//! A concurrently updatable store: the piece that lets the paper's
+//! update-efficiency claim (§2.1/§3.1) compose with in-flight progressive
+//! evaluations.
+
+use batchbb_tensor::CoeffKey;
+use parking_lot::RwLock;
+
+use crate::{CoefficientStore, IoStats, MemoryStore, MutableStore};
+
+/// A [`MemoryStore`] behind a read/write lock, so readers (progressive
+/// executors hold `&store`) and writers (tuple inserts) can interleave.
+///
+/// Reads take the read lock per retrieval; updates take the write lock per
+/// coefficient.  Pair with
+/// `ProgressiveExecutor::apply_update` to repair estimates for
+/// already-retrieved coefficients.
+#[derive(Debug, Default)]
+pub struct SharedStore {
+    inner: RwLock<MemoryStore>,
+}
+
+impl SharedStore {
+    /// Wraps an existing store.
+    pub fn new(inner: MemoryStore) -> Self {
+        SharedStore {
+            inner: RwLock::new(inner),
+        }
+    }
+
+    /// Bulk-loads from entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = (CoeffKey, f64)>) -> Self {
+        SharedStore::new(MemoryStore::from_entries(entries))
+    }
+
+    /// Adds `delta` at `key` through the write lock (usable with `&self`,
+    /// unlike [`MutableStore::add`]).
+    pub fn add_shared(&self, key: CoeffKey, delta: f64) {
+        self.inner.write().add(key, delta);
+    }
+
+    /// Sum of |value| over stored coefficients (Theorem 1's `K`).
+    pub fn abs_sum(&self) -> f64 {
+        self.inner.read().abs_sum()
+    }
+}
+
+impl CoefficientStore for SharedStore {
+    fn get(&self, key: &CoeffKey) -> Option<f64> {
+        self.inner.read().get(key)
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.read().nnz()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.read().stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.read().reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_reads_and_writes() {
+        let s = SharedStore::from_entries([(CoeffKey::one(1), 2.0)]);
+        assert_eq!(s.get(&CoeffKey::one(1)), Some(2.0));
+        s.add_shared(CoeffKey::one(1), -2.0);
+        assert_eq!(s.get(&CoeffKey::one(1)), None, "zeroed entry evicted");
+        s.add_shared(CoeffKey::one(3), 4.0);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.stats().retrievals, 2);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let s = SharedStore::from_entries((0..100).map(|i| (CoeffKey::one(i), i as f64)));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..100 {
+                        let _ = s.get(&CoeffKey::one(i));
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 0..100 {
+                    s.add_shared(CoeffKey::one(i), 1.0);
+                }
+            });
+        });
+        assert_eq!(s.get(&CoeffKey::one(10)), Some(11.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Retrieval counters shared by all store implementations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of a store's I/O activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Logical coefficient retrievals (the unit every experiment in the
+    /// paper reports).
+    pub retrievals: u64,
+    /// Physical reads: `pread` calls for [`crate::FileStore`], block fetches
+    /// for [`crate::BlockStore`]; equals `retrievals` for memory stores.
+    pub physical_reads: u64,
+    /// Buffer-pool hits ([`crate::BlockStore`] only).
+    pub cache_hits: u64,
+}
+
+/// Interior-mutable counters backing [`IoStats`].
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    retrievals: AtomicU64,
+    physical_reads: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn count_retrieval(&self) {
+        self.retrievals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_physical(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> IoStats {
+        IoStats {
+            retrievals: self.retrievals.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.retrievals.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let c = Counters::default();
+        c.count_retrieval();
+        c.count_retrieval();
+        c.count_physical();
+        c.count_hit();
+        let s = c.snapshot();
+        assert_eq!(s.retrievals, 2);
+        assert_eq!(s.physical_reads, 1);
+        assert_eq!(s.cache_hits, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), IoStats::default());
+    }
+}

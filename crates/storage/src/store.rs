@@ -1,0 +1,56 @@
+//! The storage traits.
+
+use batchbb_tensor::CoeffKey;
+
+use crate::IoStats;
+
+/// Read access to a materialized view of transform coefficients.
+///
+/// Every call to [`CoefficientStore::get`] is counted as one logical
+/// retrieval — the cost unit of the paper's experiments.  Implementations
+/// must be usable through `&self` from multiple threads.
+pub trait CoefficientStore: Send + Sync {
+    /// Retrieves the coefficient at `key`, counting one retrieval.
+    ///
+    /// Returns `None` when the coefficient is absent, which callers must
+    /// treat as exactly zero (sparse stores only hold nonzeros). The
+    /// retrieval is still counted: the paper's cost model charges for the
+    /// lookup, not for the value.
+    fn get(&self, key: &CoeffKey) -> Option<f64>;
+
+    /// Number of stored (nonzero) coefficients.
+    fn nnz(&self) -> usize;
+
+    /// Snapshot of the retrieval counters.
+    fn stats(&self) -> IoStats;
+
+    /// Resets the retrieval counters.
+    fn reset_stats(&self);
+}
+
+/// A store that also supports incremental updates — the wavelet view is
+/// update-efficient (new tuples in `O((2δ+1)^d log^d N)`, §3.1), and this is
+/// the write half of that claim.
+pub trait MutableStore: CoefficientStore {
+    /// Adds `delta` to the coefficient at `key`, creating it if absent and
+    /// removing it if the result is (numerically) zero.
+    fn add(&mut self, key: CoeffKey, delta: f64);
+}
+
+impl<S: CoefficientStore + ?Sized> CoefficientStore for &S {
+    fn get(&self, key: &CoeffKey) -> Option<f64> {
+        (**self).get(key)
+    }
+
+    fn nnz(&self) -> usize {
+        (**self).nnz()
+    }
+
+    fn stats(&self) -> IoStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&self) {
+        (**self).reset_stats()
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: every store implementation returns exactly the
+//! values it was loaded with, for arbitrary entry sets, and the counters
+//! account for every retrieval.
+
+use proptest::prelude::*;
+
+use batchbb_storage::{
+    ArrayStore, BlockLayout, BlockStore, CachingStore, CoefficientStore, FileStore, MemoryStore,
+    SharedStore,
+};
+use batchbb_tensor::{CoeffKey, Shape, Tensor};
+
+fn arb_entries() -> impl Strategy<Value = Vec<(CoeffKey, f64)>> {
+    prop::collection::btree_map((0usize..32, 0usize..32), -100.0f64..100.0, 0..64).prop_map(
+        |m| {
+            m.into_iter()
+                .filter(|&(_, v)| v.abs() > 1e-9)
+                .map(|((a, b), v)| (CoeffKey::new(&[a, b]), v))
+                .collect()
+        },
+    )
+}
+
+fn check_store(store: &dyn CoefficientStore, entries: &[(CoeffKey, f64)], dense: bool) {
+    store.reset_stats();
+    for (k, v) in entries {
+        let got = store.get(k);
+        assert_eq!(got, Some(*v), "{k}");
+    }
+    if !dense {
+        // array stores hold the whole domain; out-of-domain keys panic and
+        // are not probed
+        let absent = CoeffKey::new(&[999, 999]);
+        assert_eq!(store.get(&absent), None);
+    }
+    let st = store.stats();
+    let expected = entries.len() as u64 + if dense { 0 } else { 1 };
+    assert_eq!(st.retrievals, expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_stores_roundtrip(entries in arb_entries()) {
+        // memory
+        check_store(&MemoryStore::from_entries(entries.clone()), &entries, false);
+        // shared
+        check_store(&SharedStore::from_entries(entries.clone()), &entries, false);
+        // caching over memory — twice, to cover the memoized path
+        let caching = CachingStore::new(MemoryStore::from_entries(entries.clone()));
+        check_store(&caching, &entries, false);
+        check_store(&caching, &entries, false);
+        // array
+        let shape = Shape::new(vec![32, 32]).unwrap();
+        let mut t = Tensor::zeros(shape);
+        for (k, v) in &entries {
+            t[&[k.coord(0), k.coord(1)]] = *v;
+        }
+        check_store(&ArrayStore::from_tensor(t), &entries, true);
+        // file
+        let fpath = std::env::temp_dir().join(format!(
+            "batchbb-prop-file-{}-{}",
+            std::process::id(),
+            entries.len()
+        ));
+        check_store(&FileStore::create(&fpath, entries.clone()).unwrap(), &entries, false);
+        std::fs::remove_file(&fpath).unwrap();
+        // block, both layouts, block size not dividing entry count
+        for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
+            let bpath = std::env::temp_dir().join(format!(
+                "batchbb-prop-block-{layout:?}-{}-{}",
+                std::process::id(),
+                entries.len()
+            ));
+            check_store(
+                &BlockStore::create(&bpath, entries.clone(), 7, 3, layout).unwrap(),
+                &entries,
+                false,
+            );
+            std::fs::remove_file(&bpath).unwrap();
+        }
+    }
+
+    #[test]
+    fn block_store_physical_reads_bounded(entries in arb_entries()) {
+        prop_assume!(!entries.is_empty());
+        let bpath = std::env::temp_dir().join(format!(
+            "batchbb-prop-bounded-{}-{}",
+            std::process::id(),
+            entries.len()
+        ));
+        let store =
+            BlockStore::create(&bpath, entries.clone(), 8, 64, BlockLayout::KeyOrder).unwrap();
+        for (k, _) in &entries {
+            store.get(k);
+        }
+        // Pool is big enough to never evict: physical reads ≤ block count.
+        let st = store.stats();
+        prop_assert!(st.physical_reads <= store.n_blocks());
+        prop_assert_eq!(st.physical_reads + st.cache_hits, st.retrievals);
+        std::fs::remove_file(&bpath).unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! Lane abstraction: logical 1-D slices of a tensor along one axis.
+//!
+//! [`Tensor::for_each_lane_mut`](crate::Tensor::for_each_lane_mut) is the
+//! workhorse used by the wavelet transform; this module additionally exposes
+//! a gather/scatter [`Lane`] view for code that needs random access to a
+//! single lane (e.g. extracting a 1-D query factor from a separable tensor).
+
+use crate::Tensor;
+
+/// A copy-out view of one lane of a [`Tensor`] along a fixed axis.
+///
+/// The lane is materialized into a contiguous buffer on construction and can
+/// be written back with [`Lane::store`].
+#[derive(Debug, Clone)]
+pub struct Lane {
+    axis: usize,
+    base: usize,
+    stride: usize,
+    values: Vec<f64>,
+}
+
+impl Lane {
+    /// Gathers the lane along `axis` whose non-axis coordinates are given by
+    /// `at` (the `axis` entry of `at` is ignored).
+    pub fn gather(tensor: &Tensor, axis: usize, at: &[usize]) -> Self {
+        assert!(axis < tensor.shape().rank(), "axis out of range");
+        assert_eq!(at.len(), tensor.shape().rank(), "coordinate rank mismatch");
+        let stride = tensor.shape().strides()[axis];
+        let mut fixed = at.to_vec();
+        fixed[axis] = 0;
+        let base = tensor
+            .shape()
+            .offset(&fixed)
+            .expect("lane coordinates out of bounds");
+        let n = tensor.shape().dim(axis);
+        let values = (0..n).map(|k| tensor.data()[base + k * stride]).collect();
+        Lane {
+            axis,
+            base,
+            stride,
+            values,
+        }
+    }
+
+    /// The gathered values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the gathered values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The axis this lane runs along.
+    pub fn axis(&self) -> usize {
+        self.axis
+    }
+
+    /// Scatters the buffer back into `tensor` at the original location.
+    ///
+    /// Panics if the tensor's shape changed since the gather.
+    pub fn store(&self, tensor: &mut Tensor) {
+        let n = tensor.shape().dim(self.axis);
+        assert_eq!(n, self.values.len(), "tensor shape changed under lane");
+        for (k, v) in self.values.iter().enumerate() {
+            tensor.data_mut()[self.base + k * self.stride] = *v;
+        }
+    }
+}
+
+/// Iterator over all lanes of a tensor along one axis, yielding gathered
+/// [`Lane`]s. Intended for read-mostly analysis code; the transform hot path
+/// uses `for_each_lane_mut` instead.
+pub struct LaneIterMut<'a> {
+    tensor: &'a Tensor,
+    axis: usize,
+    outer: usize,
+    next: usize,
+}
+
+impl<'a> LaneIterMut<'a> {
+    /// Creates an iterator over all lanes along `axis`.
+    pub fn new(tensor: &'a Tensor, axis: usize) -> Self {
+        assert!(axis < tensor.shape().rank(), "axis out of range");
+        let outer = tensor.shape().len() / tensor.shape().dim(axis);
+        LaneIterMut {
+            tensor,
+            axis,
+            outer,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for LaneIterMut<'_> {
+    type Item = Lane;
+
+    fn next(&mut self) -> Option<Lane> {
+        if self.next >= self.outer {
+            return None;
+        }
+        let mut rem = self.next;
+        self.next += 1;
+        let dims = self.tensor.shape().dims();
+        let mut at = vec![0usize; dims.len()];
+        for ax in (0..dims.len()).rev() {
+            if ax == self.axis {
+                continue;
+            }
+            at[ax] = rem % dims[ax];
+            rem /= dims[ax];
+        }
+        Some(Lane::gather(self.tensor, self.axis, &at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn gather_and_store_roundtrip() {
+        let shape = Shape::new(vec![2, 3]).unwrap();
+        let mut t = Tensor::from_vec(shape, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]).unwrap();
+        let mut lane = Lane::gather(&t, 1, &[1, 0]);
+        assert_eq!(lane.values(), &[10.0, 11.0, 12.0]);
+        lane.values_mut()[2] = 99.0;
+        lane.store(&mut t);
+        assert_eq!(t[&[1, 2]], 99.0);
+    }
+
+    #[test]
+    fn iter_visits_all_lanes() {
+        let shape = Shape::new(vec![2, 3, 2]).unwrap();
+        let t = Tensor::from_fn(shape, |ix| (ix[0] * 100 + ix[1] * 10 + ix[2]) as f64);
+        let lanes: Vec<Lane> = LaneIterMut::new(&t, 1).collect();
+        assert_eq!(lanes.len(), 4);
+        // Each lane along axis 1 varies the middle digit.
+        for lane in &lanes {
+            let v = lane.values();
+            assert_eq!(v.len(), 3);
+            assert_eq!(v[1] - v[0], 10.0);
+            assert_eq!(v[2] - v[1], 10.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of range")]
+    fn gather_bad_axis_panics() {
+        let t = Tensor::zeros(Shape::new(vec![2]).unwrap());
+        let _ = Lane::gather(&t, 1, &[0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Iteration over all multi-indices of a shape in row-major order.
+
+use crate::Shape;
+
+/// Iterator over every multi-index of a [`Shape`] in row-major order.
+///
+/// Yields owned `Vec<usize>` coordinates; use [`IndexIter::next_into`] to
+/// reuse a buffer in hot loops.
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    dims: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+    started: bool,
+}
+
+impl IndexIter {
+    /// Creates an iterator over all indices of `shape`.
+    pub fn new(shape: &Shape) -> Self {
+        IndexIter {
+            dims: shape.dims().to_vec(),
+            current: vec![0; shape.rank()],
+            done: false,
+            started: false,
+        }
+    }
+
+    /// Advances the iterator, writing the next index into `buf`.
+    ///
+    /// Returns `false` when exhausted. `buf` is resized to the rank.
+    pub fn next_into(&mut self, buf: &mut Vec<usize>) -> bool {
+        if self.done {
+            return false;
+        }
+        if self.started {
+            // Odometer increment from the last axis.
+            let mut axis = self.dims.len();
+            loop {
+                if axis == 0 {
+                    self.done = true;
+                    return false;
+                }
+                axis -= 1;
+                self.current[axis] += 1;
+                if self.current[axis] < self.dims[axis] {
+                    break;
+                }
+                self.current[axis] = 0;
+            }
+        } else {
+            self.started = true;
+        }
+        buf.clear();
+        buf.extend_from_slice(&self.current);
+        true
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut buf = Vec::new();
+        if self.next_into(&mut buf) {
+            Some(buf)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_row_major() {
+        let shape = Shape::new(vec![2, 3]).unwrap();
+        let all: Vec<Vec<usize>> = IndexIter::new(&shape).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn count_matches_len() {
+        let shape = Shape::new(vec![3, 4, 5]).unwrap();
+        assert_eq!(IndexIter::new(&shape).count(), shape.len());
+    }
+
+    #[test]
+    fn matches_unravel_order() {
+        let shape = Shape::new(vec![2, 2, 3]).unwrap();
+        for (off, idx) in IndexIter::new(&shape).enumerate() {
+            assert_eq!(idx, shape.unravel(off));
+        }
+    }
+
+    #[test]
+    fn buffer_reuse() {
+        let shape = Shape::new(vec![2, 2]).unwrap();
+        let mut it = IndexIter::new(&shape);
+        let mut buf = Vec::new();
+        let mut n = 0;
+        while it.next_into(&mut buf) {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        assert!(!it.next_into(&mut buf));
+    }
+}

@@ -1,0 +1,302 @@
+//! Orthonormal wavelet filter banks (Haar and the Daubechies family).
+//!
+//! The paper evaluates COUNT queries with Haar wavelets (§2) and degree-δ
+//! polynomial range-sums with Daubechies wavelets of filter length `2δ+2`
+//! (§3.1): a filter with `p` vanishing moments annihilates discrete
+//! polynomials of degree `< p`, which is what makes query vectors sparse in
+//! the wavelet domain.
+//!
+//! Conventions: the low-pass analysis step is
+//! `a[k] = Σ_m h[m]·x[(2k+m) mod n]`, the high-pass step uses the quadrature
+//! mirror `g[m] = (-1)^m · h[L-1-m]`, and boundaries are handled by
+//! periodization (`mod n` at every level), exactly as in ProPolyne.
+
+use std::fmt;
+
+/// The supported orthonormal filter banks.
+///
+/// `DbK` denotes the Daubechies filter with `K` taps (`K/2` vanishing
+/// moments); `Haar` is `Db2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wavelet {
+    /// Haar / Db2: 1 vanishing moment. Exact for COUNT (degree 0).
+    Haar,
+    /// Daubechies 4-tap: 2 vanishing moments. Exact for degree ≤ 1.
+    Db4,
+    /// Daubechies 6-tap: 3 vanishing moments. Exact for degree ≤ 2.
+    Db6,
+    /// Daubechies 8-tap: 4 vanishing moments. Exact for degree ≤ 3.
+    Db8,
+    /// Daubechies 10-tap: 5 vanishing moments. Exact for degree ≤ 4.
+    Db10,
+    /// Daubechies 12-tap: 6 vanishing moments. Exact for degree ≤ 5.
+    Db12,
+}
+
+/// Orthonormal Daubechies low-pass coefficients, normalized so Σh = √2.
+/// Written with more digits than f64 resolves so the table matches the
+/// published tables digit-for-digit; the compiler rounds correctly.
+#[allow(clippy::excessive_precision)]
+const H_HAAR: [f64; 2] = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+#[allow(clippy::excessive_precision)]
+const H_DB4: [f64; 4] = [
+    0.482962913144534143,
+    0.836516303737807906,
+    0.224143868042013381,
+    -0.129409522551260381,
+];
+#[allow(clippy::excessive_precision)]
+const H_DB6: [f64; 6] = [
+    0.332670552950082616,
+    0.806891509311092576,
+    0.459877502118491570,
+    -0.135011020010254589,
+    -0.085441273882026661,
+    0.035226291885709533,
+];
+#[allow(clippy::excessive_precision)]
+const H_DB8: [f64; 8] = [
+    0.230377813308896501,
+    0.714846570552915647,
+    0.630880767929858908,
+    -0.027983769416859854,
+    -0.187034811719093084,
+    0.030841381835560763,
+    0.032883011666885169,
+    -0.010597401785069032,
+];
+#[allow(clippy::excessive_precision)]
+const H_DB10: [f64; 10] = [
+    0.160102397974192914,
+    0.603829269797189671,
+    0.724308528437772928,
+    0.138428145901320732,
+    -0.242294887066382032,
+    -0.032244869584638375,
+    0.077571493840046332,
+    -0.006241490212798274,
+    -0.012580751999081999,
+    0.003335725285473771,
+];
+#[allow(clippy::excessive_precision)]
+const H_DB12: [f64; 12] = [
+    0.111540743350109425,
+    0.494623890398453323,
+    0.751133908021095884,
+    0.315250351709198588,
+    -0.226264693965440197,
+    -0.129766867567262418,
+    0.097501605587322579,
+    0.027522865530305456,
+    -0.031582039318486616,
+    0.000553842201161602,
+    0.004777257511010651,
+    -0.001077301085308480,
+];
+
+impl Wavelet {
+    /// All supported wavelets, coarsest filter first.
+    pub const ALL: [Wavelet; 6] = [
+        Wavelet::Haar,
+        Wavelet::Db4,
+        Wavelet::Db6,
+        Wavelet::Db8,
+        Wavelet::Db10,
+        Wavelet::Db12,
+    ];
+
+    /// Low-pass (scaling) analysis coefficients `h`.
+    pub fn lowpass(&self) -> &'static [f64] {
+        match self {
+            Wavelet::Haar => &H_HAAR,
+            Wavelet::Db4 => &H_DB4,
+            Wavelet::Db6 => &H_DB6,
+            Wavelet::Db8 => &H_DB8,
+            Wavelet::Db10 => &H_DB10,
+            Wavelet::Db12 => &H_DB12,
+        }
+    }
+
+    /// Filter length `L`.
+    pub fn len(&self) -> usize {
+        self.lowpass().len()
+    }
+
+    /// Always false; exists for clippy symmetry with [`Wavelet::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of vanishing moments `p = L/2`.
+    ///
+    /// The high-pass filter annihilates discrete polynomial sequences of
+    /// degree `< p`; polynomial range-sums of degree `δ` need `p > δ`
+    /// (filter length `≥ 2δ+2`, §3.1).
+    pub fn vanishing_moments(&self) -> usize {
+        self.len() / 2
+    }
+
+    /// Highest polynomial degree this filter evaluates sparsely/exactly in
+    /// the lazy query transform: `p - 1`.
+    pub fn max_poly_degree(&self) -> usize {
+        self.vanishing_moments() - 1
+    }
+
+    /// The smallest supported filter with more than `degree` vanishing
+    /// moments — filter length `2·degree + 2` as prescribed by §3.1.
+    pub fn for_degree(degree: usize) -> Option<Wavelet> {
+        Wavelet::ALL.iter().copied().find(|w| w.max_poly_degree() >= degree)
+    }
+
+    /// High-pass (detail) analysis coefficients `g[m] = (-1)^m h[L-1-m]`.
+    pub fn highpass(&self) -> Vec<f64> {
+        let h = self.lowpass();
+        let l = h.len();
+        (0..l)
+            .map(|m| {
+                let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+                sign * h[l - 1 - m]
+            })
+            .collect()
+    }
+
+    /// Discrete moments `μ_a = Σ_m h[m]·m^a` of the low-pass filter for
+    /// `a = 0..=max_degree`. Used by the lazy transform to refine polynomial
+    /// segments across levels.
+    pub fn lowpass_moments(&self, max_degree: usize) -> Vec<f64> {
+        moments(self.lowpass(), max_degree)
+    }
+
+    /// Discrete moments of the high-pass filter (zero for `a <
+    /// vanishing_moments()` up to rounding).
+    pub fn highpass_moments(&self, max_degree: usize) -> Vec<f64> {
+        moments(&self.highpass(), max_degree)
+    }
+}
+
+fn moments(filter: &[f64], max_degree: usize) -> Vec<f64> {
+    (0..=max_degree)
+        .map(|a| {
+            filter
+                .iter()
+                .enumerate()
+                .map(|(m, &c)| c * (m as f64).powi(a as i32))
+                .sum()
+        })
+        .collect()
+}
+
+impl fmt::Display for Wavelet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Wavelet::Haar => "Haar",
+            Wavelet::Db4 => "Db4",
+            Wavelet::Db6 => "Db6",
+            Wavelet::Db8 => "Db8",
+            Wavelet::Db10 => "Db10",
+            Wavelet::Db12 => "Db12",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn lowpass_sums_to_sqrt2() {
+        for w in Wavelet::ALL {
+            let s: f64 = w.lowpass().iter().sum();
+            assert!(
+                (s - std::f64::consts::SQRT_2).abs() < TOL,
+                "{w}: Σh = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn orthonormal_shifts() {
+        // Σ_m h[m]·h[m+2j] = δ_j for all integer j.
+        for w in Wavelet::ALL {
+            let h = w.lowpass();
+            let l = h.len();
+            for j in 0..l / 2 {
+                let dot: f64 = (0..l)
+                    .filter(|&m| m + 2 * j < l)
+                    .map(|m| h[m] * h[m + 2 * j])
+                    .sum();
+                let expect = if j == 0 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < TOL, "{w}: shift {j} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn highpass_orthogonal_to_lowpass() {
+        for w in Wavelet::ALL {
+            let h = w.lowpass();
+            let g = w.highpass();
+            let l = h.len();
+            for j in 0..l / 2 {
+                let dot: f64 = (0..l)
+                    .filter(|&m| m + 2 * j < l)
+                    .map(|m| h[m] * g[m + 2 * j])
+                    .sum();
+                let back: f64 = (0..l)
+                    .filter(|&m| m + 2 * j < l)
+                    .map(|m| g[m] * h[m + 2 * j])
+                    .sum();
+                assert!(dot.abs() < TOL && back.abs() < TOL, "{w}: h⊥g shift {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn vanishing_moments_annihilate_polynomials() {
+        // Σ_m g[m]·m^a = 0 for a < p, and stays zero under the shift 2k+m.
+        for w in Wavelet::ALL {
+            let p = w.vanishing_moments();
+            let mom = w.highpass_moments(p.saturating_sub(1));
+            for (a, v) in mom.iter().enumerate() {
+                assert!(
+                    v.abs() < 1e-7,
+                    "{w}: high-pass moment {a} = {v} should vanish"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonvanishing_moment_at_p() {
+        // The p-th moment must NOT vanish, otherwise the filter would have
+        // more vanishing moments than the family provides.
+        for w in Wavelet::ALL {
+            let p = w.vanishing_moments();
+            let mom = w.highpass_moments(p);
+            assert!(
+                mom[p].abs() > 1e-6,
+                "{w}: moment {p} unexpectedly vanishes"
+            );
+        }
+    }
+
+    #[test]
+    fn for_degree_picks_minimal_filter() {
+        assert_eq!(Wavelet::for_degree(0), Some(Wavelet::Haar));
+        assert_eq!(Wavelet::for_degree(1), Some(Wavelet::Db4));
+        assert_eq!(Wavelet::for_degree(2), Some(Wavelet::Db6));
+        assert_eq!(Wavelet::for_degree(5), Some(Wavelet::Db12));
+        assert_eq!(Wavelet::for_degree(6), None);
+    }
+
+    #[test]
+    fn lowpass_moment_zero_is_sqrt2() {
+        for w in Wavelet::ALL {
+            let m = w.lowpass_moments(0);
+            assert!((m[0] - std::f64::consts::SQRT_2).abs() < TOL);
+        }
+    }
+}

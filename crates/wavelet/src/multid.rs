@@ -1,0 +1,130 @@
+//! Separable multi-dimensional wavelet transform (standard decomposition).
+//!
+//! The `d`-dimensional transform applies the full 1-D pyramid transform to
+//! every lane along every axis in turn.  Because each 1-D transform is
+//! orthogonal, the composite map is orthogonal, and the transform of a
+//! separable function `q(x) = Π_i q_i(x_i)` is the tensor product of the 1-D
+//! transforms — the property the sparse query-coefficient machinery exploits.
+
+use batchbb_tensor::Tensor;
+
+use crate::{dwt_full, idwt_full, Wavelet};
+
+/// Forward multi-dimensional DWT, in place.
+///
+/// # Panics
+/// Panics if any axis extent is not a power of two.
+pub fn dwt_nd(t: &mut Tensor, wavelet: Wavelet) {
+    assert!(
+        t.shape().is_dyadic(),
+        "all axis extents must be powers of two, got {}",
+        t.shape()
+    );
+    for axis in 0..t.shape().rank() {
+        if t.shape().dim(axis) == 1 {
+            continue;
+        }
+        t.for_each_lane_mut(axis, |lane| dwt_full(lane, wavelet));
+    }
+}
+
+/// Inverse multi-dimensional DWT, in place.
+///
+/// # Panics
+/// Panics if any axis extent is not a power of two.
+pub fn idwt_nd(t: &mut Tensor, wavelet: Wavelet) {
+    assert!(
+        t.shape().is_dyadic(),
+        "all axis extents must be powers of two, got {}",
+        t.shape()
+    );
+    for axis in (0..t.shape().rank()).rev() {
+        if t.shape().dim(axis) == 1 {
+            continue;
+        }
+        t.for_each_lane_mut(axis, |lane| idwt_full(lane, wavelet));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchbb_tensor::Shape;
+
+    fn sample(dims: &[usize]) -> Tensor {
+        Tensor::from_fn(Shape::new(dims.to_vec()).unwrap(), |ix| {
+            ix.iter()
+                .enumerate()
+                .map(|(a, &i)| ((i * (a + 3) + 1) % 11) as f64)
+                .sum()
+        })
+    }
+
+    #[test]
+    fn roundtrip_2d_3d() {
+        for dims in [vec![8, 16], vec![4, 4, 8]] {
+            let orig = sample(&dims);
+            for w in [Wavelet::Haar, Wavelet::Db4, Wavelet::Db8] {
+                let mut t = orig.clone();
+                dwt_nd(&mut t, w);
+                idwt_nd(&mut t, w);
+                for (a, b) in orig.data().iter().zip(t.data().iter()) {
+                    assert!((a - b).abs() < 1e-8, "{w}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_nd() {
+        let a = sample(&[8, 8]);
+        let b = Tensor::from_fn(Shape::new(vec![8, 8]).unwrap(), |ix| {
+            ((ix[0] * 5 + ix[1] * 2) % 7) as f64 - 3.0
+        });
+        let raw = a.dot(&b);
+        for w in Wavelet::ALL {
+            let mut ah = a.clone();
+            let mut bh = b.clone();
+            dwt_nd(&mut ah, w);
+            dwt_nd(&mut bh, w);
+            assert!((ah.dot(&bh) - raw).abs() < 1e-8, "{w}");
+        }
+    }
+
+    #[test]
+    fn separable_transform_is_tensor_product() {
+        // q[x,y] = f(x)·g(y)  ⇒  q̂[ξ,η] = f̂(ξ)·ĝ(η)
+        let f: Vec<f64> = (0..8).map(|i| (i as f64).powi(2) - 3.0).collect();
+        let g: Vec<f64> = (0..16).map(|i| if (4..9).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let q = Tensor::from_fn(Shape::new(vec![8, 16]).unwrap(), |ix| f[ix[0]] * g[ix[1]]);
+        let mut qh = q.clone();
+        dwt_nd(&mut qh, Wavelet::Db4);
+        let fh = crate::dwt(&f, Wavelet::Db4);
+        let gh = crate::dwt(&g, Wavelet::Db4);
+        for xi in 0..8 {
+            for eta in 0..16 {
+                let expect = fh[xi] * gh[eta];
+                let got = qh[&[xi, eta]];
+                assert!((expect - got).abs() < 1e-9, "({xi},{eta}): {expect} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_axes_skipped() {
+        let orig = sample(&[1, 8]);
+        let mut t = orig.clone();
+        dwt_nd(&mut t, Wavelet::Haar);
+        idwt_nd(&mut t, Wavelet::Haar);
+        for (a, b) in orig.data().iter().zip(t.data().iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_dyadic_shape_panics() {
+        let mut t = Tensor::zeros(Shape::new(vec![6, 8]).unwrap());
+        dwt_nd(&mut t, Wavelet::Haar);
+    }
+}

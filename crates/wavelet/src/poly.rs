@@ -1,0 +1,175 @@
+//! Dense univariate polynomials of small degree.
+//!
+//! The lazy query transform represents the scaling coefficients of a
+//! polynomial range-sum at each level as *piecewise polynomials in the
+//! translation index*; [`Poly::refine`] is the level-to-level map
+//! `Q(k) = Σ_m h[m]·P(2k+m)`, computed in closed form from the filter
+//! moments `μ_b = Σ_m h[m]·m^b`.
+
+/// A univariate polynomial `P(t) = Σ_a coeffs[a]·t^a` with `f64`
+/// coefficients. The zero polynomial has an empty coefficient vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        if c == 0.0 {
+            Poly::zero()
+        } else {
+            Poly { coeffs: vec![c] }
+        }
+    }
+
+    /// Builds from low-to-high coefficients, trimming trailing zeros.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The monomial `t^a`.
+    pub fn monomial(a: usize) -> Self {
+        let mut coeffs = vec![0.0; a + 1];
+        coeffs[a] = 1.0;
+        Poly { coeffs }
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// True if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Low-to-high coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Horner evaluation at `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * t + c)
+    }
+
+    /// The level-refinement map: returns `Q` with
+    /// `Q(k) = Σ_m filter[m]·P(2k+m)`, where `moments[b] = Σ_m filter[m]·m^b`
+    /// must be supplied for `b = 0..=degree`.
+    ///
+    /// Derivation: expand `(2k+m)^a = Σ_b C(a,b)(2k)^b m^{a-b}`, so
+    /// `Q_b = 2^b Σ_{a≥b} P_a·C(a,b)·μ_{a-b}`.
+    pub fn refine(&self, moments: &[f64]) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let deg = self.coeffs.len() - 1;
+        assert!(
+            moments.len() > deg,
+            "need filter moments up to degree {deg}"
+        );
+        let mut out = vec![0.0f64; deg + 1];
+        for (b, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for a in b..=deg {
+                acc += self.coeffs[a] * binomial(a, b) * moments[a - b];
+            }
+            *slot = acc * 2f64.powi(b as i32);
+        }
+        Poly::new(out)
+    }
+
+    /// Scales the polynomial by a constant.
+    pub fn scale(&self, s: f64) -> Poly {
+        Poly::new(self.coeffs.iter().map(|c| c * s).collect())
+    }
+}
+
+/// Exact binomial coefficient as `f64` (small arguments only).
+fn binomial(n: usize, k: usize) -> f64 {
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Wavelet;
+
+    #[test]
+    fn eval_and_degree() {
+        let p = Poly::new(vec![1.0, 2.0, 3.0]); // 1 + 2t + 3t²
+        assert_eq!(p.degree(), Some(2));
+        assert_eq!(p.eval(2.0), 1.0 + 4.0 + 12.0);
+        assert!(Poly::zero().is_zero());
+        assert_eq!(Poly::zero().eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Poly::new(vec![1.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(0));
+        assert_eq!(Poly::constant(0.0).degree(), None);
+    }
+
+    #[test]
+    fn refine_matches_direct_sum() {
+        // Q(k) = Σ_m h[m] P(2k+m) evaluated directly vs via refine().
+        for w in [Wavelet::Haar, Wavelet::Db4, Wavelet::Db6] {
+            let h = w.lowpass();
+            let p = Poly::new(vec![2.0, -1.0, 0.5]);
+            let moments = w.lowpass_moments(2);
+            let q = p.refine(&moments);
+            for k in 0..10 {
+                let direct: f64 = h
+                    .iter()
+                    .enumerate()
+                    .map(|(m, &hm)| hm * p.eval((2 * k + m) as f64))
+                    .sum();
+                assert!(
+                    (q.eval(k as f64) - direct).abs() < 1e-9 * direct.abs().max(1.0),
+                    "{w} k={k}: {} vs {direct}",
+                    q.eval(k as f64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refine_preserves_degree() {
+        let p = Poly::monomial(2);
+        let q = p.refine(&Wavelet::Db6.lowpass_moments(2));
+        assert_eq!(q.degree(), Some(2));
+    }
+
+    #[test]
+    fn refine_zero_is_zero() {
+        assert!(Poly::zero().refine(&[1.0]).is_zero());
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(3, 3), 1.0);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let p = Poly::new(vec![1.0, 2.0]).scale(3.0);
+        assert_eq!(p.coeffs(), &[3.0, 6.0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Basis-function-level invariants: the pyramid coefficients really are
+//! inner products with an orthonormal basis, and every helper agrees on
+//! what that basis is.
+
+use batchbb_wavelet::{dwt, idwt, pyramid_level, support, supports, Wavelet};
+
+/// Materializes basis function `xi` by inverse-transforming a unit vector.
+fn basis(xi: usize, n: usize, w: Wavelet) -> Vec<f64> {
+    let mut coeffs = vec![0.0; n];
+    coeffs[xi] = 1.0;
+    idwt(&coeffs, w)
+}
+
+#[test]
+fn basis_functions_are_orthonormal() {
+    let n = 32;
+    for w in [Wavelet::Haar, Wavelet::Db4, Wavelet::Db8] {
+        let fns: Vec<Vec<f64>> = (0..n).map(|xi| basis(xi, n, w)).collect();
+        for i in 0..n {
+            for j in i..n {
+                let dot: f64 = fns[i].iter().zip(&fns[j]).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (dot - expect).abs() < 1e-9,
+                    "{w}: ⟨ψ_{i}, ψ_{j}⟩ = {dot}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coefficients_are_inner_products_with_basis() {
+    let n = 64;
+    let x: Vec<f64> = (0..n).map(|i| ((i * 11 + 5) % 17) as f64 - 8.0).collect();
+    for w in [Wavelet::Haar, Wavelet::Db6] {
+        let coeffs = dwt(&x, w);
+        for xi in (0..n).step_by(7) {
+            let b = basis(xi, n, w);
+            let ip: f64 = x.iter().zip(&b).map(|(a, c)| a * c).sum();
+            assert!(
+                (coeffs[xi] - ip).abs() < 1e-8,
+                "{w} xi={xi}: {} vs {ip}",
+                coeffs[xi]
+            );
+        }
+    }
+}
+
+#[test]
+fn basis_support_matches_pyramid_support() {
+    let n = 64;
+    for w in [Wavelet::Haar, Wavelet::Db4, Wavelet::Db12] {
+        for xi in [0usize, 1, 2, 5, 16, 17, 40, 63] {
+            let b = basis(xi, n, w);
+            for (pos, v) in b.iter().enumerate() {
+                if v.abs() > 1e-12 {
+                    assert!(
+                        supports(xi, pos, n, w),
+                        "{w} xi={xi}: basis nonzero at {pos} outside declared support {:?}",
+                        support(xi, n, w)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn finer_levels_have_shorter_supports() {
+    let n = 128;
+    for w in [Wavelet::Haar, Wavelet::Db4] {
+        let mut last = usize::MAX;
+        for level in 0..7u32 {
+            let xi = 1usize << level;
+            let (_, len) = support(xi, n, w);
+            assert!(len <= last, "{w}: support must shrink with level");
+            last = len;
+        }
+        let _ = pyramid_level(1);
+    }
+}
+
+#[test]
+fn haar_basis_is_the_textbook_one() {
+    // ψ for Haar at the coarsest detail: +1/√n on the first half, −1/√n on
+    // the second.
+    let n = 8;
+    let b = basis(1, n, Wavelet::Haar);
+    let a = 1.0 / (n as f64).sqrt();
+    for (i, v) in b.iter().enumerate() {
+        let expect = if i < n / 2 { a } else { -a };
+        assert!((v - expect).abs() < 1e-12, "pos {i}: {v} vs {expect}");
+    }
+    // and the scaling function is constant 1/√n
+    let s = basis(0, n, Wavelet::Haar);
+    assert!(s.iter().all(|v| (v - a).abs() < 1e-12));
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a wavelet view, run a batch of range-sums
+//! progressively, and watch the estimates converge to exact answers.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use batchbb::prelude::*;
+
+fn main() {
+    // --- 1. A small relation: 50k clustered points over a 64×64 domain.
+    let dataset = synth::clustered(2, 6, 50_000, 4, 42);
+    let dfd = dataset.to_frequency_distribution();
+    let domain = dfd.schema().domain();
+    println!("dataset: {} records on a {} domain", dataset.len(), domain);
+
+    // --- 2. Preprocess once: materialize the Haar wavelet view of Δ.
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+    println!("wavelet view: {} nonzero coefficients\n", store.nnz());
+
+    // --- 3. A batch: COUNT over a 4×4 grid partition of the whole domain.
+    let ranges = partition::grid_partition(&domain, &[4, 4]);
+    let queries: Vec<RangeSum> = ranges.iter().cloned().map(RangeSum::count).collect();
+    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+    println!(
+        "batch: {} queries, {} coefficients total, {} after I/O sharing",
+        batch.len(),
+        batch.total_coefficients(),
+        MasterList::build(&batch).len()
+    );
+
+    // --- 4. Progressive evaluation under SSE.
+    store.reset_stats();
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+    println!("\n{:>12} {:>18} {:>16}", "retrieved", "mean rel. error", "norm. SSE");
+    let mut budget = 1usize;
+    while !exec.is_exact() {
+        let stepped = exec.run(budget - exec.retrieved());
+        if stepped == 0 && exec.is_exact() {
+            break;
+        }
+        println!(
+            "{:>12} {:>18.3e} {:>16.3e}",
+            exec.retrieved(),
+            metrics::mean_relative_error(exec.estimates(), &exact),
+            metrics::normalized_sse(exec.estimates(), &exact),
+        );
+        budget *= 2;
+    }
+    exec.run_to_end();
+    println!(
+        "{:>12} {:>18.3e} {:>16.3e}   (exact)",
+        exec.retrieved(),
+        metrics::mean_relative_error(exec.estimates(), &exact),
+        metrics::normalized_sse(exec.estimates(), &exact),
+    );
+
+    // --- 5. Results and I/O accounting.
+    println!("\nfirst four cells (exact):");
+    for (r, (q, est)) in ranges.iter().zip(exec.estimates()).enumerate().take(4) {
+        println!("  cell {r}: COUNT{q} = {est:.0}");
+    }
+    let io = store.stats();
+    println!(
+        "\nI/O: {} retrievals for {} queries ({:.1} per query)",
+        io.retrievals,
+        batch.len(),
+        io.retrievals as f64 / batch.len() as f64
+    );
+}

@@ -1,0 +1,84 @@
+//! The SQL-ish front end end-to-end: parse → plan → rewrite → progressive
+//! evaluation → derived columns.  §7's "commercial OLAP query languages"
+//! direction, at small scale.
+//!
+//! Run with `cargo run --release --example sql_frontend`.
+
+use batchbb::prelude::*;
+use batchbb_sqlish::plan;
+
+fn main() {
+    let dataset = synth::salary(300_000, 7);
+    let dfd = dataset.to_frequency_distribution();
+    let domain = dfd.schema().domain();
+    let strategy = WaveletStrategy::new(Wavelet::Db6); // VARIANCE needs degree 2
+    let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+    println!(
+        "employees: {} records on {}; view: {} coefficients\n",
+        dataset.len(),
+        domain,
+        store.nnz()
+    );
+
+    let sql = "SELECT COUNT(*), SUM(salary_k), AVG(salary_k), VARIANCE(salary_k) \
+               FROM employees \
+               WHERE age BETWEEN 25 AND 40 AND salary_k >= 55";
+    println!("> {sql}\n");
+    let p = plan(sql, dfd.schema()).expect("query plans");
+    println!(
+        "plan: {} vector queries over range {} (AVG/VARIANCE share COUNT/SUM slots)",
+        p.queries().len(),
+        p.range()
+    );
+
+    let batch = BatchQueries::rewrite(&strategy, p.queries().to_vec(), &domain).unwrap();
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+    println!(
+        "\n{:>10} {:>12} {:>14} {:>12} {:>14}",
+        "retrieved", "COUNT", "SUM", "AVG", "VARIANCE"
+    );
+    for budget in [8usize, 32, 128, usize::MAX] {
+        exec.run(budget.saturating_sub(exec.retrieved()));
+        let rows = p.finish(exec.estimates());
+        let cols = &rows[0];
+        println!(
+            "{:>10} {:>12.0} {:>14.0} {:>12.2} {:>14.2}",
+            exec.retrieved(),
+            cols[0].unwrap_or(f64::NAN),
+            cols[1].unwrap_or(f64::NAN),
+            cols[2].unwrap_or(f64::NAN),
+            cols[3].unwrap_or(f64::NAN),
+        );
+        if exec.is_exact() {
+            break;
+        }
+    }
+    println!("\n(the final row is exact; earlier rows are progressive estimates)");
+
+    // --- GROUP BY: a textual query that becomes a partition batch.
+    let sql = "SELECT COUNT(*), AVG(salary_k) FROM employees \
+               WHERE age BETWEEN 20 AND 67 GROUP BY age(6)";
+    println!("\n> {sql}\n");
+    let p = plan(sql, dfd.schema()).expect("query plans");
+    let batch = BatchQueries::rewrite(&strategy, p.queries().to_vec(), &domain).unwrap();
+    println!(
+        "plan: {} cells × {} slots = {} vector queries, {} shared coefficients \
+         ({} unshared)",
+        p.cells().len(),
+        p.queries().len() / p.cells().len(),
+        p.queries().len(),
+        MasterList::build(&batch).len(),
+        batch.total_coefficients(),
+    );
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+    exec.run_to_end();
+    println!("\n{:>22} {:>10} {:>12}", "age band (bins)", "COUNT", "AVG(salary)");
+    for (cell, row) in p.cells().iter().zip(p.finish(exec.estimates())) {
+        println!(
+            "{:>22} {:>10.0} {:>12.2}",
+            format!("[{}, {}]", cell.lo()[0], cell.hi()[0]),
+            row[0].unwrap_or(f64::NAN),
+            row[1].unwrap_or(f64::NAN),
+        );
+    }
+}

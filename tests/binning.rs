@@ -1,0 +1,104 @@
+//! Equi-depth binning end-to-end: skewed raw attributes, quantile bins,
+//! CSV round trip, and exact batch evaluation on the resulting cube.
+
+use batchbb::prelude::*;
+use batchbb::relation;
+
+fn skewed_samples(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            let heavy = u.powi(4) * 1000.0; // long right tail
+            let other: f64 = rng.gen_range(0.0..10.0);
+            vec![heavy, other]
+        })
+        .collect()
+}
+
+#[test]
+fn equi_depth_balances_skewed_attributes() {
+    let tuples = skewed_samples(20_000, 3);
+    let heavy_sample: Vec<f64> = tuples.iter().map(|t| t[0]).collect();
+
+    let linear = Schema::new(vec![
+        Attribute::new("heavy", 0.0, 1000.0, 4),
+        Attribute::new("other", 0.0, 10.0, 3),
+    ])
+    .unwrap();
+    let equi = Schema::new(vec![
+        Attribute::equi_depth("heavy", 4, &heavy_sample),
+        Attribute::new("other", 0.0, 10.0, 3),
+    ])
+    .unwrap();
+
+    let occupancy_spread = |schema: &Schema| -> f64 {
+        let mut counts = vec![0usize; 16];
+        for t in &tuples {
+            counts[schema.attributes()[0].bin(t[0])] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        max / min.max(1.0)
+    };
+    let linear_spread = occupancy_spread(&linear);
+    let equi_spread = occupancy_spread(&equi);
+    assert!(
+        equi_spread * 10.0 < linear_spread,
+        "quantile bins must balance occupancy: equi {equi_spread:.1} vs linear {linear_spread:.1}"
+    );
+}
+
+#[test]
+fn custom_binning_keeps_batch_evaluation_exact() {
+    let tuples = skewed_samples(10_000, 9);
+    let heavy_sample: Vec<f64> = tuples.iter().map(|t| t[0]).collect();
+    let schema = Schema::new(vec![
+        Attribute::equi_depth("heavy", 4, &heavy_sample),
+        Attribute::new("other", 0.0, 10.0, 4),
+    ])
+    .unwrap();
+    let dataset = Dataset::from_tuples(schema, tuples).unwrap();
+    let dfd = dataset.to_frequency_distribution();
+    let domain = dfd.schema().domain();
+
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+    let queries: Vec<RangeSum> = partition::random_partition(&domain, 10, 2)
+        .into_iter()
+        .map(RangeSum::count)
+        .collect();
+    let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+    exec.run_to_end();
+    for (q, est) in batch.queries().iter().zip(exec.estimates()) {
+        let truth = q.eval_direct(dfd.tensor());
+        assert!((est - truth).abs() < 1e-6 * truth.abs().max(1.0));
+    }
+    assert_eq!(
+        exec.estimates().iter().sum::<f64>().round(),
+        10_000.0,
+        "partition counts sum to the record count"
+    );
+}
+
+#[test]
+fn csv_roundtrip_preserves_query_results() {
+    let tuples = skewed_samples(2_000, 4);
+    let schema = Schema::new(vec![
+        Attribute::new("heavy", 0.0, 1000.0, 4),
+        Attribute::new("other", 0.0, 10.0, 4),
+    ])
+    .unwrap();
+    let dataset = Dataset::from_tuples(schema.clone(), tuples).unwrap();
+    let mut buf = Vec::new();
+    relation::csv::write_csv(&dataset, &mut buf).unwrap();
+    let back = relation::csv::read_csv(schema, buf.as_slice()).unwrap();
+
+    let q = RangeSum::count(HyperRect::new(vec![0, 2], vec![7, 12]));
+    let a = q.eval_direct(dataset.to_frequency_distribution().tensor());
+    let b = q.eval_direct(back.to_frequency_distribution().tensor());
+    assert_eq!(a, b, "CSV round trip must not move any tuple across bins");
+}

@@ -1,0 +1,209 @@
+//! Tests pinning the paper's quantitative claims (§2.1, §3.1, §6) at
+//! laptop scale: coefficient-count bounds, I/O sharing factors, error
+//! decay, and penalty trade-offs.
+
+use batchbb::prelude::*;
+
+#[test]
+fn count_queries_have_o_2d_logd_n_coefficients() {
+    // §2.1: χ_R has at most O(2^d log^d N) nonzero Haar coefficients.
+    let n_bits = 8u32;
+    let n = 1usize << n_bits;
+    for d in 1..=3usize {
+        let domain = Shape::cube(d, n).unwrap();
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        // An awkwardly unaligned range maximizes boundary coefficients.
+        let q = RangeSum::count(HyperRect::new(vec![1; d], vec![n - 2; d]));
+        let nnz = strategy.query_coefficients(&q, &domain).unwrap().nnz();
+        let bound = (2 * (n_bits as usize + 1)).pow(d as u32);
+        assert!(
+            nnz <= bound,
+            "d={d}: nnz {nnz} exceeds (2 log N)^d = {bound}"
+        );
+    }
+}
+
+#[test]
+fn degree_delta_queries_have_o_4d2_logd_n_coefficients() {
+    // §3.1: degree-δ polynomial range-sums with filter length 2δ+2 have
+    // fewer than ((4δ+2) log N)^d nonzero coefficients.
+    let n_bits = 10u32;
+    let n = 1usize << n_bits;
+    for (delta, w) in [(1u32, Wavelet::Db4), (2, Wavelet::Db6)] {
+        let domain = Shape::cube(2, n).unwrap();
+        let strategy = WaveletStrategy::new(w);
+        let mut exponents = vec![0u32; 2];
+        exponents[0] = delta;
+        let q = RangeSum::new(
+            HyperRect::new(vec![17, 100], vec![n - 100, n - 3]),
+            vec![Monomial {
+                coeff: 1.0,
+                exponents,
+            }],
+        );
+        let nnz = strategy.query_coefficients(&q, &domain).unwrap().nnz();
+        let per_dim = (4 * delta as usize + 2) * (n_bits as usize + 1);
+        let bound = per_dim * per_dim;
+        assert!(
+            nnz <= bound,
+            "δ={delta}: nnz {nnz} exceeds ((4δ+2) log N)^2 = {bound}"
+        );
+    }
+}
+
+#[test]
+fn io_sharing_on_partition_workload_is_large() {
+    // Observation 1 shape: on a partition-the-domain workload the batch
+    // retrieval count is an order of magnitude below the unshared total
+    // (923,076 → 57,456 ≈ 16× in the paper; we require ≥4× at small scale).
+    let dataset = synth::TemperatureConfig {
+        records: 50_000,
+        lat_bits: 4,
+        lon_bits: 5,
+        time_bits: 4,
+        temp_bits: 5,
+        ..Default::default()
+    }
+    .generate();
+    // The paper's layout: a temperature-weighted measure cube over the
+    // non-measure attributes; each range-sum is a COUNT-shaped query.
+    let temp_attr = dataset.schema().attribute_index("temperature").unwrap();
+    let cube = dataset.to_measure_cube(temp_attr, 273.15);
+    let domain = cube.schema().domain();
+    let ranges = partition::dyadic_partition(&domain, 128, 2002);
+    let queries: Vec<RangeSum> = ranges.into_iter().map(RangeSum::count).collect();
+    let strategy = WaveletStrategy::new(Wavelet::Db4);
+    let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+    let shared = MasterList::build(&batch).len();
+    let unshared = batch.total_coefficients();
+    assert!(
+        shared * 4 <= unshared,
+        "sharing factor too small: {unshared} / {shared}"
+    );
+}
+
+#[test]
+fn prefix_sum_shares_corners_across_partition() {
+    // Observation 1's prefix-sum numbers: a partition of the domain needs
+    // |cells| · 2^d corner lookups unshared, but only ~|cells| shared,
+    // because neighbouring cells reuse corners (8192 → 512 in the paper).
+    let domain = Shape::new(vec![16, 16, 16, 16]).unwrap();
+    let ranges = partition::random_partition(&domain, 64, 41);
+    let queries: Vec<RangeSum> = ranges.into_iter().map(RangeSum::count).collect();
+    let strategy = PrefixSumStrategy::count(4);
+    let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+    let shared = MasterList::build(&batch).len();
+    let unshared = batch.total_coefficients();
+    assert!(unshared > 2 * shared, "corners should be shared: {unshared} vs {shared}");
+    assert!(
+        unshared <= 64 * 16,
+        "each query has at most 2^4 corners, got {unshared}"
+    );
+}
+
+#[test]
+fn progressive_estimates_become_accurate_quickly() {
+    // Observation 2 shape: mean relative error < 1% after retrieving about
+    // as many wavelets as there are queries.
+    let dataset = synth::TemperatureConfig {
+        records: 2_000_000,
+        lat_bits: 5,
+        lon_bits: 6,
+        time_bits: 5,
+        temp_bits: 6,
+        ..Default::default()
+    }
+    .generate();
+    // The paper's layout: SUM(temperature) per range == a COUNT-shaped
+    // query against the temperature-weighted (Kelvin) measure cube, over a
+    // dyadically aligned partition of the cube's domain.
+    let temp_attr = dataset.schema().attribute_index("temperature").unwrap();
+    let cube = dataset.to_measure_cube(temp_attr, 273.15);
+    let domain = cube.schema().domain();
+    let ranges = partition::dyadic_partition(&domain, 512, 7);
+    let queries: Vec<RangeSum> = ranges.into_iter().map(RangeSum::count).collect();
+    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(cube.tensor())).collect();
+    let strategy = WaveletStrategy::new(Wavelet::Db4);
+    let store = MemoryStore::from_entries(strategy.transform_data(cube.tensor()));
+    let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+    // paper: <1% after 0.25 retrievals per query on the real dataset; the
+    // synthetic cube is rougher, so assert <2% at one retrieval per query
+    // and <1% at 16 per query (EXPERIMENTS.md discusses the gap).
+    exec.run(batch.len());
+    let mre = metrics::mean_relative_error(exec.estimates(), &exact);
+    assert!(
+        mre < 0.02,
+        "mean relative error {mre} ≥ 2% after {} retrievals",
+        exec.retrieved()
+    );
+    exec.run(15 * batch.len());
+    let mre = metrics::mean_relative_error(exec.estimates(), &exact);
+    assert!(
+        mre < 0.01,
+        "mean relative error {mre} ≥ 1% after {} retrievals",
+        exec.retrieved()
+    );
+}
+
+#[test]
+fn cursored_progression_wins_on_cursored_penalty() {
+    // Observation 3 / Figures 6-7 shape: at matched budgets beyond the
+    // earliest steps, optimizing for the cursored SSE yields lower cursored
+    // SSE than optimizing for plain SSE, and vice versa.
+    let dataset = synth::clustered(2, 7, 150_000, 4, 3);
+    let dfd = dataset.to_frequency_distribution();
+    let domain = dfd.schema().domain();
+    let ranges = partition::random_partition(&domain, 128, 5);
+    let queries: Vec<RangeSum> = ranges.into_iter().map(RangeSum::count).collect();
+    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+    let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
+    // 20 neighbouring ranges, 10× weight — the paper's setup.
+    let hi: Vec<usize> = (40..60).collect();
+    let cursored = DiagonalQuadratic::cursored(batch.len(), &hi, 10.0);
+
+    // Average the comparison across several budgets to wash out
+    // per-instance noise (the theorems bound expectation/worst case).
+    let budgets = [96usize, 128, 192, 256, 384];
+    let mut cur_wins = 0;
+    let mut sse_wins = 0;
+    for &b in &budgets {
+        let mut sse_exec = ProgressiveExecutor::new(&batch, &Sse, &store);
+        sse_exec.run(b);
+        let mut cur_exec = ProgressiveExecutor::new(&batch, &cursored, &store);
+        cur_exec.run(b);
+        if metrics::normalized_penalty(&cursored, cur_exec.estimates(), &exact)
+            <= metrics::normalized_penalty(&cursored, sse_exec.estimates(), &exact)
+        {
+            cur_wins += 1;
+        }
+        if metrics::normalized_sse(sse_exec.estimates(), &exact)
+            <= metrics::normalized_sse(cur_exec.estimates(), &exact)
+        {
+            sse_wins += 1;
+        }
+    }
+    assert!(
+        cur_wins >= 3,
+        "cursored-optimized should usually win its own metric ({cur_wins}/5)"
+    );
+    assert!(
+        sse_wins >= 3,
+        "SSE-optimized should usually win SSE ({sse_wins}/5)"
+    );
+}
+
+#[test]
+fn update_cost_is_polylogarithmic() {
+    // §2.1/§3.1: inserting a tuple touches O((L log N)^d) coefficients,
+    // far below the domain size.
+    let domain = Shape::new(vec![1 << 8, 1 << 8]).unwrap();
+    let entries = cube::point_entries(&domain, &[101, 202], 1.0, Wavelet::Db4);
+    assert!(
+        entries.len() < 2_000,
+        "insert touched {} coefficients on a 65k-cell domain",
+        entries.len()
+    );
+}
