@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use batchbb_penalty::{DiagonalQuadratic, LaplacianPenalty, LpPenalty, Penalty, QuadraticForm, Sse};
+use batchbb_penalty::{
+    DiagonalQuadratic, LaplacianPenalty, LpPenalty, Penalty, QuadraticForm, Sse,
+};
 
 fn columns(batch: usize, nnz: usize) -> Vec<Vec<(usize, f64)>> {
     (0..512)
@@ -35,7 +37,10 @@ fn bench_importance(c: &mut Criterion) {
             "diagonal",
             Box::new(DiagonalQuadratic::new(vec![1.0; batch])),
         ),
-        ("quadratic_form", Box::new(QuadraticForm::new(batch, tridiag))),
+        (
+            "quadratic_form",
+            Box::new(QuadraticForm::new(batch, tridiag)),
+        ),
         ("laplacian_path", Box::new(LaplacianPenalty::path(batch))),
         ("l1", Box::new(LpPenalty::l1())),
         ("linf", Box::new(LpPenalty::linf())),
@@ -43,11 +48,7 @@ fn bench_importance(c: &mut Criterion) {
     let mut g = c.benchmark_group("importance_512cols_nnz8");
     for (name, p) in &penalties {
         g.bench_with_input(BenchmarkId::from_parameter(name), p, |b, p| {
-            b.iter(|| {
-                cols.iter()
-                    .map(|col| p.importance(col, batch))
-                    .sum::<f64>()
-            })
+            b.iter(|| cols.iter().map(|col| p.importance(col, batch)).sum::<f64>())
         });
     }
     g.finish();

@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use batchbb_storage::{
-    ArrayStore, BlockLayout, BlockStore, CoefficientStore, FileStore, MemoryStore,
-};
+use batchbb_storage::{ArrayStore, CoefficientStore, FaultInjectingStore, FaultPlan, MemoryStore};
+#[cfg(unix)]
+use batchbb_storage::{BlockLayout, BlockStore, FileStore};
 use batchbb_tensor::{CoeffKey, Shape, Tensor};
 
 fn entries(n: usize) -> Vec<(CoeffKey, f64)> {
@@ -18,7 +18,12 @@ fn entries(n: usize) -> Vec<(CoeffKey, f64)> {
 /// A coarse-to-fine access pattern approximating the progressive order.
 fn access_pattern(n: usize) -> Vec<CoeffKey> {
     let mut keys: Vec<CoeffKey> = entries(n).into_iter().map(|(k, _)| k).collect();
-    keys.sort_by_key(|k| k.coords().iter().map(|&c| if c == 0 { 0 } else { c.ilog2() + 1 }).sum::<u32>());
+    keys.sort_by_key(|k| {
+        k.coords()
+            .iter()
+            .map(|&c| if c == 0 { 0 } else { c.ilog2() + 1 })
+            .sum::<u32>()
+    });
     keys
 }
 
@@ -31,7 +36,12 @@ fn bench_get_throughput(c: &mut Criterion) {
 
     let mem = MemoryStore::from_entries(es.clone());
     g.bench_function("memory", |b| {
-        b.iter(|| pattern.iter().map(|k| mem.get(k).unwrap_or(0.0)).sum::<f64>())
+        b.iter(|| {
+            pattern
+                .iter()
+                .map(|k| mem.get(k).unwrap_or(0.0))
+                .sum::<f64>()
+        })
     });
 
     let shape = Shape::new(vec![256, 256]).unwrap();
@@ -41,13 +51,48 @@ fn bench_get_throughput(c: &mut Criterion) {
     }
     let arr = ArrayStore::from_tensor(t);
     g.bench_function("array", |b| {
-        b.iter(|| pattern.iter().map(|k| arr.get(k).unwrap_or(0.0)).sum::<f64>())
+        b.iter(|| {
+            pattern
+                .iter()
+                .map(|k| arr.get(k).unwrap_or(0.0))
+                .sum::<f64>()
+        })
     });
 
+    // Overhead of the fault-injection wrapper when it injects nothing: the
+    // cost of routing retrievals through `try_get` plus per-key attempt
+    // bookkeeping, against the bare store above.
+    let wrapped =
+        FaultInjectingStore::new(MemoryStore::from_entries(es.clone()), FaultPlan::new(0));
+    g.bench_function("memory_fault_wrapper_zero_rate", |b| {
+        b.iter(|| {
+            pattern
+                .iter()
+                .map(|k| wrapped.try_get(k).unwrap().unwrap_or(0.0))
+                .sum::<f64>()
+        })
+    });
+
+    #[cfg(unix)]
+    bench_disk_stores(&mut g, &es, &pattern);
+    g.finish();
+}
+
+#[cfg(unix)]
+fn bench_disk_stores(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    es: &[(CoeffKey, f64)],
+    pattern: &[CoeffKey],
+) {
     let fpath = std::env::temp_dir().join(format!("batchbb-bench-file-{}", std::process::id()));
-    let file = FileStore::create(&fpath, es.clone()).unwrap();
+    let file = FileStore::create(&fpath, es.to_vec()).unwrap();
     g.bench_function("file", |b| {
-        b.iter(|| pattern.iter().map(|k| file.get(k).unwrap_or(0.0)).sum::<f64>())
+        b.iter(|| {
+            pattern
+                .iter()
+                .map(|k| file.get(k).unwrap_or(0.0))
+                .sum::<f64>()
+        })
     });
 
     for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
@@ -55,7 +100,7 @@ fn bench_get_throughput(c: &mut Criterion) {
             "batchbb-bench-block-{layout:?}-{}",
             std::process::id()
         ));
-        let block = BlockStore::create(&bpath, es.clone(), 512, 16, layout).unwrap();
+        let block = BlockStore::create(&bpath, es.to_vec(), 512, 16, layout).unwrap();
         g.bench_with_input(
             BenchmarkId::new("block", format!("{layout:?}")),
             &block,
@@ -76,7 +121,6 @@ fn bench_get_throughput(c: &mut Criterion) {
         drop(block);
         std::fs::remove_file(&bpath).unwrap();
     }
-    g.finish();
     std::fs::remove_file(&fpath).unwrap();
 }
 

@@ -35,7 +35,10 @@ fn main() {
     let seed = args.u64("seed", 2002);
 
     println!("== ✦ data approximation vs query approximation ==");
-    for (label, gridded) in [("smooth (gridded network)", true), ("rough (independent draws)", false)] {
+    for (label, gridded) in [
+        ("smooth (gridded network)", true),
+        ("rough (independent draws)", false),
+    ] {
         let w = temperature_workload_ext(records, cells, false, true, gridded, seed);
         let strategy = WaveletStrategy::new(Wavelet::Db4);
         let entries = strategy.transform_data(w.cube.tensor());

@@ -35,10 +35,8 @@ fn main() {
             let w = temperature_workload_ext(records, cells, false, dyadic, gridded, seed);
             for filter in [Wavelet::Haar, Wavelet::Db4] {
                 let strategy = WaveletStrategy::new(filter);
-                let store =
-                    MemoryStore::from_entries(strategy.transform_data(w.cube.tensor()));
-                let batch =
-                    BatchQueries::rewrite(&strategy, w.queries.clone(), &w.domain).unwrap();
+                let store = MemoryStore::from_entries(strategy.transform_data(w.cube.tensor()));
+                let batch = BatchQueries::rewrite(&strategy, w.queries.clone(), &w.domain).unwrap();
                 let master = MasterList::build(&batch).len();
                 let per_query = batch.total_coefficients() as f64 / cells as f64;
                 let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);

@@ -18,9 +18,7 @@ use std::time::Instant;
 use batchbb_query::{HyperRect, LinearStrategy, NonstandardStrategy, RangeSum, WaveletStrategy};
 use batchbb_relation::cube::point_entries;
 use batchbb_tensor::Shape;
-use batchbb_wavelet::{
-    dense_query_transform, lazy_query_transform, Poly, Wavelet, DEFAULT_TOL,
-};
+use batchbb_wavelet::{dense_query_transform, lazy_query_transform, Poly, Wavelet, DEFAULT_TOL};
 
 fn main() {
     println!("== sweep 1: 1-D query coefficient count vs N ==");
@@ -31,9 +29,10 @@ fn main() {
     for bits in [6u32, 8, 10, 12, 14, 16] {
         let n = 1usize << bits;
         let (lo, hi) = (n / 5, n - n / 7);
-        let count = lazy_query_transform(n, lo, hi, &Poly::constant(1.0), Wavelet::Haar, DEFAULT_TOL)
-            .unwrap()
-            .nnz();
+        let count =
+            lazy_query_transform(n, lo, hi, &Poly::constant(1.0), Wavelet::Haar, DEFAULT_TOL)
+                .unwrap()
+                .nnz();
         let deg1 = lazy_query_transform(n, lo, hi, &Poly::monomial(1), Wavelet::Db4, DEFAULT_TOL)
             .unwrap()
             .nnz();
@@ -87,7 +86,10 @@ fn main() {
     }
 
     println!("\n== ✦ ablation: lazy vs dense query transform (1-D, deg-1, Db4) ==");
-    println!("{:>10} {:>14} {:>14} {:>8}", "N", "lazy", "dense", "speedup");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "N", "lazy", "dense", "speedup"
+    );
     for bits in [10u32, 14, 18, 20] {
         let n = 1usize << bits;
         let (lo, hi) = (n / 5, n - n / 7);

@@ -87,11 +87,7 @@ fn main() {
 
 /// Inverse-transforms the B largest-magnitude coefficients (the SSE
 /// biggest-B approximation of a single query).
-fn reconstruct_top_b(
-    coeffs: &batchbb_wavelet::SparseCoeffs,
-    domain: &Shape,
-    b: usize,
-) -> Tensor {
+fn reconstruct_top_b(coeffs: &batchbb_wavelet::SparseCoeffs, domain: &Shape, b: usize) -> Tensor {
     let mut t = coeffs.top_b(b).to_tensor(domain);
     idwt_nd(&mut t, Wavelet::Db4);
     t

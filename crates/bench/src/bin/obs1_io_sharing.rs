@@ -19,7 +19,9 @@ use batchbb_bench::{temperature_workload, Args};
 use batchbb_core::{BatchQueries, MasterList, ProgressiveExecutor};
 use batchbb_penalty::Sse;
 use batchbb_query::{LinearStrategy, PrefixSumStrategy, WaveletStrategy};
-use batchbb_storage::{BlockLayout, BlockStore, CoefficientStore, MemoryStore};
+#[cfg(unix)]
+use batchbb_storage::{BlockLayout, BlockStore};
+use batchbb_storage::{CoefficientStore, MemoryStore};
 use batchbb_wavelet::Wavelet;
 
 fn main() {
@@ -41,7 +43,10 @@ fn main() {
         if dyadic { "dyadic" } else { "unaligned" }
     );
 
-    println!("table scan (records that must be read without preaggregation): {}", w.records);
+    println!(
+        "table scan (records that must be read without preaggregation): {}",
+        w.records
+    );
 
     for wavelet in [Wavelet::Haar, Wavelet::Db4] {
         let strategy = WaveletStrategy::new(wavelet);
@@ -88,6 +93,11 @@ fn main() {
     );
     println!("  shared across the batch: {master} retrievals");
 
+    #[cfg(not(unix))]
+    if block_size > 0 {
+        eprintln!("--block-size ablation requires a unix platform (BlockStore)");
+    }
+    #[cfg(unix)]
     if block_size > 0 {
         // ✦ ablation: the §7 future-work question — how much physical I/O
         // does a block layout save under the progressive access pattern?
@@ -106,12 +116,9 @@ fn main() {
             std::fs::remove_file(path).unwrap();
         };
         for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
-            let path = std::env::temp_dir().join(format!(
-                "batchbb-obs1-{layout:?}-{}",
-                std::process::id()
-            ));
-            let store =
-                BlockStore::create(&path, entries.clone(), block_size, 64, layout).unwrap();
+            let path = std::env::temp_dir()
+                .join(format!("batchbb-obs1-{layout:?}-{}", std::process::id()));
+            let store = BlockStore::create(&path, entries.clone(), block_size, 64, layout).unwrap();
             run(&format!("{layout:?}"), store, &path);
         }
         // §7 made concrete: lay coefficients out by this workload's own
@@ -122,10 +129,8 @@ fn main() {
                 .enumerate()
                 .map(|(rank, (k, _))| (k, rank))
                 .collect();
-        let path = std::env::temp_dir().join(format!(
-            "batchbb-obs1-workload-{}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("batchbb-obs1-workload-{}", std::process::id()));
         let store = BlockStore::create_ranked(&path, entries, block_size, 64, |k| {
             ranking.get(k).copied().unwrap_or(usize::MAX)
         })

@@ -41,7 +41,10 @@ impl Args {
     pub fn usize(&self, name: &str, default: usize) -> usize {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} must be an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -49,7 +52,10 @@ impl Args {
     pub fn u64(&self, name: &str, default: u64) -> u64 {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} must be an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -123,7 +129,10 @@ pub fn temperature_workload_ext(
         partition::random_partition(&domain, cells, seed.wrapping_add(1))
     };
     let queries: Vec<RangeSum> = ranges.iter().cloned().map(RangeSum::count).collect();
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(cube.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(cube.tensor()))
+        .collect();
     TemperatureWorkload {
         cube,
         domain,

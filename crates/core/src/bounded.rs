@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use batchbb_penalty::Penalty;
 use batchbb_query::{LinearStrategy, RangeSum, StrategyError};
-use batchbb_storage::CoefficientStore;
+use batchbb_storage::{retry::get_with_retry, CoefficientStore, FaultStats, RetryPolicy};
 use batchbb_tensor::{CoeffKey, Shape};
 
 /// Result of a bounded-workspace evaluation.
@@ -34,6 +34,27 @@ pub struct BoundedResult {
     pub retrieved: usize,
     /// Peak number of scored coefficient keys held resident in pass 1.
     pub peak_workspace: usize,
+}
+
+/// Result of a fallible bounded-workspace evaluation: the estimates use
+/// every coefficient that could be retrieved; the rest are reported as
+/// deferred with their accumulated importance, mirroring
+/// [`crate::DegradationReport`].
+#[derive(Debug, Clone)]
+pub struct BoundedFallibleResult {
+    /// Per-query estimates over the successfully retrieved selection.
+    pub estimates: Vec<f64>,
+    /// Coefficients successfully retrieved.
+    pub retrieved: usize,
+    /// Selected coefficients whose retrieval failed after retries, as
+    /// `(key, accumulated importance)`, most important first.
+    pub deferred: Vec<(CoeffKey, f64)>,
+    /// Σ importance over `deferred`.
+    pub deferred_importance: f64,
+    /// Peak number of scored coefficient keys held resident in pass 1.
+    pub peak_workspace: usize,
+    /// Fault-path counters for the retrieval phase.
+    pub fault: FaultStats,
 }
 
 /// Evaluates `queries` with at most `budget` coefficient retrievals while
@@ -51,8 +72,95 @@ pub fn evaluate_bounded(
     penalty: &dyn Penalty,
     budget: usize,
 ) -> Result<BoundedResult, StrategyError> {
+    let (ranked, peak) = score_and_select(strategy, queries, domain, penalty, budget)?;
+
+    // Retrieve the selected coefficients.
+    let mut values: HashMap<CoeffKey, f64> = HashMap::with_capacity(ranked.len());
+    for (key, _) in &ranked {
+        values.insert(*key, store.get(key).unwrap_or(0.0));
+    }
+
+    let estimates = apply_selected(strategy, queries, domain, &values)?;
+    Ok(BoundedResult {
+        estimates,
+        retrieved: values.len(),
+        peak_workspace: peak,
+    })
+}
+
+/// Fallible twin of [`evaluate_bounded`]: retrieves the selection through
+/// [`CoefficientStore::try_get`] with retries under `policy`; selected
+/// coefficients that stay unavailable are excluded from the estimates and
+/// reported as deferred, so the caller gets the best evaluation the store's
+/// current health allows instead of a panic or an abort.
+pub fn evaluate_bounded_fallible(
+    strategy: &dyn LinearStrategy,
+    queries: &[RangeSum],
+    domain: &Shape,
+    store: &dyn CoefficientStore,
+    penalty: &dyn Penalty,
+    budget: usize,
+    policy: &RetryPolicy,
+) -> Result<BoundedFallibleResult, StrategyError> {
+    let (ranked, peak) = score_and_select(strategy, queries, domain, penalty, budget)?;
+
+    let mut values: HashMap<CoeffKey, f64> = HashMap::with_capacity(ranked.len());
+    let mut deferred: Vec<(CoeffKey, f64)> = Vec::new();
+    let mut fault = FaultStats::default();
+    for &(key, importance) in &ranked {
+        let attempts_allowed = match policy.total_attempt_budget {
+            Some(budget) => {
+                let left = budget.saturating_sub(fault.attempts);
+                if left == 0 {
+                    // Out of attempts: everything still unretrieved is
+                    // deferred (and counted — `deferrals = recoveries +
+                    // still-deferred` must hold here too). `ranked` is
+                    // most-important-first, so the deferred list stays
+                    // sorted that way as well.
+                    fault.deferrals += 1;
+                    deferred.push((key, importance));
+                    continue;
+                }
+                left.min(u64::from(policy.max_attempts.max(1))) as u32
+            }
+            None => policy.max_attempts,
+        };
+        let out = get_with_retry(store, &key, policy, attempts_allowed);
+        out.record(&mut fault);
+        match out.result {
+            Ok(value) => {
+                values.insert(key, value.unwrap_or(0.0));
+            }
+            Err(_) => {
+                fault.deferrals += 1;
+                deferred.push((key, importance));
+            }
+        }
+    }
+
+    let estimates = apply_selected(strategy, queries, domain, &values)?;
+    let deferred_importance = deferred.iter().map(|&(_, i)| i).sum();
+    Ok(BoundedFallibleResult {
+        estimates,
+        retrieved: values.len(),
+        deferred,
+        deferred_importance,
+        peak_workspace: peak,
+        fault,
+    })
+}
+
+/// Pass 1: accumulate importance per key with a bounded working set, and
+/// return the top-`budget` selection (most important first) plus the peak
+/// resident key count.
+fn score_and_select(
+    strategy: &dyn LinearStrategy,
+    queries: &[RangeSum],
+    domain: &Shape,
+    penalty: &dyn Penalty,
+    budget: usize,
+) -> Result<(Vec<(CoeffKey, f64)>, usize), StrategyError> {
     let s = queries.len();
-    // Pass 1: accumulate importance per key, pruning to a working cap.
     // The cap is 4× the budget: pruning only removes keys whose importance
     // can no longer reach the running top-`budget` cut, and a slack factor
     // keeps the amortized cost low while staying O(budget).
@@ -80,15 +188,17 @@ pub fn evaluate_bounded(
     let mut ranked: Vec<(CoeffKey, f64)> = scores.into_iter().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     ranked.truncate(budget);
+    Ok((ranked, peak))
+}
 
-    // Retrieve the selected coefficients.
-    let mut values: HashMap<CoeffKey, f64> = HashMap::with_capacity(ranked.len());
-    for (key, _) in &ranked {
-        values.insert(*key, store.get(key).unwrap_or(0.0));
-    }
-
-    // Pass 2: apply.
-    let mut estimates = vec![0.0; s];
+/// Pass 2: dot each query's coefficients against the retrieved values.
+fn apply_selected(
+    strategy: &dyn LinearStrategy,
+    queries: &[RangeSum],
+    domain: &Shape,
+    values: &HashMap<CoeffKey, f64>,
+) -> Result<Vec<f64>, StrategyError> {
+    let mut estimates = vec![0.0; queries.len()];
     for (qi, q) in queries.iter().enumerate() {
         let coeffs = strategy.query_coefficients(q, domain)?;
         estimates[qi] = coeffs
@@ -97,12 +207,7 @@ pub fn evaluate_bounded(
             .filter_map(|(k, v)| values.get(k).map(|w| v * w))
             .sum();
     }
-
-    Ok(BoundedResult {
-        estimates,
-        retrieved: values.len(),
-        peak_workspace: peak,
-    })
+    Ok(estimates)
 }
 
 #[cfg(test)]
@@ -121,9 +226,7 @@ mod tests {
         let strategy = WaveletStrategy::new(Wavelet::Haar);
         let store = MemoryStore::from_entries(strategy.transform_data(&data));
         let queries: Vec<RangeSum> = (0..8)
-            .map(|i| {
-                RangeSum::count(HyperRect::new(vec![i * 4, 0], vec![i * 4 + 3, 31]))
-            })
+            .map(|i| RangeSum::count(HyperRect::new(vec![i * 4, 0], vec![i * 4 + 3, 31])))
             .collect();
         (data, store, shape, strategy, queries)
     }
@@ -131,8 +234,8 @@ mod tests {
     #[test]
     fn unlimited_budget_is_exact() {
         let (data, store, shape, strategy, queries) = fixture();
-        let r = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, usize::MAX / 8)
-            .unwrap();
+        let r =
+            evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, usize::MAX / 8).unwrap();
         for (q, est) in queries.iter().zip(&r.estimates) {
             let truth = q.eval_direct(&data);
             assert!((est - truth).abs() < 1e-6, "{est} vs {truth}");
@@ -176,5 +279,102 @@ mod tests {
         let r = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, 0).unwrap();
         assert!(r.estimates.iter().all(|&e| e == 0.0));
         assert_eq!(r.retrieved, 0);
+    }
+
+    #[test]
+    fn fallible_on_healthy_store_matches_infallible() {
+        let (_, store, shape, strategy, queries) = fixture();
+        let b = 64;
+        let exact = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, b).unwrap();
+        let fallible = evaluate_bounded_fallible(
+            &strategy,
+            &queries,
+            &shape,
+            &store,
+            &Sse,
+            b,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(fallible.estimates, exact.estimates);
+        assert_eq!(fallible.retrieved, exact.retrieved);
+        assert!(fallible.deferred.is_empty());
+        assert_eq!(fallible.fault.attempts, fallible.fault.successes);
+        assert!(fallible.fault.attempts_reconcile());
+    }
+
+    #[test]
+    fn fallible_defers_unavailable_keys_and_reports_importance() {
+        use batchbb_storage::{FaultInjectingStore, FaultPlan};
+
+        let (_, store, shape, strategy, queries) = fixture();
+        let b = 32;
+        // Break the most important selected key. (The aligned fixture
+        // produces fewer distinct keys than the budget, so size assertions
+        // below use the actual selection size `n`.)
+        let (ranked, _) = score_and_select(&strategy, &queries, &shape, &Sse, b).unwrap();
+        let n = ranked.len();
+        assert!((2..=b).contains(&n));
+        let broken = ranked[0];
+        let faulty =
+            FaultInjectingStore::new(&store, FaultPlan::new(4).with_permanent_keys([broken.0]));
+        let r = evaluate_bounded_fallible(
+            &strategy,
+            &queries,
+            &shape,
+            &faulty,
+            &Sse,
+            b,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.deferred, vec![broken]);
+        assert!((r.deferred_importance - broken.1).abs() < 1e-12);
+        assert_eq!(r.retrieved, n - 1);
+        assert_eq!(r.fault.permanent_failures, 1);
+        assert!(r.fault.deferrals_reconcile(1));
+        assert!(r.fault.attempts_reconcile());
+        // The degraded estimates differ from exact only through the broken
+        // coefficient's contributions.
+        let exact = evaluate_bounded(&strategy, &queries, &shape, &store, &Sse, b).unwrap();
+        let differing = r
+            .estimates
+            .iter()
+            .zip(&exact.estimates)
+            .filter(|(a, e)| (**a - **e).abs() > 1e-12)
+            .count();
+        assert!(differing > 0, "breaking the top key must move something");
+    }
+
+    #[test]
+    fn fallible_respects_total_attempt_budget() {
+        use batchbb_storage::{FaultInjectingStore, FaultPlan};
+
+        let (_, store, shape, strategy, queries) = fixture();
+        let b = 32;
+        // Size the attempt budget off the actual selection: each attempt
+        // retrieves at most one key, so `n/2` attempts must defer ≥ n/2 keys.
+        let n = score_and_select(&strategy, &queries, &shape, &Sse, b)
+            .unwrap()
+            .0
+            .len();
+        assert!(n >= 4);
+        let attempt_budget = (n / 2) as u64;
+        let faulty = FaultInjectingStore::new(&store, FaultPlan::new(6).with_transient_rate(0.5));
+        let policy = RetryPolicy {
+            total_attempt_budget: Some(attempt_budget),
+            ..RetryPolicy::default()
+        };
+        let r = evaluate_bounded_fallible(&strategy, &queries, &shape, &faulty, &Sse, b, &policy)
+            .unwrap();
+        assert!(r.fault.attempts <= attempt_budget);
+        assert_eq!(r.retrieved + r.deferred.len(), n);
+        assert!(
+            r.deferred.len() >= n - attempt_budget as usize,
+            "{} attempts cannot cover {n} keys",
+            attempt_budget
+        );
+        assert!(r.fault.deferrals_reconcile(r.deferred.len() as u64));
+        assert!(r.fault.attempts_reconcile());
     }
 }

@@ -101,7 +101,13 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
-    type Fixture = (Tensor, Vec<RangeSum>, BatchQueries, Vec<(CoeffKey, f64)>, Vec<f64>);
+    type Fixture = (
+        Tensor,
+        Vec<RangeSum>,
+        BatchQueries,
+        Vec<(CoeffKey, f64)>,
+        Vec<f64>,
+    );
 
     fn setup(data: Tensor, cells: usize) -> Fixture {
         let shape = data.shape().clone();
@@ -193,7 +199,11 @@ mod tests {
         assert_eq!(view.kept(), 2);
         use batchbb_storage::CoefficientStore;
         assert_eq!(view.store().get(&CoeffKey::one(1)), Some(-10.0));
-        assert_eq!(view.store().get(&CoeffKey::one(2)), None, "smallest dropped");
+        assert_eq!(
+            view.store().get(&CoeffKey::one(2)),
+            None,
+            "smallest dropped"
+        );
         assert!((view.energy_loss() - 1.0 / 110.0).abs() < 1e-12);
     }
 }

@@ -3,9 +3,12 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use batchbb_penalty::Penalty;
-use batchbb_storage::CoefficientStore;
+use batchbb_storage::{
+    retry::get_with_retry, CoefficientStore, FaultStats, RetryPolicy, StorageError,
+};
 use batchbb_tensor::CoeffKey;
 
 use crate::{BatchQueries, MasterList};
@@ -50,6 +53,75 @@ pub struct StepInfo {
     pub queries_advanced: usize,
 }
 
+/// What one [`ProgressiveExecutor::try_step`] did on the fallible path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TryStepOutcome {
+    /// The most important heap coefficient was retrieved successfully.
+    Retrieved(StepInfo),
+    /// A previously deferred coefficient finally resolved; its contribution
+    /// is now folded into the estimates.
+    Recovered(StepInfo),
+    /// The step's retry budget ran out; the coefficient is parked in the
+    /// deferral queue (re-attempted by later `try_step` calls once the heap
+    /// drains). The estimates remain valid — just with a wider penalty
+    /// bound, reported by [`ProgressiveExecutor::degradation_report`].
+    Deferred {
+        /// The coefficient whose retrieval keeps failing.
+        key: CoeffKey,
+        /// Its importance `ι_p(ξ)`, now counted toward the deferred mass.
+        importance: f64,
+        /// The last failure observed.
+        error: StorageError,
+    },
+    /// The policy's `total_attempt_budget` is spent; nothing was attempted.
+    BudgetExhausted,
+    /// Heap and deferral queue are both empty — the estimates are exact.
+    Exhausted,
+}
+
+/// How a [`ProgressiveExecutor::drain_with_faults`] loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainStatus {
+    /// Everything retrieved; estimates are exact.
+    Exact,
+    /// A full pass over the deferral queue recovered nothing (persistent
+    /// faults); estimates are the best achievable until the store heals.
+    Degraded,
+    /// The policy's total attempt budget ran out first.
+    BudgetExhausted,
+}
+
+/// Degraded-result contract under partial coefficient availability:
+/// everything a caller needs to decide whether the current estimates are
+/// good enough, returned by [`ProgressiveExecutor::degradation_report`].
+///
+/// The penalty accounting extends Theorems 1 and 2 to the fault-tolerant
+/// setting by treating deferred coefficients exactly like unretrieved
+/// ones: a deferred `ξ` contributes its `ι_p(ξ)` to the expected-penalty
+/// numerator and participates in the worst-case maximum, so both bounds
+/// are *monotonically non-increasing* as deferrals drain (each recovery
+/// moves a coefficient's mass out of the bound, never into it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// The current progressive estimates (valid, possibly inexact).
+    pub estimates: Vec<f64>,
+    /// Coefficients awaiting recovery, as `(key, importance)` in queue
+    /// order.
+    pub deferred: Vec<(CoeffKey, f64)>,
+    /// Σ ι_p over the deferred coefficients.
+    pub deferred_importance: f64,
+    /// Theorem 2's expected penalty over unretrieved ∪ deferred mass:
+    /// `(remaining + deferred) / (n_total − 1)`.
+    pub expected_penalty: f64,
+    /// Theorem 1's worst-case bound `K^α · max ι_p` over unretrieved ∪
+    /// deferred coefficients; zero once exact.
+    pub worst_case_bound: f64,
+    /// Fault-path counters accumulated by this executor's `try_step`s.
+    pub fault: FaultStats,
+    /// True when nothing is pending or deferred (estimates are exact).
+    pub is_exact: bool,
+}
+
 /// Progressive evaluation state for one batch under one penalty function.
 ///
 /// The penalty is supplied *at query time* — the same preprocessed store
@@ -68,12 +140,24 @@ pub struct ProgressiveExecutor<'a> {
     /// Σ ι_p over the coefficients still in the heap — Theorem 2's
     /// expected-penalty numerator, maintained incrementally.
     remaining_importance: f64,
+    /// Coefficients whose retrieval exhausted its retry budget, awaiting
+    /// re-attempts (FIFO so every deferred key gets its turn).
+    deferred: VecDeque<HeapEntry>,
+    /// Σ ι_p over the deferral queue, tracked separately from
+    /// `remaining_importance` so degraded penalty bounds stay exact.
+    deferred_importance: f64,
+    /// Fault-path counters (all zero when only the infallible path runs).
+    fault: FaultStats,
 }
 
 impl<'a> ProgressiveExecutor<'a> {
     /// Builds the executor: merges the batch into a master list, scores
     /// every coefficient with `ι_p`, and heapifies.
-    pub fn new(batch: &BatchQueries, penalty: &dyn Penalty, store: &'a dyn CoefficientStore) -> Self {
+    pub fn new(
+        batch: &BatchQueries,
+        penalty: &dyn Penalty,
+        store: &'a dyn CoefficientStore,
+    ) -> Self {
         let master = MasterList::build(batch);
         ProgressiveExecutor::from_master(batch.len(), master, penalty, store)
     }
@@ -93,6 +177,11 @@ impl<'a> ProgressiveExecutor<'a> {
             let column_usize: Vec<(usize, f64)> =
                 column.iter().map(|&(i, v)| (i as usize, v)).collect();
             let importance = penalty.importance(&column_usize, batch_size);
+            // A pathological penalty can emit NaN, which would float to the
+            // top of the max-heap (total_cmp orders NaN above +inf) and
+            // poison every importance sum from here on. Treat it as "no
+            // importance" instead.
+            let importance = if importance.is_nan() { 0.0 } else { importance };
             remaining_importance += importance;
             heap.push(HeapEntry {
                 importance,
@@ -108,6 +197,9 @@ impl<'a> ProgressiveExecutor<'a> {
             retrieved: 0,
             seen: HashMap::new(),
             remaining_importance,
+            deferred: VecDeque::new(),
+            deferred_importance: 0.0,
+            fault: FaultStats::default(),
         }
     }
 
@@ -118,6 +210,17 @@ impl<'a> ProgressiveExecutor<'a> {
     pub fn step(&mut self) -> Option<StepInfo> {
         let entry = self.heap.pop()?;
         let value = self.store.get(&entry.key).unwrap_or(0.0);
+        let info = self.apply_value(&entry, value);
+        self.debit_remaining(entry.importance);
+        if self.is_exact() {
+            self.canonicalize_estimates();
+        }
+        Some(info)
+    }
+
+    /// Folds a retrieved value into the estimates and bookkeeping shared by
+    /// the infallible and fallible paths.
+    fn apply_value(&mut self, entry: &HeapEntry, value: f64) -> StepInfo {
         let column = self
             .columns
             .get(&entry.key)
@@ -129,17 +232,171 @@ impl<'a> ProgressiveExecutor<'a> {
         }
         self.seen.insert(entry.key, value);
         self.retrieved += 1;
-        self.remaining_importance = if self.heap.is_empty() {
-            0.0 // avoid leaving rounding residue after the final step
-        } else {
-            (self.remaining_importance - entry.importance).max(0.0)
-        };
-        Some(StepInfo {
+        StepInfo {
             key: entry.key,
             importance: entry.importance,
             value,
             queries_advanced: column.len(),
-        })
+        }
+    }
+
+    /// Recomputes the estimates from `seen` in sorted key order.
+    ///
+    /// f64 addition is not associative, so the last bits of an estimate
+    /// depend on the order contributions were folded in — and the fallible
+    /// path applies deferred coefficients *later* than a fault-free run
+    /// would. Re-summing in a canonical order once evaluation is exact
+    /// makes the final estimates a pure function of the retrieved values:
+    /// a drained fault-injected run matches a fault-free run bit for bit.
+    fn canonicalize_estimates(&mut self) {
+        let mut keys: Vec<CoeffKey> = self.seen.keys().copied().collect();
+        keys.sort_unstable();
+        for e in &mut self.estimates {
+            *e = 0.0;
+        }
+        for key in keys {
+            let value = self.seen[&key];
+            if value == 0.0 {
+                continue;
+            }
+            let column = self
+                .columns
+                .get(&key)
+                .expect("seen keys come from the master list");
+            for &(qi, c) in column {
+                self.estimates[qi as usize] += c * value;
+            }
+        }
+    }
+
+    fn debit_remaining(&mut self, importance: f64) {
+        self.remaining_importance = if self.heap.is_empty() {
+            0.0 // avoid leaving rounding residue after the final step
+        } else {
+            (self.remaining_importance - importance).max(0.0)
+        };
+    }
+
+    fn debit_deferred(&mut self, importance: f64) {
+        self.deferred_importance = if self.deferred.is_empty() {
+            0.0
+        } else {
+            (self.deferred_importance - importance).max(0.0)
+        };
+    }
+
+    /// Fallible progressive step: like [`ProgressiveExecutor::step`], but
+    /// retrieves through [`CoefficientStore::try_get`] with retries under
+    /// `policy`, and *defers* instead of failing when a retrieval cannot be
+    /// completed.
+    ///
+    /// Source order: the importance heap is drained first (the paper's
+    /// progression order is preserved for everything retrievable); once the
+    /// heap is empty, deferred coefficients are re-attempted round-robin.
+    /// A deferred coefficient's importance moves from
+    /// `remaining_importance` into the separately tracked deferred mass, so
+    /// [`ProgressiveExecutor::degradation_report`] can bound the penalty of
+    /// the current estimates under partial availability.
+    pub fn try_step(&mut self, policy: &RetryPolicy) -> TryStepOutcome {
+        let attempts_allowed = match policy.total_attempt_budget {
+            Some(budget) => {
+                let left = budget.saturating_sub(self.fault.attempts);
+                if left == 0 {
+                    return TryStepOutcome::BudgetExhausted;
+                }
+                left.min(u64::from(policy.max_attempts.max(1))) as u32
+            }
+            None => policy.max_attempts,
+        };
+        if let Some(entry) = self.heap.pop() {
+            let out = get_with_retry(self.store, &entry.key, policy, attempts_allowed);
+            out.record(&mut self.fault);
+            match out.result {
+                Ok(value) => {
+                    let info = self.apply_value(&entry, value.unwrap_or(0.0));
+                    self.debit_remaining(entry.importance);
+                    if self.is_exact() {
+                        self.canonicalize_estimates();
+                    }
+                    TryStepOutcome::Retrieved(info)
+                }
+                Err(error) => {
+                    // First deferral of this key: move its mass out of the
+                    // heap's importance sum and count it exactly once.
+                    self.fault.deferrals += 1;
+                    self.debit_remaining(entry.importance);
+                    self.deferred_importance += entry.importance;
+                    self.deferred.push_back(entry);
+                    TryStepOutcome::Deferred {
+                        key: entry.key,
+                        importance: entry.importance,
+                        error,
+                    }
+                }
+            }
+        } else if let Some(entry) = self.deferred.pop_front() {
+            let out = get_with_retry(self.store, &entry.key, policy, attempts_allowed);
+            out.record(&mut self.fault);
+            match out.result {
+                Ok(value) => {
+                    self.fault.recoveries += 1;
+                    let info = self.apply_value(&entry, value.unwrap_or(0.0));
+                    self.debit_deferred(entry.importance);
+                    if self.is_exact() {
+                        self.canonicalize_estimates();
+                    }
+                    TryStepOutcome::Recovered(info)
+                }
+                Err(error) => {
+                    // Re-deferral: back of the queue, no new deferral count.
+                    self.deferred.push_back(entry);
+                    TryStepOutcome::Deferred {
+                        key: entry.key,
+                        importance: entry.importance,
+                        error,
+                    }
+                }
+            }
+        } else {
+            TryStepOutcome::Exhausted
+        }
+    }
+
+    /// Drives [`ProgressiveExecutor::try_step`] until the estimates are
+    /// exact, the attempt budget runs out, or a full pass over the deferral
+    /// queue recovers nothing (which means every remaining fault is
+    /// persistent under the current store state — re-attempting without an
+    /// external change, e.g. `FaultInjectingStore::heal`, would loop
+    /// forever).
+    pub fn drain_with_faults(&mut self, policy: &RetryPolicy) -> DrainStatus {
+        loop {
+            if self.heap.is_empty() {
+                if self.deferred.is_empty() {
+                    return DrainStatus::Exact;
+                }
+                let queue_len = self.deferred.len();
+                let mut recovered_any = false;
+                for _ in 0..queue_len {
+                    match self.try_step(policy) {
+                        TryStepOutcome::Recovered(_) | TryStepOutcome::Retrieved(_) => {
+                            recovered_any = true;
+                        }
+                        TryStepOutcome::Deferred { .. } => {}
+                        TryStepOutcome::BudgetExhausted => return DrainStatus::BudgetExhausted,
+                        TryStepOutcome::Exhausted => return DrainStatus::Exact,
+                    }
+                }
+                if !recovered_any && !self.deferred.is_empty() {
+                    return DrainStatus::Degraded;
+                }
+            } else {
+                match self.try_step(policy) {
+                    TryStepOutcome::BudgetExhausted => return DrainStatus::BudgetExhausted,
+                    TryStepOutcome::Exhausted => return DrainStatus::Exact,
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Advances up to `steps` retrievals; returns how many actually ran.
@@ -171,14 +428,32 @@ impl<'a> ProgressiveExecutor<'a> {
         self.retrieved
     }
 
-    /// Number of coefficients still pending.
+    /// Number of coefficients still pending in the heap (deferred
+    /// coefficients are counted by [`ProgressiveExecutor::deferred_count`]).
     pub fn remaining(&self) -> usize {
         self.heap.len()
     }
 
-    /// True when evaluation is exact.
+    /// Number of coefficients parked in the deferral queue.
+    pub fn deferred_count(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Σ ι_p over the deferral queue.
+    pub fn deferred_importance(&self) -> f64 {
+        self.deferred_importance
+    }
+
+    /// Fault-path counters accumulated by this executor's
+    /// [`ProgressiveExecutor::try_step`] calls.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+    }
+
+    /// True when evaluation is exact: nothing pending *and* nothing
+    /// deferred.
     pub fn is_exact(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.deferred.is_empty()
     }
 
     /// The importance of the next coefficient to be retrieved.
@@ -234,6 +509,39 @@ impl<'a> ProgressiveExecutor<'a> {
         match self.next_importance() {
             Some(iota) => k_abs_sum.powf(self.homogeneity) * iota,
             None => 0.0,
+        }
+    }
+
+    /// Snapshot of the degraded-result contract: current estimates, the
+    /// deferred population, and penalty bounds that account for deferred
+    /// mass (see [`DegradationReport`]).
+    ///
+    /// `n_total` is the domain size `N^d` (Theorem 2) and `k_abs_sum` the
+    /// data's coefficient ℓ¹-norm `K` (Theorem 1). Both bounds shrink
+    /// monotonically as `try_step` retrieves or recovers coefficients.
+    pub fn degradation_report(&self, n_total: usize, k_abs_sum: f64) -> DegradationReport {
+        assert!(n_total > 1, "need a non-trivial domain");
+        let max_unresolved = self
+            .next_importance()
+            .into_iter()
+            .chain(self.deferred.iter().map(|e| e.importance))
+            .fold(None::<f64>, |acc, i| Some(acc.map_or(i, |a| a.max(i))));
+        DegradationReport {
+            estimates: self.estimates.clone(),
+            deferred: self
+                .deferred
+                .iter()
+                .map(|e| (e.key, e.importance))
+                .collect(),
+            deferred_importance: self.deferred_importance,
+            expected_penalty: (self.remaining_importance + self.deferred_importance)
+                / (n_total as f64 - 1.0),
+            worst_case_bound: match max_unresolved {
+                Some(iota) => k_abs_sum.powf(self.homogeneity) * iota,
+                None => 0.0,
+            },
+            fault: self.fault,
+            is_exact: self.is_exact(),
         }
     }
 }
@@ -365,8 +673,12 @@ mod tests {
         let cursored = DiagonalQuadratic::cursored(3, &[2], 1000.0);
         let mut sse_exec = ProgressiveExecutor::new(&batch, &Sse, &store);
         let mut cur_exec = ProgressiveExecutor::new(&batch, &cursored, &store);
-        let sse_first: Vec<CoeffKey> = (0..5).filter_map(|_| sse_exec.step().map(|i| i.key)).collect();
-        let cur_first: Vec<CoeffKey> = (0..5).filter_map(|_| cur_exec.step().map(|i| i.key)).collect();
+        let sse_first: Vec<CoeffKey> = (0..5)
+            .filter_map(|_| sse_exec.step().map(|i| i.key))
+            .collect();
+        let cur_first: Vec<CoeffKey> = (0..5)
+            .filter_map(|_| cur_exec.step().map(|i| i.key))
+            .collect();
         assert_ne!(
             sse_first, cur_first,
             "a heavily boosted query must reorder the progression"
@@ -425,9 +737,7 @@ mod tests {
             assert!((a - (b + 2.0 * c)).abs() < 1e-12);
         }
         // Updating an unretrieved key is a no-op on estimates.
-        let pending = exec
-            .next_importance()
-            .expect("more coefficients pending");
+        let pending = exec.next_importance().expect("more coefficients pending");
         let _ = pending;
         let snapshot = exec.estimates().to_vec();
         let unseen_key = {
@@ -481,5 +791,149 @@ mod tests {
         assert_eq!(exec.retrieved(), 3);
         assert_eq!(exec.remaining(), total - 3);
         assert_eq!(exec.run(usize::MAX), total - 3);
+    }
+
+    #[test]
+    fn nan_importance_does_not_poison_the_heap() {
+        // Regression: a penalty returning NaN for some columns used to
+        // float those keys to the top of the max-heap and turn
+        // `remaining_importance` (hence every penalty bound) into NaN.
+        struct PathologicalPenalty;
+        impl batchbb_penalty::Penalty for PathologicalPenalty {
+            fn name(&self) -> String {
+                "pathological".into()
+            }
+            fn evaluate(&self, errors: &[f64]) -> f64 {
+                errors.iter().map(|e| e * e).sum()
+            }
+            fn importance(&self, column: &[(usize, f64)], _batch_size: usize) -> f64 {
+                // NaN whenever query 0 participates; finite otherwise.
+                if column.iter().any(|&(qi, _)| qi == 0) {
+                    f64::NAN
+                } else {
+                    column.iter().map(|&(_, c)| c * c).sum()
+                }
+            }
+            fn homogeneity(&self) -> f64 {
+                2.0
+            }
+        }
+
+        let (dfd, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut exec = ProgressiveExecutor::new(&batch, &PathologicalPenalty, &store);
+        // Every derived quantity stays finite...
+        assert!(exec.expected_penalty(shape.len()).is_finite());
+        let mut last = f64::INFINITY;
+        while let Some(info) = exec.step() {
+            assert!(!info.importance.is_nan(), "NaN importance leaked");
+            assert!(info.importance <= last + 1e-12, "heap order broken");
+            last = info.importance;
+            assert!(exec.expected_penalty(shape.len()).is_finite());
+        }
+        // ...and the run still converges to the exact results.
+        for (q, est) in batch.queries().iter().zip(exec.estimates()) {
+            let truth = q.eval_direct(dfd.tensor());
+            assert!((est - truth).abs() < 1e-6 * truth.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn try_step_on_healthy_store_matches_step() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut a = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let mut b = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let policy = RetryPolicy::default();
+        loop {
+            let sa = a.step();
+            match (sa, b.try_step(&policy)) {
+                (Some(ia), TryStepOutcome::Retrieved(ib)) => assert_eq!(ia, ib),
+                (None, TryStepOutcome::Exhausted) => break,
+                (sa, sb) => panic!("paths diverged: {sa:?} vs {sb:?}"),
+            }
+        }
+        assert_eq!(a.estimates(), b.estimates());
+        let fs = b.fault_stats();
+        assert_eq!(fs.attempts, fs.successes);
+        assert_eq!(fs.deferrals, 0);
+        assert!(fs.attempts_reconcile());
+    }
+
+    #[test]
+    fn permanent_faults_defer_and_recover_after_heal() {
+        use batchbb_storage::{FaultInjectingStore, FaultPlan};
+
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        // Fault-free reference run.
+        let mut reference = ProgressiveExecutor::new(&batch, &Sse, &store);
+        reference.run_to_end();
+
+        // Make the first three progression keys permanently unavailable.
+        let mut probe = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let broken: Vec<CoeffKey> = (0..3).map(|_| probe.step().unwrap().key).collect();
+        let faulty = FaultInjectingStore::new(
+            &store,
+            FaultPlan::new(1).with_permanent_keys(broken.iter().copied()),
+        );
+
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &faulty);
+        let policy = RetryPolicy::default();
+        assert_eq!(exec.drain_with_faults(&policy), DrainStatus::Degraded);
+        assert!(!exec.is_exact());
+        assert_eq!(exec.deferred_count(), 3);
+        let report = exec.degradation_report(shape.len(), store.abs_sum());
+        assert!(!report.is_exact);
+        assert_eq!(report.deferred.len(), 3);
+        assert!(report.worst_case_bound > 0.0);
+        assert!(report.fault.deferrals_reconcile(3));
+        assert!(report.fault.attempts_reconcile());
+
+        // Repair the store: a further drain recovers everything and the
+        // estimates match the fault-free run exactly.
+        faulty.heal();
+        assert_eq!(exec.drain_with_faults(&policy), DrainStatus::Exact);
+        assert!(exec.is_exact());
+        // Canonical finalization makes the finals order-independent, so the
+        // match is exact even though deferral reordered the contributions.
+        assert_eq!(exec.estimates(), reference.estimates());
+        let fs = exec.fault_stats();
+        assert_eq!(fs.recoveries, 3);
+        assert!(fs.deferrals_reconcile(0));
+        let final_report = exec.degradation_report(shape.len(), store.abs_sum());
+        assert_eq!(final_report.worst_case_bound, 0.0);
+        assert_eq!(final_report.expected_penalty, 0.0);
+    }
+
+    #[test]
+    fn attempt_budget_halts_the_drain() {
+        use batchbb_storage::{FaultInjectingStore, FaultPlan};
+
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let faulty = FaultInjectingStore::new(&store, FaultPlan::new(2).with_transient_rate(0.4));
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &faulty);
+        let policy = RetryPolicy {
+            total_attempt_budget: Some(10),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            exec.drain_with_faults(&policy),
+            DrainStatus::BudgetExhausted
+        );
+        assert!(exec.fault_stats().attempts <= 10);
+        assert_eq!(
+            exec.try_step(&policy),
+            TryStepOutcome::BudgetExhausted,
+            "budget stays exhausted"
+        );
+        // Lifting the budget completes the evaluation.
+        let unlimited = RetryPolicy {
+            max_attempts: 64,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(exec.drain_with_faults(&unlimited), DrainStatus::Exact);
+        assert!(exec.is_exact());
     }
 }

@@ -54,9 +54,11 @@ mod tests {
     use batchbb_penalty::Sse;
     use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
     use batchbb_relation::synth;
+    #[cfg(unix)]
     use batchbb_storage::{BlockLayout, BlockStore, CoefficientStore};
     use batchbb_wavelet::Wavelet;
 
+    #[cfg(unix)]
     #[test]
     fn layout_training_hierarchy() {
         // self-trained ≪ transfer-trained < key-order: a layout built for
@@ -102,8 +104,7 @@ mod tests {
             transfer.get(k).copied().unwrap_or(usize::MAX)
         })
         .unwrap();
-        let key_store =
-            BlockStore::create(&p3, entries, 64, 8, BlockLayout::KeyOrder).unwrap();
+        let key_store = BlockStore::create(&p3, entries, 64, 8, BlockLayout::KeyOrder).unwrap();
 
         let self_reads = physical("self", &self_store);
         let xfer_reads = physical("xfer", &xfer_store);
@@ -138,9 +139,8 @@ mod tests {
         assert_eq!(ranks, (0..ranking.len()).collect::<Vec<_>>());
         // the single most important key under one batch is the one the
         // executor retrieves first
-        let dfd_store = batchbb_storage::MemoryStore::from_entries(
-            strategy.transform_data(dfd.tensor()),
-        );
+        let dfd_store =
+            batchbb_storage::MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
         let mut exec = ProgressiveExecutor::new(&batch, &Sse, &dfd_store);
         let first = exec.step().unwrap().key;
         assert_eq!(ranking[&first], 0);

@@ -24,6 +24,13 @@
 //! statistics in [`stats`] (§3), Theorem 1/2 diagnostics in
 //! [`optimality`], and error metrics for the experiment harnesses in
 //! [`metrics`].
+//!
+//! When the store can fail, the fallible path
+//! ([`ProgressiveExecutor::try_step`] /
+//! [`ProgressiveExecutor::drain_with_faults`]) retries with backoff, defers
+//! coefficients whose retrieval keeps failing, and reports the resulting
+//! penalty bounds through [`DegradationReport`] — progressive evaluation
+//! degrades gracefully instead of aborting.
 
 //! # Example
 //!
@@ -70,5 +77,5 @@ pub mod round_robin;
 pub mod stats;
 
 pub use batch::BatchQueries;
-pub use executor::{ProgressiveExecutor, StepInfo};
+pub use executor::{DegradationReport, DrainStatus, ProgressiveExecutor, StepInfo, TryStepOutcome};
 pub use master::MasterList;

@@ -37,7 +37,10 @@ pub fn normalized_sse(estimates: &[f64], exact: &[f64]) -> f64 {
         .map(|(&e, &x)| (e - x) * (e - x))
         .sum();
     let scale: f64 = exact.iter().map(|&x| x * x).sum();
-    assert!(scale > 0.0, "cannot normalize against all-zero exact results");
+    assert!(
+        scale > 0.0,
+        "cannot normalize against all-zero exact results"
+    );
     sse / scale
 }
 
@@ -51,7 +54,10 @@ pub fn normalized_penalty(penalty: &dyn Penalty, estimates: &[f64], exact: &[f64
         .map(|(&e, &x)| e - x)
         .collect();
     let scale = penalty.evaluate(exact);
-    assert!(scale > 0.0, "cannot normalize against zero-penalty exact results");
+    assert!(
+        scale > 0.0,
+        "cannot normalize against zero-penalty exact results"
+    );
     penalty.evaluate(&errors) / scale
 }
 
@@ -118,7 +124,11 @@ mod tests {
     fn mre_handles_zero_exact() {
         assert_eq!(mean_relative_error(&[0.0, 1.0], &[0.0, 1.0]), 0.0);
         assert_eq!(mean_relative_error(&[5.0], &[0.0]), 1.0);
-        assert_eq!(mean_relative_error(&[1e-12], &[0.0]), 0.0, "fp dust ignored");
+        assert_eq!(
+            mean_relative_error(&[1e-12], &[0.0]),
+            0.0,
+            "fp dust ignored"
+        );
     }
 
     #[test]
@@ -172,6 +182,8 @@ mod tests {
         assert!(trace.last().unwrap().normalized_sse < 1e-20, "exact at end");
         assert_eq!(trace.last().unwrap().worst_case_bound, 0.0);
         // the bound is non-increasing along the trace
-        assert!(trace.windows(2).all(|w| w[1].worst_case_bound <= w[0].worst_case_bound));
+        assert!(trace
+            .windows(2)
+            .all(|w| w[1].worst_case_bound <= w[0].worst_case_bound));
     }
 }

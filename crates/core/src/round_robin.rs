@@ -7,7 +7,9 @@
 //! coefficients independently — shared coefficients are fetched once *per
 //! query* instead of once per batch.
 
-use batchbb_storage::CoefficientStore;
+use std::collections::VecDeque;
+
+use batchbb_storage::{retry::get_with_retry, CoefficientStore, FaultStats, RetryPolicy};
 use batchbb_tensor::CoeffKey;
 
 use crate::BatchQueries;
@@ -19,6 +21,10 @@ struct SingleQuery {
     plan: Vec<(CoeffKey, f64)>,
     cursor: usize,
     estimate: f64,
+    /// This query's coefficients whose retrieval exhausted its retries, as
+    /// indices into `plan` (per-query queue keeps the baseline fair: a
+    /// broken coefficient stalls only the query that needs it).
+    deferred: VecDeque<usize>,
 }
 
 /// Round-robin evaluation of a batch using independent single-query
@@ -28,6 +34,7 @@ pub struct RoundRobin<'a> {
     queries: Vec<SingleQuery>,
     retrievals: u64,
     next: usize,
+    fault: FaultStats,
 }
 
 impl<'a> RoundRobin<'a> {
@@ -47,6 +54,7 @@ impl<'a> RoundRobin<'a> {
                     plan,
                     cursor: 0,
                     estimate: 0.0,
+                    deferred: VecDeque::new(),
                 }
             })
             .collect();
@@ -55,6 +63,7 @@ impl<'a> RoundRobin<'a> {
             queries,
             retrievals: 0,
             next: 0,
+            fault: FaultStats::default(),
         }
     }
 
@@ -85,6 +94,91 @@ impl<'a> RoundRobin<'a> {
     pub fn run_to_end(&mut self) -> u64 {
         while self.step() {}
         self.retrievals
+    }
+
+    /// Fallible variant of [`RoundRobin::step`]: retries transient failures
+    /// under `policy` and defers coefficients that keep failing onto the
+    /// owning query's queue, so the baseline degrades the same way the
+    /// batch executor does and comparisons under faults stay fair.
+    ///
+    /// Returns `true` while any query still has pending work (fresh plan
+    /// entries or deferred retrievals).
+    pub fn try_step(&mut self, policy: &RetryPolicy) -> bool {
+        let s = self.queries.len();
+        if s == 0 {
+            return false;
+        }
+        for probe in 0..s {
+            let qi = (self.next + probe) % s;
+            let q = &mut self.queries[qi];
+            // Fresh plan entries first; fall back to this query's deferral
+            // queue once its cursor is exhausted.
+            let (plan_ix, from_deferred) = if q.cursor < q.plan.len() {
+                let ix = q.cursor;
+                q.cursor += 1;
+                (ix, false)
+            } else if let Some(ix) = q.deferred.pop_front() {
+                (ix, true)
+            } else {
+                continue;
+            };
+            let (key, coeff) = q.plan[plan_ix];
+            let outcome = get_with_retry(self.store, &key, policy, policy.max_attempts);
+            outcome.record(&mut self.fault);
+            match outcome.result {
+                Ok(value) => {
+                    if from_deferred {
+                        self.fault.recoveries += 1;
+                    }
+                    q.estimate += coeff * value.unwrap_or(0.0);
+                    self.retrievals += 1;
+                }
+                Err(_) => {
+                    if !from_deferred {
+                        self.fault.deferrals += 1;
+                    }
+                    q.deferred.push_back(plan_ix);
+                }
+            }
+            self.next = (qi + 1) % s;
+            return true;
+        }
+        false
+    }
+
+    /// Drives [`RoundRobin::try_step`] until every query is exact or the
+    /// deferral queues stop making progress (a full cycle over the batch
+    /// recovers nothing). Returns `true` when all queries finished exact.
+    pub fn run_with_faults(&mut self, policy: &RetryPolicy) -> bool {
+        loop {
+            if self.queries.iter().all(|q| q.cursor >= q.plan.len()) {
+                let pending: usize = self.queries.iter().map(|q| q.deferred.len()).sum();
+                if pending == 0 {
+                    return true;
+                }
+                // Only deferred work remains: give every pending retrieval
+                // one more round, and stop if none of them recovered.
+                let before = self.fault.recoveries;
+                for _ in 0..pending {
+                    self.try_step(policy);
+                }
+                if self.fault.recoveries == before {
+                    return false;
+                }
+            } else if !self.try_step(policy) {
+                return self.deferred_count() == 0;
+            }
+        }
+    }
+
+    /// Coefficients currently parked on deferral queues, across all queries.
+    pub fn deferred_count(&self) -> usize {
+        self.queries.iter().map(|q| q.deferred.len()).sum()
+    }
+
+    /// Accumulated fault/retry counters for the fallible path.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
     }
 
     /// Current progressive estimates.
@@ -173,5 +267,75 @@ mod tests {
         let batch = BatchQueries::rewrite(&strategy, vec![], &shape).unwrap();
         let mut rr = RoundRobin::new(&batch, &store);
         assert_eq!(rr.run_to_end(), 0);
+    }
+
+    #[test]
+    fn fallible_on_healthy_store_matches_infallible() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut plain = RoundRobin::new(&batch, &store);
+        plain.run_to_end();
+        let mut fallible = RoundRobin::new(&batch, &store);
+        assert!(fallible.run_with_faults(&RetryPolicy::default()));
+        assert_eq!(fallible.estimates(), plain.estimates());
+        assert_eq!(fallible.retrievals(), plain.retrievals());
+        let fs = fallible.fault_stats();
+        assert_eq!(fs.attempts, fs.successes);
+        assert!(fs.attempts_reconcile() && fs.deferrals_reconcile(0));
+    }
+
+    #[test]
+    fn transient_faults_still_converge_exactly() {
+        use batchbb_storage::{FaultInjectingStore, FaultPlan};
+        let (data, store, shape, strategy) = fixture();
+        let flaky =
+            FaultInjectingStore::new(store, FaultPlan::new(0xcafe).with_transient_rate(0.3));
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut rr = RoundRobin::new(&batch, &flaky);
+        assert!(rr.run_with_faults(&RetryPolicy::default()));
+        for (q, est) in batch.queries().iter().zip(rr.estimates()) {
+            let truth = q.eval_direct(&data);
+            assert!((est - truth).abs() < 1e-6, "{est} vs {truth}");
+        }
+        let fs = rr.fault_stats();
+        assert!(fs.transient_failures > 0, "30% rate should hit something");
+        assert!(fs.attempts_reconcile());
+        assert!(fs.deferrals_reconcile(rr.deferred_count() as u64));
+    }
+
+    #[test]
+    fn permanent_fault_stalls_only_its_query() {
+        use batchbb_storage::{FaultInjectingStore, FaultPlan};
+        let (data, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        // Break the most important coefficient of query 0's plan.
+        let broken = {
+            let rr = RoundRobin::new(&batch, &store);
+            rr.queries[0].plan[0].0
+        };
+        let flaky =
+            FaultInjectingStore::new(store, FaultPlan::new(7).with_permanent_keys([broken]));
+        let mut rr = RoundRobin::new(&batch, &flaky);
+        assert!(!rr.run_with_faults(&RetryPolicy::default()));
+        assert!(rr.deferred_count() >= 1);
+        let fs = rr.fault_stats();
+        assert!(fs.permanent_failures > 0);
+        assert!(fs.deferrals_reconcile(rr.deferred_count() as u64));
+        // Queries that never touch the broken key are already exact.
+        for (qi, (q, est)) in batch.queries().iter().zip(rr.estimates()).enumerate() {
+            let touches = rr.queries[qi].plan.iter().any(|&(k, _)| k == broken);
+            if !touches {
+                let truth = q.eval_direct(&data);
+                assert!((est - truth).abs() < 1e-6, "query {qi}: {est} vs {truth}");
+            }
+        }
+        // Healing the store lets the deferred retrieval drain to exactness.
+        flaky.heal();
+        assert!(rr.run_with_faults(&RetryPolicy::default()));
+        for (q, est) in batch.queries().iter().zip(rr.estimates()) {
+            let truth = q.eval_direct(&data);
+            assert!((est - truth).abs() < 1e-6, "{est} vs {truth}");
+        }
+        assert!(rr.fault_stats().recoveries >= 1);
     }
 }

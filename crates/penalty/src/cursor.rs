@@ -97,13 +97,20 @@ mod tests {
 
     #[test]
     fn weights_peak_at_cursor() {
-        for kernel in [CursorKernel::Triangular, CursorKernel::Gaussian, CursorKernel::Box] {
+        for kernel in [
+            CursorKernel::Triangular,
+            CursorKernel::Gaussian,
+            CursorKernel::Box,
+        ] {
             let p = CursorPenalty::new(11, 5, 10.0, 3.0, kernel);
             let w = p.weights();
             let peak = w[5];
             assert!((peak - 10.0).abs() < 1e-9, "{kernel:?}: peak {peak}");
             assert!(w.iter().all(|&x| x <= peak + 1e-12));
-            assert!(w[0] <= w[3], "{kernel:?}: weights must not increase away from cursor");
+            assert!(
+                w[0] <= w[3],
+                "{kernel:?}: weights must not increase away from cursor"
+            );
         }
     }
 

@@ -117,7 +117,12 @@ mod tests {
     #[test]
     fn sparse_importance_matches_dense() {
         let column = [(0usize, -2.0), (3usize, 1.0)];
-        for p in [LpPenalty::l1(), LpPenalty::l2(), LpPenalty::new(4.0), LpPenalty::linf()] {
+        for p in [
+            LpPenalty::l1(),
+            LpPenalty::l2(),
+            LpPenalty::new(4.0),
+            LpPenalty::linf(),
+        ] {
             let fast = p.importance(&column, 5);
             let slow = importance_via_dense(&p, &column, 5);
             assert!((fast - slow).abs() < 1e-12, "{}", p.name());

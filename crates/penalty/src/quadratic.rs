@@ -205,10 +205,7 @@ impl Penalty for Combination {
     }
 
     fn evaluate(&self, errors: &[f64]) -> f64 {
-        self.terms
-            .iter()
-            .map(|(w, p)| w * p.evaluate(errors))
-            .sum()
+        self.terms.iter().map(|(w, p)| w * p.evaluate(errors)).sum()
     }
 
     fn importance(&self, column: &[(usize, f64)], batch_size: usize) -> f64 {
@@ -257,15 +254,20 @@ mod tests {
             )),
         ];
         for p in &penalties {
-            let s_eff = if p.name().starts_with("quadratic") { 3 } else { s };
-            let col: Vec<(usize, f64)> = column
-                .iter()
-                .filter(|(i, _)| *i < s_eff)
-                .copied()
-                .collect();
+            let s_eff = if p.name().starts_with("quadratic") {
+                3
+            } else {
+                s
+            };
+            let col: Vec<(usize, f64)> =
+                column.iter().filter(|(i, _)| *i < s_eff).copied().collect();
             let fast = p.importance(&col, s_eff);
             let slow = importance_via_dense(p.as_ref(), &col, s_eff);
-            assert!((fast - slow).abs() < 1e-12, "{}: {fast} vs {slow}", p.name());
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "{}: {fast} vs {slow}",
+                p.name()
+            );
         }
     }
 

@@ -65,13 +65,12 @@ impl RangeSum {
     /// A general polynomial range-sum. Panics if any monomial's arity
     /// differs from the range's.
     pub fn new(range: HyperRect, monomials: Vec<Monomial>) -> Self {
-        assert!(!monomials.is_empty(), "polynomial must have at least one term");
+        assert!(
+            !monomials.is_empty(),
+            "polynomial must have at least one term"
+        );
         for m in &monomials {
-            assert_eq!(
-                m.exponents.len(),
-                range.rank(),
-                "monomial arity mismatch"
-            );
+            assert_eq!(m.exponents.len(), range.rank(), "monomial arity mismatch");
         }
         RangeSum { range, monomials }
     }
@@ -119,7 +118,11 @@ impl RangeSum {
     /// Maximum per-dimension degree `δ` — determines the minimal filter
     /// length `2δ+2` (§3.1).
     pub fn degree(&self) -> u32 {
-        self.monomials.iter().map(Monomial::degree).max().unwrap_or(0)
+        self.monomials
+            .iter()
+            .map(Monomial::degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Evaluates the query vector at one domain point.

@@ -11,9 +11,7 @@
 use std::fmt;
 
 use batchbb_tensor::{CoeffKey, Shape, Tensor};
-use batchbb_wavelet::{
-    lazy_query_transform, Poly, SparseCoeffs, SparseVec1, Wavelet, DEFAULT_TOL,
-};
+use batchbb_wavelet::{lazy_query_transform, Poly, SparseCoeffs, SparseVec1, Wavelet, DEFAULT_TOL};
 
 use crate::{Monomial, RangeSum};
 
@@ -56,7 +54,10 @@ impl fmt::Display for StrategyError {
                 write!(f, "prefix-sum view was precomputed for a different measure")
             }
             StrategyError::TooManyDimensions { rank, max } => {
-                write!(f, "domain rank {rank} exceeds this strategy's maximum {max}")
+                write!(
+                    f,
+                    "domain rank {rank} exceeds this strategy's maximum {max}"
+                )
             }
         }
     }
@@ -97,7 +98,10 @@ pub struct WaveletStrategy {
 impl WaveletStrategy {
     /// Lazy-transform strategy with the given filter.
     pub fn new(wavelet: Wavelet) -> Self {
-        WaveletStrategy { wavelet, lazy: true }
+        WaveletStrategy {
+            wavelet,
+            lazy: true,
+        }
     }
 
     /// Picks the minimal filter for a query batch's maximum degree.
@@ -143,7 +147,9 @@ impl LinearStrategy for WaveletStrategy {
     fn transform_data(&self, data: &Tensor) -> Vec<(CoeffKey, f64)> {
         let mut t = data.clone();
         batchbb_wavelet::dwt_nd(&mut t, self.wavelet);
-        SparseCoeffs::from_tensor(&t, DEFAULT_TOL).entries().to_vec()
+        SparseCoeffs::from_tensor(&t, DEFAULT_TOL)
+            .entries()
+            .to_vec()
     }
 
     fn query_coefficients(

@@ -37,10 +37,7 @@ fn arb_data_and_range() -> impl Strategy<Value = (Tensor, HyperRect)> {
             .prop_map(move |(vals, a, b, c, d)| {
                 let shape = Shape::new(vec![nx, ny]).unwrap();
                 let t = Tensor::from_vec(shape, vals).unwrap();
-                let range = HyperRect::new(
-                    vec![a.min(b), c.min(d)],
-                    vec![a.max(b), c.max(d)],
-                );
+                let range = HyperRect::new(vec![a.min(b), c.min(d)], vec![a.max(b), c.max(d)]);
                 (t, range)
             })
     })

@@ -71,7 +71,11 @@ pub fn read_csv(schema: Schema, reader: impl Read) -> Result<Dataset, CsvError> 
     let mut lines = reader.lines();
     let header = lines.next().ok_or(CsvError::HeaderMismatch)??;
     let names: Vec<&str> = header.split(',').map(str::trim).collect();
-    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let expected: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     if names != expected {
         return Err(CsvError::HeaderMismatch);
     }

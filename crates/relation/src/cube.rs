@@ -20,7 +20,9 @@ use crate::FrequencyDistribution;
 pub fn bulk_transform(dfd: &FrequencyDistribution, wavelet: Wavelet) -> Vec<(CoeffKey, f64)> {
     let mut t = dfd.tensor().clone();
     dwt_nd(&mut t, wavelet);
-    SparseCoeffs::from_tensor(&t, DEFAULT_TOL).entries().to_vec()
+    SparseCoeffs::from_tensor(&t, DEFAULT_TOL)
+        .entries()
+        .to_vec()
 }
 
 /// The sparse coefficient delta produced by inserting one binned point of

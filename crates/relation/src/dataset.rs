@@ -80,7 +80,10 @@ impl Dataset {
     /// `offset` shifts the measure (e.g. +273.15 to report Kelvin so every
     /// weight is positive).
     pub fn to_measure_cube(&self, measure_attr: usize, offset: f64) -> FrequencyDistribution {
-        assert!(measure_attr < self.schema.arity(), "measure attribute out of range");
+        assert!(
+            measure_attr < self.schema.arity(),
+            "measure attribute out of range"
+        );
         let attrs: Vec<crate::Attribute> = self
             .schema
             .attributes()

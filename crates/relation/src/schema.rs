@@ -33,7 +33,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "attribute `{name}` has an empty value range")
             }
             SchemaError::ArityMismatch { expected, got } => {
-                write!(f, "tuple has {got} values, schema has {expected} attributes")
+                write!(
+                    f,
+                    "tuple has {got} values, schema has {expected} attributes"
+                )
             }
         }
     }
@@ -113,7 +116,11 @@ impl Attribute {
         let mut last = f64::NEG_INFINITY;
         for i in 1..n {
             let q = sorted[(i * sorted.len() / n).min(sorted.len() - 1)];
-            let q = if q <= last { last + f64::EPSILON.max(last.abs() * 1e-12) } else { q };
+            let q = if q <= last {
+                last + f64::EPSILON.max(last.abs() * 1e-12)
+            } else {
+                q
+            };
             edges.push(q);
             last = q;
         }
@@ -146,7 +153,11 @@ impl Attribute {
     /// midpoint of the surrounding edges for custom binning).
     pub fn unbin(&self, bin: usize) -> f64 {
         if !self.edges.is_empty() {
-            let lo = if bin == 0 { self.min } else { self.edges[bin - 1] };
+            let lo = if bin == 0 {
+                self.min
+            } else {
+                self.edges[bin - 1]
+            };
             let hi = if bin + 1 >= self.bins() {
                 self.max
             } else {
@@ -264,7 +275,10 @@ mod tests {
             counts[a.bin(*v)] += 1;
         }
         let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-        assert!(hi - lo <= 2, "equi-depth counts should balance, got {counts:?}");
+        assert!(
+            hi - lo <= 2,
+            "equi-depth counts should balance, got {counts:?}"
+        );
     }
 
     #[test]

@@ -82,8 +82,7 @@ impl TemperatureConfig {
             // smooth — the regime of the paper's assimilated dataset.
             let nlat = 1usize << self.lat_bits;
             let nlon = 1usize << self.lon_bits;
-            let reports_per_station =
-                (self.records as f64 / (nlat * nlon) as f64).max(1.0);
+            let reports_per_station = (self.records as f64 / (nlat * nlon) as f64).max(1.0);
             'outer: for la in 0..nlat {
                 let lat = -90.0 + (la as f64 + 0.5) / nlat as f64 * 180.0;
                 let density = lat.to_radians().cos().max(0.05);
@@ -206,7 +205,7 @@ pub fn salary(records: usize, seed: u64) -> Dataset {
     let mut rng = SmallRng::seed_from_u64(seed);
     let tuples = (0..records)
         .map(|_| {
-            let age = rng.gen_range(18.0..70.0);
+            let age: f64 = rng.gen_range(18.0..70.0);
             // Salary loosely increases with age, saturating mid-career.
             let career = ((age - 18.0) / 25.0f64).min(1.0);
             let base = 25.0 + 70.0 * career;

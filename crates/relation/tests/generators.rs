@@ -69,11 +69,7 @@ fn temperature_has_a_latitudinal_gradient_in_both_modes() {
 fn clustered_is_skewed_uniform_is_not() {
     let top_cell_share = |d: &batchbb_relation::Dataset| -> f64 {
         let dfd = d.to_frequency_distribution();
-        let max = dfd
-            .tensor()
-            .data()
-            .iter()
-            .fold(0.0f64, |a, &v| a.max(v));
+        let max = dfd.tensor().data().iter().fold(0.0f64, |a, &v| a.max(v));
         max / dfd.total()
     };
     let clustered = synth::clustered(2, 5, 50_000, 2, 3);
@@ -99,7 +95,10 @@ fn salary_correlates_with_age() {
         (pts.iter().map(|(_, y)| (y - my).powi(2)).sum::<f64>() / n).sqrt(),
     );
     let r = cov / (sx * sy);
-    assert!(r > 0.4, "age-salary correlation should be positive, r = {r}");
+    assert!(
+        r > 0.4,
+        "age-salary correlation should be positive, r = {r}"
+    );
 }
 
 #[test]
@@ -118,6 +117,9 @@ fn generators_scale_record_counts() {
             ..Default::default()
         }
         .generate();
-        assert!(t.len() >= records.min(64), "grid generates at least one sweep");
+        assert!(
+            t.len() >= records.min(64),
+            "grid generates at least one sweep"
+        );
     }
 }

@@ -160,8 +160,18 @@ impl Cursor {
 
 fn is_reserved(word: &str) -> bool {
     const RESERVED: [&str; 12] = [
-        "SELECT", "FROM", "WHERE", "AND", "BETWEEN", "COUNT", "SUM", "AVG", "VARIANCE",
-        "SUMPRODUCT", "GROUP", "BY",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "BETWEEN",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "VARIANCE",
+        "SUMPRODUCT",
+        "GROUP",
+        "BY",
     ];
     RESERVED.iter().any(|r| r.eq_ignore_ascii_case(word))
 }
@@ -299,10 +309,9 @@ mod tests {
     fn parses_the_paper_example() {
         // "total salary paid to employees between age 25 and 40, who make
         // at least 55K per year" (§3.1)
-        let ast = parse(
-            "SELECT SUM(salary) FROM employees WHERE age BETWEEN 25 AND 40 AND salary >= 55",
-        )
-        .unwrap();
+        let ast =
+            parse("SELECT SUM(salary) FROM employees WHERE age BETWEEN 25 AND 40 AND salary >= 55")
+                .unwrap();
         assert_eq!(ast.aggregates, vec![Aggregate::Sum("salary".into())]);
         assert_eq!(ast.table, "employees");
         assert_eq!(

@@ -24,9 +24,8 @@ fn arb_aggregate() -> impl Strategy<Value = Aggregate> {
 fn arb_predicate() -> impl Strategy<Value = Predicate> {
     let v = -50.0f64..50.0;
     prop_oneof![
-        (ident(), v.clone(), v.clone()).prop_map(|(a, x, y)| {
-            Predicate::Between(a, x.min(y), x.max(y))
-        }),
+        (ident(), v.clone(), v.clone())
+            .prop_map(|(a, x, y)| { Predicate::Between(a, x.min(y), x.max(y)) }),
         (ident(), v.clone(), any::<bool>()).prop_map(|(a, x, s)| Predicate::AtLeast(a, x, s)),
         (ident(), v.clone(), any::<bool>()).prop_map(|(a, x, s)| Predicate::AtMost(a, x, s)),
         (ident(), v).prop_map(|(a, x)| Predicate::Equals(a, x)),

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 use batchbb_tensor::CoeffKey;
@@ -19,10 +20,7 @@ use bytes::{Buf, BufMut, BytesMut};
 use parking_lot::Mutex;
 
 use crate::stats::Counters;
-use crate::{CoefficientStore, IoStats};
-
-#[cfg(unix)]
-use std::os::unix::fs::FileExt;
+use crate::{CoefficientStore, IoStats, StorageError};
 
 /// How coefficients are ordered before being packed into blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +96,12 @@ struct PoolCell(Pool);
 
 impl std::fmt::Debug for PoolCell {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Pool(cap={}, resident={})", self.0.capacity, self.0.blocks.len())
+        write!(
+            f,
+            "Pool(cap={}, resident={})",
+            self.0.capacity,
+            self.0.blocks.len()
+        )
     }
 }
 
@@ -180,10 +183,7 @@ impl BlockStore {
     fn read_block(&self, id: u64) -> io::Result<Vec<f64>> {
         let bytes = self.block_size * 8;
         let mut raw = vec![0u8; bytes];
-        #[cfg(unix)]
         self.file.read_exact_at(&mut raw, id * bytes as u64)?;
-        #[cfg(not(unix))]
-        compile_error!("BlockStore requires a unix platform for positioned reads");
         let mut slice = &raw[..];
         Ok((0..self.block_size).map(|_| slice.get_f64_le()).collect())
     }
@@ -205,6 +205,34 @@ impl CoefficientStore for BlockStore {
         let v = data[in_block];
         pool.0.insert(block_id, data);
         Some(v)
+    }
+
+    /// Like `get`, but a failed block read becomes [`StorageError::Io`]
+    /// instead of a panic; the pool is not populated on failure.
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        self.counters.count_retrieval();
+        let Some(&slot) = self.index.get(key) else {
+            return Ok(None);
+        };
+        let block_id = slot / self.block_size as u64;
+        let in_block = (slot % self.block_size as u64) as usize;
+        let mut pool = self.pool.lock();
+        if let Some(data) = pool.0.get(block_id) {
+            self.counters.count_hit();
+            return Ok(Some(data[in_block]));
+        }
+        self.counters.count_physical();
+        match self.read_block(block_id) {
+            Ok(data) => {
+                let v = data[in_block];
+                pool.0.insert(block_id, data);
+                Ok(Some(v))
+            }
+            Err(e) => Err(StorageError::Io {
+                key: *key,
+                detail: e.to_string(),
+            }),
+        }
     }
 
     fn nnz(&self) -> usize {
@@ -249,8 +277,7 @@ mod tests {
     #[test]
     fn sequential_scan_amortizes_reads() {
         let path = tmpfile("seq");
-        let store =
-            BlockStore::create(&path, entries(128), 16, 4, BlockLayout::KeyOrder).unwrap();
+        let store = BlockStore::create(&path, entries(128), 16, 4, BlockLayout::KeyOrder).unwrap();
         for (k, _) in entries(128) {
             store.get(&k);
         }
@@ -308,7 +335,9 @@ mod tests {
     fn level_major_orders_coarse_first() {
         let k_coarse = CoeffKey::new(&[0, 1]);
         let k_fine = CoeffKey::new(&[64, 64]);
-        assert!(layout_rank(BlockLayout::LevelMajor, &k_coarse)
-            < layout_rank(BlockLayout::LevelMajor, &k_fine));
+        assert!(
+            layout_rank(BlockLayout::LevelMajor, &k_coarse)
+                < layout_rank(BlockLayout::LevelMajor, &k_fine)
+        );
     }
 }

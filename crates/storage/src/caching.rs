@@ -15,7 +15,7 @@ use batchbb_tensor::CoeffKey;
 use parking_lot::Mutex;
 
 use crate::stats::Counters;
-use crate::{CoefficientStore, IoStats};
+use crate::{CoefficientStore, IoStats, StorageError};
 
 /// Wraps any store with an unbounded memo table.
 ///
@@ -61,6 +61,22 @@ impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
         let v = self.inner.get(key);
         cache.insert(*key, v);
         v
+    }
+
+    /// Forwards to the inner store's fallible path. Only successful results
+    /// are memoized, so a key whose retrieval failed is re-attempted (and
+    /// can recover) on later calls.
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        self.counters.count_retrieval();
+        let mut cache = self.cache.lock();
+        if let Some(v) = cache.get(key) {
+            self.counters.count_hit();
+            return Ok(*v);
+        }
+        self.counters.count_physical();
+        let v = self.inner.try_get(key)?;
+        cache.insert(*key, v);
+        Ok(v)
     }
 
     fn nnz(&self) -> usize {

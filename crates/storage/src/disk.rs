@@ -1,18 +1,20 @@
 //! File-backed coefficient store: one positioned read per retrieval.
+//!
+//! This module is gated on unix (see `lib.rs`): it relies on
+//! `std::os::unix::fs::FileExt::read_exact_at` for lock-free positioned
+//! reads through a shared `&File`.
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 use batchbb_tensor::CoeffKey;
 use bytes::{Buf, BufMut, BytesMut};
 
 use crate::stats::Counters;
-use crate::{CoefficientStore, IoStats};
-
-#[cfg(unix)]
-use std::os::unix::fs::FileExt;
+use crate::{CoefficientStore, IoStats, StorageError};
 
 /// A read-only coefficient store backed by a values file plus an in-memory
 /// hash index (`key → slot`).
@@ -63,10 +65,7 @@ impl FileStore {
 
     fn read_slot(&self, slot: u64) -> io::Result<f64> {
         let mut raw = [0u8; 8];
-        #[cfg(unix)]
         self.file.read_exact_at(&mut raw, slot * 8)?;
-        #[cfg(not(unix))]
-        compile_error!("FileStore requires a unix platform for positioned reads");
         Ok((&raw[..]).get_f64_le())
     }
 }
@@ -77,6 +76,22 @@ impl CoefficientStore for FileStore {
         let slot = *self.index.get(key)?;
         self.counters.count_physical();
         Some(self.read_slot(slot).expect("store file read failed"))
+    }
+
+    /// Like `get`, but a failed `pread` becomes [`StorageError::Io`]
+    /// instead of a panic, so callers can retry or defer.
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        self.counters.count_retrieval();
+        let Some(&slot) = self.index.get(key) else {
+            return Ok(None);
+        };
+        self.counters.count_physical();
+        self.read_slot(slot)
+            .map(Some)
+            .map_err(|e| StorageError::Io {
+                key: *key,
+                detail: e.to_string(),
+            })
     }
 
     fn nnz(&self) -> usize {

@@ -1,0 +1,94 @@
+//! Failure classification for the fallible retrieval path.
+
+use std::fmt;
+
+use batchbb_tensor::CoeffKey;
+
+/// Why a coefficient retrieval failed.
+///
+/// The classification drives the retry policy: [`StorageError::is_retryable`]
+/// failures may succeed on a later attempt and are worth backing off for;
+/// non-retryable failures should be deferred immediately (the progressive
+/// executor keeps serving estimates and re-attempts deferred keys later —
+/// see `batchbb_core::ProgressiveExecutor::try_step`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A transient fault: the same retrieval may succeed if re-attempted.
+    /// `attempt` is the per-key attempt index that failed (0-based), so
+    /// injected fault sequences are self-describing in test output.
+    Transient {
+        /// The key whose retrieval failed.
+        key: CoeffKey,
+        /// 0-based per-key attempt index that failed.
+        attempt: u64,
+    },
+    /// A persistent fault: retrying cannot help until the underlying
+    /// condition is repaired (e.g. a lost block).
+    Permanent {
+        /// The key whose retrieval failed.
+        key: CoeffKey,
+    },
+    /// An I/O error from a physical backend (`FileStore`/`BlockStore`).
+    /// Treated as retryable: disks report transient read errors.
+    Io {
+        /// The key whose retrieval failed.
+        key: CoeffKey,
+        /// Backend error description.
+        detail: String,
+    },
+}
+
+impl StorageError {
+    /// The key whose retrieval failed.
+    pub fn key(&self) -> &CoeffKey {
+        match self {
+            StorageError::Transient { key, .. }
+            | StorageError::Permanent { key }
+            | StorageError::Io { key, .. } => key,
+        }
+    }
+
+    /// True when a retry may succeed; false for persistent faults.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, StorageError::Permanent { .. })
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Transient { key, attempt } => {
+                write!(
+                    f,
+                    "transient retrieval failure at {key} (attempt {attempt})"
+                )
+            }
+            StorageError::Permanent { key } => {
+                write!(f, "permanent retrieval failure at {key}")
+            }
+            StorageError::Io { key, detail } => {
+                write!(f, "i/o failure at {key}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        let key = CoeffKey::one(3);
+        assert!(StorageError::Transient { key, attempt: 0 }.is_retryable());
+        assert!(StorageError::Io {
+            key,
+            detail: "short read".into()
+        }
+        .is_retryable());
+        assert!(!StorageError::Permanent { key }.is_retryable());
+        assert_eq!(*StorageError::Permanent { key }.key(), key);
+    }
+}

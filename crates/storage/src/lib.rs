@@ -9,10 +9,11 @@
 //! * [`CoefficientStore`] — read access plus built-in retrieval counters;
 //! * [`MemoryStore`] — hash-based in-memory store;
 //! * [`ArrayStore`] — dense array-based store for small domains;
-//! * [`FileStore`] — a file-backed store doing one `pread` per retrieval;
+//! * [`FileStore`] — a file-backed store doing one `pread` per retrieval
+//!   (unix only);
 //! * [`BlockStore`] — coefficients packed into fixed-size blocks behind an
 //!   LRU buffer pool, quantifying the paper's future-work remark on disk
-//!   layout and smart buffer management (§7);
+//!   layout and smart buffer management (§7) (unix only);
 //! * [`SharedStore`] — a lock-protected store for live updates during
 //!   progressive evaluation;
 //! * [`CachingStore`] — a memoizing wrapper that turns repeated retrievals
@@ -21,6 +22,29 @@
 //!
 //! All stores are safe to share across threads (`&self` reads, atomic
 //! counters).
+//!
+//! # Fallible retrieval
+//!
+//! Real backends fail, and a progressive evaluator is exactly the kind of
+//! system that can degrade gracefully when they do: a missing coefficient
+//! only widens the error bound, it does not block the answer.  The fallible
+//! path mirrors the infallible one:
+//!
+//! * [`CoefficientStore::try_get`] — `Result`-returning retrieval; the
+//!   default implementation delegates to `get` so in-memory stores never
+//!   fail, while physical stores map backend errors to [`StorageError`];
+//! * [`FaultInjectingStore`] — wraps any store and injects faults from a
+//!   deterministic seeded [`FaultPlan`] (per-attempt transient failures,
+//!   persistently failing keys, simulated latency), for tests and
+//!   robustness experiments;
+//! * [`RetryPolicy`] / [`retry::get_with_retry`] — bounded retries with
+//!   deterministic exponential backoff in simulated ticks;
+//! * [`FaultStats`] — fault-path counters reported alongside [`IoStats`],
+//!   with reconciliation invariants checked by the test suite.
+//!
+//! The executor in `batchbb-core` builds on these to defer exhausted keys
+//! and report a penalty-bounded [degradation
+//! contract](../batchbb_core/struct.DegradationReport.html).
 //!
 //! # Example
 //!
@@ -36,21 +60,48 @@
 //! assert_eq!(store.get(&CoeffKey::new(&[9, 9])), None); // zero, still charged
 //! assert_eq!(store.stats().retrievals, 2);
 //! ```
+//!
+//! Injecting faults and retrying through them:
+//!
+//! ```
+//! use batchbb_storage::{
+//!     retry::get_with_retry, CoefficientStore, FaultInjectingStore, FaultPlan, MemoryStore,
+//!     RetryPolicy,
+//! };
+//! use batchbb_tensor::CoeffKey;
+//!
+//! let inner = MemoryStore::from_entries([(CoeffKey::new(&[1, 3]), -2.0)]);
+//! let store = FaultInjectingStore::new(inner, FaultPlan::new(7).with_transient_rate(0.5));
+//! let policy = RetryPolicy { max_attempts: 16, ..RetryPolicy::default() };
+//! let out = get_with_retry(&store, &CoeffKey::new(&[1, 3]), &policy, policy.max_attempts);
+//! assert_eq!(out.result, Ok(Some(-2.0))); // survives transient faults
+//! assert!(store.injected().attempts_reconcile());
+//! ```
 
 #![warn(missing_docs)]
 
+#[cfg(unix)]
 mod block;
 mod caching;
+#[cfg(unix)]
 mod disk;
+mod error;
+mod fault;
 mod memory;
+pub mod retry;
 mod shared;
 mod stats;
 mod store;
 
+#[cfg(unix)]
 pub use block::{BlockLayout, BlockStore};
 pub use caching::CachingStore;
+#[cfg(unix)]
 pub use disk::FileStore;
+pub use error::StorageError;
+pub use fault::{FaultInjectingStore, FaultPlan};
 pub use memory::{ArrayStore, MemoryStore};
+pub use retry::{RetryOutcome, RetryPolicy};
 pub use shared::SharedStore;
-pub use stats::IoStats;
+pub use stats::{FaultStats, IoStats};
 pub use store::{CoefficientStore, MutableStore};

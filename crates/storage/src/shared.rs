@@ -5,7 +5,7 @@
 use batchbb_tensor::CoeffKey;
 use parking_lot::RwLock;
 
-use crate::{CoefficientStore, IoStats, MemoryStore, MutableStore};
+use crate::{CoefficientStore, IoStats, MemoryStore, MutableStore, StorageError};
 
 /// A [`MemoryStore`] behind a read/write lock, so readers (progressive
 /// executors hold `&store`) and writers (tuple inserts) can interleave.
@@ -47,6 +47,10 @@ impl SharedStore {
 impl CoefficientStore for SharedStore {
     fn get(&self, key: &CoeffKey) -> Option<f64> {
         self.inner.read().get(key)
+    }
+
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        self.inner.read().try_get(key)
     }
 
     fn nnz(&self) -> usize {

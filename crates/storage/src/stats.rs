@@ -15,6 +15,72 @@ pub struct IoStats {
     pub cache_hits: u64,
 }
 
+/// A snapshot of fault-path activity, reported alongside [`IoStats`] by
+/// fallible retrieval components ([`crate::FaultInjectingStore`], the retry
+/// helpers in [`crate::retry`], and the progressive executor's deferral
+/// queue in `batchbb-core`).
+///
+/// Two reconciliation invariants hold at **every** snapshot, not just at
+/// completion (see [`FaultStats::attempts_reconcile`] and
+/// [`FaultStats::deferrals_reconcile`]):
+///
+/// * `attempts = successes + transient_failures + permanent_failures` —
+///   every attempt is classified exactly once;
+/// * `deferrals = recoveries + still-deferred` — a key is counted as
+///   deferred the *first* time it enters the deferral queue and as
+///   recovered when it finally resolves, so the difference is exactly the
+///   population still waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Total retrieval attempts issued against the fallible path.
+    pub attempts: u64,
+    /// Attempts that returned a value (or a definitive "not stored").
+    pub successes: u64,
+    /// Attempts that failed with a retryable fault.
+    pub transient_failures: u64,
+    /// Attempts that failed with a non-retryable fault.
+    pub permanent_failures: u64,
+    /// Re-attempts issued after a retryable failure (`retries <=
+    /// transient_failures`: each retry is provoked by one failure).
+    pub retries: u64,
+    /// Keys pushed into a deferral queue after exhausting their retry
+    /// budget — counted once per key on *first* deferral.
+    pub deferrals: u64,
+    /// Previously deferred keys whose retrieval later succeeded.
+    pub recoveries: u64,
+    /// Simulated-time ticks spent in retry backoff.
+    pub backoff_ticks: u64,
+    /// Simulated-time ticks of injected fault latency.
+    pub latency_ticks: u64,
+}
+
+impl FaultStats {
+    /// Adds `other`'s counts into `self` (for aggregating per-component
+    /// stats into an evaluation-wide total).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.transient_failures += other.transient_failures;
+        self.permanent_failures += other.permanent_failures;
+        self.retries += other.retries;
+        self.deferrals += other.deferrals;
+        self.recoveries += other.recoveries;
+        self.backoff_ticks += other.backoff_ticks;
+        self.latency_ticks += other.latency_ticks;
+    }
+
+    /// `attempts = successes + transient_failures + permanent_failures`.
+    pub fn attempts_reconcile(&self) -> bool {
+        self.attempts == self.successes + self.transient_failures + self.permanent_failures
+    }
+
+    /// `deferrals = recoveries + still_deferred` for the caller-supplied
+    /// count of keys currently sitting in the deferral queue.
+    pub fn deferrals_reconcile(&self, still_deferred: u64) -> bool {
+        self.deferrals == self.recoveries + still_deferred
+    }
+}
+
 /// Interior-mutable counters backing [`IoStats`].
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
@@ -68,5 +134,38 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         c.reset();
         assert_eq!(c.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn fault_stats_merge_and_reconcile() {
+        let mut a = FaultStats {
+            attempts: 5,
+            successes: 3,
+            transient_failures: 2,
+            permanent_failures: 0,
+            retries: 2,
+            deferrals: 1,
+            recoveries: 0,
+            backoff_ticks: 3,
+            latency_ticks: 4,
+        };
+        assert!(a.attempts_reconcile());
+        assert!(a.deferrals_reconcile(1));
+        assert!(!a.deferrals_reconcile(0));
+        let b = FaultStats {
+            attempts: 2,
+            successes: 1,
+            transient_failures: 0,
+            permanent_failures: 1,
+            recoveries: 1,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.attempts, 7);
+        assert_eq!(a.successes, 4);
+        assert_eq!(a.permanent_failures, 1);
+        assert_eq!(a.recoveries, 1);
+        assert!(a.attempts_reconcile());
+        assert!(a.deferrals_reconcile(0));
     }
 }

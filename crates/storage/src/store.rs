@@ -2,7 +2,7 @@
 
 use batchbb_tensor::CoeffKey;
 
-use crate::IoStats;
+use crate::{IoStats, StorageError};
 
 /// Read access to a materialized view of transform coefficients.
 ///
@@ -17,6 +17,20 @@ pub trait CoefficientStore: Send + Sync {
     /// retrieval is still counted: the paper's cost model charges for the
     /// lookup, not for the value.
     fn get(&self, key: &CoeffKey) -> Option<f64>;
+
+    /// Fallible retrieval: like [`CoefficientStore::get`], but surfaces
+    /// retrieval failures instead of panicking or silently absorbing them.
+    ///
+    /// The default implementation delegates to `get` and never fails, so
+    /// purely in-memory stores get a correct fallible path for free.
+    /// Implementations backed by physical I/O ([`crate::FileStore`],
+    /// [`crate::BlockStore`]) override this to map backend errors to
+    /// [`StorageError::Io`]; [`crate::FaultInjectingStore`] overrides it to
+    /// inject faults from a deterministic plan. As with `get`, the attempt
+    /// is counted as one logical retrieval whether or not it succeeds.
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        Ok(self.get(key))
+    }
 
     /// Number of stored (nonzero) coefficients.
     fn nnz(&self) -> usize;
@@ -40,6 +54,10 @@ pub trait MutableStore: CoefficientStore {
 impl<S: CoefficientStore + ?Sized> CoefficientStore for &S {
     fn get(&self, key: &CoeffKey) -> Option<f64> {
         (**self).get(key)
+    }
+
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        (**self).try_get(key)
     }
 
     fn nnz(&self) -> usize {

@@ -1,0 +1,149 @@
+//! Property-based tests for the fault-injection layer: same-seed plans are
+//! perfectly reproducible (identical fault sequences, retry counts, and
+//! counters), injection is interleaving-independent per key, and a
+//! zero-rate plan is indistinguishable from the bare store.
+
+use proptest::prelude::*;
+
+use batchbb_storage::{
+    retry::get_with_retry, CoefficientStore, FaultInjectingStore, FaultPlan, MemoryStore,
+    RetryPolicy,
+};
+use batchbb_tensor::CoeffKey;
+
+fn arb_entries() -> impl Strategy<Value = Vec<(CoeffKey, f64)>> {
+    prop::collection::btree_map((0usize..16, 0usize..16), -50.0f64..50.0, 1..48).prop_map(|m| {
+        m.into_iter()
+            .filter(|&(_, v)| v.abs() > 1e-9)
+            .map(|((a, b), v)| (CoeffKey::new(&[a, b]), v))
+            .collect()
+    })
+}
+
+/// An access sequence over the entry set: indices into `entries`, with
+/// repeats, so per-key attempt counters advance past the first roll.
+fn arb_accesses() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..usize::MAX, 1..128)
+}
+
+fn build(
+    entries: &[(CoeffKey, f64)],
+    seed: u64,
+    rate: f64,
+    n_permanent: usize,
+) -> FaultInjectingStore<MemoryStore> {
+    let permanent: Vec<CoeffKey> = entries.iter().take(n_permanent).map(|&(k, _)| k).collect();
+    FaultInjectingStore::new(
+        MemoryStore::from_entries(entries.to_vec()),
+        FaultPlan::new(seed)
+            .with_transient_rate(rate)
+            .with_permanent_keys(permanent),
+    )
+}
+
+/// Compresses a `try_get` outcome into a comparable token.
+fn token(r: &Result<Option<f64>, batchbb_storage::StorageError>) -> String {
+    match r {
+        Ok(v) => format!("ok:{v:?}"),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two stores built from the same plan, driven through the same access
+    /// sequence, observe bit-identical fault sequences and counters.
+    #[test]
+    fn same_seed_same_fault_sequence(
+        entries in arb_entries(),
+        accesses in arb_accesses(),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.9,
+        n_permanent in 0usize..4,
+    ) {
+        let a = build(&entries, seed, rate, n_permanent);
+        let b = build(&entries, seed, rate, n_permanent);
+        for &ix in &accesses {
+            let key = entries[ix % entries.len()].0;
+            prop_assert_eq!(token(&a.try_get(&key)), token(&b.try_get(&key)));
+        }
+        let (sa, sb) = (a.injected(), b.injected());
+        prop_assert_eq!(sa.attempts, sb.attempts);
+        prop_assert_eq!(sa.successes, sb.successes);
+        prop_assert_eq!(sa.transient_failures, sb.transient_failures);
+        prop_assert_eq!(sa.permanent_failures, sb.permanent_failures);
+        prop_assert!(sa.attempts_reconcile());
+    }
+
+    /// Per-key fault outcomes depend only on (seed, key, attempt index) —
+    /// never on how accesses to different keys interleave.
+    #[test]
+    fn fault_sequence_is_interleaving_independent(
+        entries in arb_entries(),
+        accesses in arb_accesses(),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.9,
+    ) {
+        let a = build(&entries, seed, rate, 0);
+        let b = build(&entries, seed, rate, 0);
+        // Store A sees the arbitrary interleaving; store B replays the same
+        // multiset of accesses grouped key by key.
+        let keys: Vec<CoeffKey> =
+            accesses.iter().map(|&ix| entries[ix % entries.len()].0).collect();
+        let mut per_key_a: std::collections::BTreeMap<CoeffKey, Vec<String>> = Default::default();
+        for k in &keys {
+            per_key_a.entry(*k).or_default().push(token(&a.try_get(k)));
+        }
+        let mut per_key_b: std::collections::BTreeMap<CoeffKey, Vec<String>> = Default::default();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        for k in &sorted {
+            per_key_b.entry(*k).or_default().push(token(&b.try_get(k)));
+        }
+        prop_assert_eq!(per_key_a, per_key_b);
+    }
+
+    /// `get_with_retry` is deterministic: identical retry counts, backoff
+    /// charges, and final results across same-seed runs.
+    #[test]
+    fn retry_counts_are_reproducible(
+        entries in arb_entries(),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.9,
+        max_attempts in 1u32..6,
+    ) {
+        let policy = RetryPolicy { max_attempts, ..RetryPolicy::default() };
+        let a = build(&entries, seed, rate, 1);
+        let b = build(&entries, seed, rate, 1);
+        for &(key, _) in &entries {
+            let oa = get_with_retry(&a, &key, &policy, policy.max_attempts);
+            let ob = get_with_retry(&b, &key, &policy, policy.max_attempts);
+            prop_assert_eq!(token(&oa.result), token(&ob.result));
+            prop_assert_eq!(oa.attempts, ob.attempts);
+            prop_assert_eq!(oa.retries, ob.retries);
+            prop_assert_eq!(oa.backoff_ticks, ob.backoff_ticks);
+            prop_assert!(oa.attempts <= u64::from(max_attempts));
+        }
+        prop_assert_eq!(a.injected().attempts, b.injected().attempts);
+    }
+
+    /// With a zero transient rate and no broken keys, the wrapper is
+    /// transparent: `try_get` agrees with the bare store's `get` everywhere
+    /// and no failures are ever counted.
+    #[test]
+    fn zero_rate_wrapper_is_transparent(
+        entries in arb_entries(),
+        seed in any::<u64>(),
+    ) {
+        let wrapped = build(&entries, seed, 0.0, 0);
+        for &(key, value) in &entries {
+            prop_assert_eq!(wrapped.try_get(&key), Ok(Some(value)));
+        }
+        let absent = CoeffKey::new(&[999, 999]);
+        prop_assert_eq!(wrapped.try_get(&absent), Ok(None));
+        let st = wrapped.injected();
+        prop_assert_eq!(st.transient_failures + st.permanent_failures, 0);
+        prop_assert_eq!(st.attempts, st.successes);
+    }
+}

@@ -4,21 +4,18 @@
 
 use proptest::prelude::*;
 
-use batchbb_storage::{
-    ArrayStore, BlockLayout, BlockStore, CachingStore, CoefficientStore, FileStore, MemoryStore,
-    SharedStore,
-};
+use batchbb_storage::{ArrayStore, CachingStore, CoefficientStore, MemoryStore, SharedStore};
+#[cfg(unix)]
+use batchbb_storage::{BlockLayout, BlockStore, FileStore};
 use batchbb_tensor::{CoeffKey, Shape, Tensor};
 
 fn arb_entries() -> impl Strategy<Value = Vec<(CoeffKey, f64)>> {
-    prop::collection::btree_map((0usize..32, 0usize..32), -100.0f64..100.0, 0..64).prop_map(
-        |m| {
-            m.into_iter()
-                .filter(|&(_, v)| v.abs() > 1e-9)
-                .map(|((a, b), v)| (CoeffKey::new(&[a, b]), v))
-                .collect()
-        },
-    )
+    prop::collection::btree_map((0usize..32, 0usize..32), -100.0f64..100.0, 0..64).prop_map(|m| {
+        m.into_iter()
+            .filter(|&(_, v)| v.abs() > 1e-9)
+            .map(|((a, b), v)| (CoeffKey::new(&[a, b]), v))
+            .collect()
+    })
 }
 
 fn check_store(store: &dyn CoefficientStore, entries: &[(CoeffKey, f64)], dense: bool) {
@@ -58,30 +55,34 @@ proptest! {
             t[&[k.coord(0), k.coord(1)]] = *v;
         }
         check_store(&ArrayStore::from_tensor(t), &entries, true);
-        // file
-        let fpath = std::env::temp_dir().join(format!(
-            "batchbb-prop-file-{}-{}",
-            std::process::id(),
-            entries.len()
-        ));
-        check_store(&FileStore::create(&fpath, entries.clone()).unwrap(), &entries, false);
-        std::fs::remove_file(&fpath).unwrap();
-        // block, both layouts, block size not dividing entry count
-        for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
-            let bpath = std::env::temp_dir().join(format!(
-                "batchbb-prop-block-{layout:?}-{}-{}",
+        #[cfg(unix)]
+        {
+            // file
+            let fpath = std::env::temp_dir().join(format!(
+                "batchbb-prop-file-{}-{}",
                 std::process::id(),
                 entries.len()
             ));
-            check_store(
-                &BlockStore::create(&bpath, entries.clone(), 7, 3, layout).unwrap(),
-                &entries,
-                false,
-            );
-            std::fs::remove_file(&bpath).unwrap();
+            check_store(&FileStore::create(&fpath, entries.clone()).unwrap(), &entries, false);
+            std::fs::remove_file(&fpath).unwrap();
+            // block, both layouts, block size not dividing entry count
+            for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
+                let bpath = std::env::temp_dir().join(format!(
+                    "batchbb-prop-block-{layout:?}-{}-{}",
+                    std::process::id(),
+                    entries.len()
+                ));
+                check_store(
+                    &BlockStore::create(&bpath, entries.clone(), 7, 3, layout).unwrap(),
+                    &entries,
+                    false,
+                );
+                std::fs::remove_file(&bpath).unwrap();
+            }
         }
     }
 
+    #[cfg(unix)]
     #[test]
     fn block_store_physical_reads_bounded(entries in arb_entries()) {
         prop_assume!(!entries.is_empty());

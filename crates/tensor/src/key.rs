@@ -128,9 +128,11 @@ mod tests {
 
     #[test]
     fn lexicographic_order() {
-        let mut keys = [CoeffKey::new(&[1, 0]),
+        let mut keys = [
+            CoeffKey::new(&[1, 0]),
             CoeffKey::new(&[0, 5]),
-            CoeffKey::new(&[0, 2])];
+            CoeffKey::new(&[0, 2]),
+        ];
         keys.sort();
         assert_eq!(keys[0].coords(), &[0, 2]);
         assert_eq!(keys[1].coords(), &[0, 5]);

@@ -51,7 +51,10 @@ impl fmt::Display for ShapeError {
                 axis,
                 index,
                 extent,
-            } => write!(f, "index {index} out of bounds for axis {axis} (extent {extent})"),
+            } => write!(
+                f,
+                "index {index} out of bounds for axis {axis} (extent {extent})"
+            ),
             ShapeError::RankMismatch { expected, got } => {
                 write!(f, "expected {expected} coordinates, got {got}")
             }
@@ -235,10 +238,7 @@ mod tests {
 
     #[test]
     fn rejects_overflow() {
-        assert_eq!(
-            Shape::new(vec![usize::MAX, 2]),
-            Err(ShapeError::Overflow)
-        );
+        assert_eq!(Shape::new(vec![usize::MAX, 2]), Err(ShapeError::Overflow));
     }
 
     #[test]

@@ -275,7 +275,8 @@ mod tests {
     #[test]
     fn lanes_axis0_and_axis1() {
         // 2x3 tensor: lanes along axis 1 are the rows; along axis 0 the cols.
-        let mut t = Tensor::from_vec(shape(&[2, 3]), vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]).unwrap();
+        let mut t =
+            Tensor::from_vec(shape(&[2, 3]), vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]).unwrap();
         let mut rows = Vec::new();
         t.for_each_lane_mut(1, |lane| rows.push(lane.to_vec()));
         assert_eq!(rows, vec![vec![0.0, 1.0, 2.0], vec![10.0, 11.0, 12.0]]);

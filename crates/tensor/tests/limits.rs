@@ -28,7 +28,10 @@ fn singleton_axes_everywhere() {
     let t = Tensor::from_fn(shape.clone(), |ix| (ix[1] * 10 + ix[3]) as f64);
     assert_eq!(t.shape().len(), 15);
     assert_eq!(t[&[0, 4, 0, 2, 0]], 42.0);
-    assert_eq!(shape.unravel(shape.offset(&[0, 4, 0, 2, 0]).unwrap()), vec![0, 4, 0, 2, 0]);
+    assert_eq!(
+        shape.unravel(shape.offset(&[0, 4, 0, 2, 0]).unwrap()),
+        vec![0, 4, 0, 2, 0]
+    );
 }
 
 #[test]

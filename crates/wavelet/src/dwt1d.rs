@@ -169,7 +169,9 @@ mod tests {
     fn parseval_inner_products() {
         // Orthogonality: ⟨a,b⟩ = ⟨â,b̂⟩.
         let a: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).sin()).collect();
-        let b: Vec<f64> = (0..32).map(|i| (i as f64 * 1.3).cos() + 0.1 * i as f64).collect();
+        let b: Vec<f64> = (0..32)
+            .map(|i| (i as f64 * 1.3).cos() + 0.1 * i as f64)
+            .collect();
         let raw: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         for w in Wavelet::ALL {
             let ah = dwt(&a, w);
@@ -188,12 +190,7 @@ mod tests {
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let a1 = [(1.0f64 + 2.0) * s, (3.0f64 + 4.0) * s];
         let d1 = [(1.0f64 - 2.0) * s, (3.0f64 - 4.0) * s];
-        let expect = [
-            (a1[0] + a1[1]) * s,
-            (a1[0] - a1[1]) * s,
-            d1[0],
-            d1[1],
-        ];
+        let expect = [(a1[0] + a1[1]) * s, (a1[0] - a1[1]) * s, d1[0], d1[1]];
         assert_close(&c, &expect, TOL);
     }
 

@@ -37,7 +37,10 @@ pub enum Wavelet {
 /// Written with more digits than f64 resolves so the table matches the
 /// published tables digit-for-digit; the compiler rounds correctly.
 #[allow(clippy::excessive_precision)]
-const H_HAAR: [f64; 2] = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+const H_HAAR: [f64; 2] = [
+    std::f64::consts::FRAC_1_SQRT_2,
+    std::f64::consts::FRAC_1_SQRT_2,
+];
 #[allow(clippy::excessive_precision)]
 const H_DB4: [f64; 4] = [
     0.482962913144534143,
@@ -145,7 +148,10 @@ impl Wavelet {
     /// The smallest supported filter with more than `degree` vanishing
     /// moments — filter length `2·degree + 2` as prescribed by §3.1.
     pub fn for_degree(degree: usize) -> Option<Wavelet> {
-        Wavelet::ALL.iter().copied().find(|w| w.max_poly_degree() >= degree)
+        Wavelet::ALL
+            .iter()
+            .copied()
+            .find(|w| w.max_poly_degree() >= degree)
     }
 
     /// High-pass (detail) analysis coefficients `g[m] = (-1)^m h[L-1-m]`.
@@ -210,10 +216,7 @@ mod tests {
     fn lowpass_sums_to_sqrt2() {
         for w in Wavelet::ALL {
             let s: f64 = w.lowpass().iter().sum();
-            assert!(
-                (s - std::f64::consts::SQRT_2).abs() < TOL,
-                "{w}: Σh = {s}"
-            );
+            assert!((s - std::f64::consts::SQRT_2).abs() < TOL, "{w}: Σh = {s}");
         }
     }
 
@@ -276,10 +279,7 @@ mod tests {
         for w in Wavelet::ALL {
             let p = w.vanishing_moments();
             let mom = w.highpass_moments(p);
-            assert!(
-                mom[p].abs() > 1e-6,
-                "{w}: moment {p} unexpectedly vanishes"
-            );
+            assert!(mom[p].abs() > 1e-6, "{w}: moment {p} unexpectedly vanishes");
         }
     }
 

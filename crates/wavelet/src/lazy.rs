@@ -17,9 +17,9 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::{Poly, SparseVec1, Wavelet};
 #[cfg(test)]
 use crate::DEFAULT_TOL;
+use crate::{Poly, SparseVec1, Wavelet};
 
 /// Errors from the lazy transform.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -363,11 +363,29 @@ mod tests {
         // §2.1: characteristic functions have O(2 log N) Haar nonzeros;
         // §3.1: degree-δ factors have O((4δ+2) log N) nonzeros.
         let n = 1 << 16;
-        let haar = lazy_query_transform(n, 1000, 50000, &Poly::constant(1.0), Wavelet::Haar, DEFAULT_TOL)
-            .unwrap();
-        assert!(haar.nnz() <= 2 * (n.ilog2() as usize) + 2, "haar nnz {}", haar.nnz());
-        let db4 =
-            lazy_query_transform(n, 1000, 50000, &Poly::monomial(1), Wavelet::Db4, DEFAULT_TOL).unwrap();
+        let haar = lazy_query_transform(
+            n,
+            1000,
+            50000,
+            &Poly::constant(1.0),
+            Wavelet::Haar,
+            DEFAULT_TOL,
+        )
+        .unwrap();
+        assert!(
+            haar.nnz() <= 2 * (n.ilog2() as usize) + 2,
+            "haar nnz {}",
+            haar.nnz()
+        );
+        let db4 = lazy_query_transform(
+            n,
+            1000,
+            50000,
+            &Poly::monomial(1),
+            Wavelet::Db4,
+            DEFAULT_TOL,
+        )
+        .unwrap();
         assert!(
             db4.nnz() <= 6 * (n.ilog2() as usize + 1),
             "db4 nnz {}",
@@ -398,7 +416,8 @@ mod tests {
         let data: Vec<f64> = (0..n).map(|i| ((i * 13 + 7) % 29) as f64).collect();
         let data_hat = crate::dwt(&data, Wavelet::Db4);
         let (lo, hi) = (37, 199);
-        let q = lazy_query_transform(n, lo, hi, &Poly::monomial(1), Wavelet::Db4, DEFAULT_TOL).unwrap();
+        let q =
+            lazy_query_transform(n, lo, hi, &Poly::monomial(1), Wavelet::Db4, DEFAULT_TOL).unwrap();
         let progressive: f64 = q.dot_dense(&data_hat);
         let direct: f64 = (lo..=hi).map(|x| x as f64 * data[x]).sum();
         assert!(
@@ -412,7 +431,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
         for _ in 0..40 {
-            let n = 1 << rng.gen_range(3..10);
+            let n = 1usize << rng.gen_range(3u32..10);
             let lo = rng.gen_range(0..n);
             let hi = rng.gen_range(lo..n);
             let deg = rng.gen_range(0..3usize);

@@ -95,7 +95,9 @@ mod tests {
     fn separable_transform_is_tensor_product() {
         // q[x,y] = f(x)·g(y)  ⇒  q̂[ξ,η] = f̂(ξ)·ĝ(η)
         let f: Vec<f64> = (0..8).map(|i| (i as f64).powi(2) - 3.0).collect();
-        let g: Vec<f64> = (0..16).map(|i| if (4..9).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let g: Vec<f64> = (0..16)
+            .map(|i| if (4..9).contains(&i) { 1.0 } else { 0.0 })
+            .collect();
         let q = Tensor::from_fn(Shape::new(vec![8, 16]).unwrap(), |ix| f[ix[0]] * g[ix[1]]);
         let mut qh = q.clone();
         dwt_nd(&mut qh, Wavelet::Db4);
@@ -105,7 +107,10 @@ mod tests {
             for eta in 0..16 {
                 let expect = fh[xi] * gh[eta];
                 let got = qh[&[xi, eta]];
-                assert!((expect - got).abs() < 1e-9, "({xi},{eta}): {expect} vs {got}");
+                assert!(
+                    (expect - got).abs() < 1e-9,
+                    "({xi},{eta}): {expect} vs {got}"
+                );
             }
         }
     }

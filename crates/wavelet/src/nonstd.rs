@@ -141,11 +141,7 @@ pub fn nonstd_transform(data: &Tensor, wavelet: Wavelet, tol: f64) -> Vec<(Coeff
 /// *partial* transforms.  We compute each factor's scaling/detail
 /// coefficients at every level once (`O(N)` total per factor) and then
 /// enumerate nonzero products.
-pub fn nonstd_separable(
-    factors: &[Vec<f64>],
-    wavelet: Wavelet,
-    tol: f64,
-) -> Vec<(CoeffKey, f64)> {
+pub fn nonstd_separable(factors: &[Vec<f64>], wavelet: Wavelet, tol: f64) -> Vec<(CoeffKey, f64)> {
     let d = factors.len();
     assert!(d + 2 <= batchbb_tensor::MAX_DIMS, "too many factors");
     // Per factor, per level: (scaling coeffs, detail coeffs).
@@ -274,10 +270,7 @@ pub fn nonstd_dense_of_separable(
     let dims: Vec<usize> = factors.iter().map(Vec::len).collect();
     let shape = Shape::new(dims).expect("factor dims form a shape");
     let t = Tensor::from_fn(shape, |ix| {
-        ix.iter()
-            .enumerate()
-            .map(|(i, &x)| factors[i][x])
-            .product()
+        ix.iter().enumerate().map(|(i, &x)| factors[i][x]).product()
     });
     nonstd_transform(&t, wavelet, tol)
 }
@@ -305,16 +298,17 @@ mod tests {
                 (ix.iter().sum::<usize>() % 5) as f64
             });
             for w in [Wavelet::Haar, Wavelet::Db4] {
-                let ta: HashMap<CoeffKey, f64> =
-                    nonstd_transform(&a, w, 0.0).into_iter().collect();
-                let tb: HashMap<CoeffKey, f64> =
-                    nonstd_transform(&b, w, 0.0).into_iter().collect();
+                let ta: HashMap<CoeffKey, f64> = nonstd_transform(&a, w, 0.0).into_iter().collect();
+                let tb: HashMap<CoeffKey, f64> = nonstd_transform(&b, w, 0.0).into_iter().collect();
                 let dot: f64 = ta
                     .iter()
                     .map(|(k, v)| v * tb.get(k).copied().unwrap_or(0.0))
                     .sum();
                 let raw = a.dot(&b);
-                assert!((dot - raw).abs() < 1e-8 * raw.abs().max(1.0), "{w} {dims:?}: {dot} vs {raw}");
+                assert!(
+                    (dot - raw).abs() < 1e-8 * raw.abs().max(1.0),
+                    "{w} {dims:?}: {dot} vs {raw}"
+                );
             }
         }
     }
@@ -326,20 +320,20 @@ mod tests {
         let coeffs = nonstd_transform(&t, Wavelet::Db4, -1.0);
         assert_eq!(coeffs.len(), 64);
         // keys are unique
-        let uniq: std::collections::HashSet<CoeffKey> =
-            coeffs.iter().map(|&(k, _)| k).collect();
+        let uniq: std::collections::HashSet<CoeffKey> = coeffs.iter().map(|&(k, _)| k).collect();
         assert_eq!(uniq.len(), 64);
     }
 
     #[test]
     fn separable_matches_dense() {
-        let f: Vec<f64> = (0..8).map(|i| if (2..6).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let f: Vec<f64> = (0..8)
+            .map(|i| if (2..6).contains(&i) { 1.0 } else { 0.0 })
+            .collect();
         let g: Vec<f64> = (0..16).map(|i| i as f64 * 0.25).collect();
         for w in [Wavelet::Haar, Wavelet::Db4] {
-            let fast: HashMap<CoeffKey, f64> =
-                nonstd_separable(&[f.clone(), g.clone()], w, 1e-12)
-                    .into_iter()
-                    .collect();
+            let fast: HashMap<CoeffKey, f64> = nonstd_separable(&[f.clone(), g.clone()], w, 1e-12)
+                .into_iter()
+                .collect();
             let dense: HashMap<CoeffKey, f64> =
                 nonstd_dense_of_separable(&[f.clone(), g.clone()], w, 1e-12)
                     .into_iter()

@@ -107,10 +107,8 @@ impl SparseCoeffs {
         for (k, v) in pairs {
             *map.entry(k).or_insert(0.0) += v;
         }
-        let mut entries: Vec<(CoeffKey, f64)> = map
-            .into_iter()
-            .filter(|&(_, v)| v.abs() > tol)
-            .collect();
+        let mut entries: Vec<(CoeffKey, f64)> =
+            map.into_iter().filter(|&(_, v)| v.abs() > tol).collect();
         entries.sort_by_key(|&(k, _)| k);
         SparseCoeffs { entries }
     }
@@ -298,10 +296,8 @@ mod tests {
     #[test]
     fn sum_accumulates_terms() {
         let a = SparseCoeffs::from_pairs(vec![(CoeffKey::one(1), 1.0)], 0.0);
-        let b = SparseCoeffs::from_pairs(
-            vec![(CoeffKey::one(1), 2.0), (CoeffKey::one(3), 5.0)],
-            0.0,
-        );
+        let b =
+            SparseCoeffs::from_pairs(vec![(CoeffKey::one(1), 2.0), (CoeffKey::one(3), 5.0)], 0.0);
         let s = SparseCoeffs::sum(&[a, b], 0.0);
         assert_eq!(s.entries()[0], (CoeffKey::one(1), 3.0));
         assert_eq!(s.entries()[1], (CoeffKey::one(3), 5.0));
@@ -326,8 +322,14 @@ mod tests {
         );
         let top = sc.top_b(2);
         assert_eq!(top.nnz(), 2);
-        assert!(top.entries().iter().any(|&(k, v)| k == CoeffKey::one(1) && v == -5.0));
-        assert!(top.entries().iter().any(|&(k, v)| k == CoeffKey::one(2) && v == 3.0));
+        assert!(top
+            .entries()
+            .iter()
+            .any(|&(k, v)| k == CoeffKey::one(1) && v == -5.0));
+        assert!(top
+            .entries()
+            .iter()
+            .any(|&(k, v)| k == CoeffKey::one(2) && v == 3.0));
         assert_eq!(sc.top_b(100).nnz(), 3, "oversized b keeps everything");
     }
 

@@ -20,10 +20,7 @@ fn basis_functions_are_orthonormal() {
             for j in i..n {
                 let dot: f64 = fns[i].iter().zip(&fns[j]).map(|(a, b)| a * b).sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (dot - expect).abs() < 1e-9,
-                    "{w}: ⟨ψ_{i}, ψ_{j}⟩ = {dot}"
-                );
+                assert!((dot - expect).abs() < 1e-9, "{w}: ⟨ψ_{i}, ψ_{j}⟩ = {dot}");
             }
         }
     }

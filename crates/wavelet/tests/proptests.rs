@@ -13,9 +13,7 @@ fn arb_wavelet() -> impl Strategy<Value = Wavelet> {
 }
 
 fn arb_signal(max_bits: u32) -> impl Strategy<Value = Vec<f64>> {
-    (2u32..=max_bits).prop_flat_map(|bits| {
-        prop::collection::vec(-100.0f64..100.0, 1usize << bits)
-    })
+    (2u32..=max_bits).prop_flat_map(|bits| prop::collection::vec(-100.0f64..100.0, 1usize << bits))
 }
 
 proptest! {

@@ -26,7 +26,10 @@ fn main() {
         .into_iter()
         .map(RangeSum::count)
         .collect();
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(dfd.tensor()))
+        .collect();
     let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
     let master = MasterList::build(&batch);
     println!(
@@ -45,8 +48,7 @@ fn main() {
     for cursor in [4usize, 20, 40, 59] {
         let penalty = CursorPenalty::new(windows, cursor, 25.0, 4.0, CursorKernel::Gaussian);
         // Rebuild the progression for this cursor from the shared merge.
-        let mut exec =
-            ProgressiveExecutor::from_master(windows, master.clone(), &penalty, &store);
+        let mut exec = ProgressiveExecutor::from_master(windows, master.clone(), &penalty, &store);
         exec.run(budget);
         let est = exec.estimates();
         let viewport: Vec<usize> = (cursor.saturating_sub(4)..(cursor + 4).min(windows)).collect();

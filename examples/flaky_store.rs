@@ -1,0 +1,86 @@
+//! Graceful degradation under storage faults.
+//!
+//! Evaluates a batch of range-count queries through a store that fails 30%
+//! of retrievals transiently and refuses two coefficients outright, then
+//! shows the degradation contract in action: valid estimates with a
+//! penalty bound while coefficients are deferred, and bit-exact
+//! convergence once the store heals.
+//!
+//! Run with: `cargo run --example flaky_store`
+
+use batchbb::prelude::*;
+
+fn main() {
+    // Data and preprocessed wavelet view.
+    let shape = Shape::new(vec![32, 32]).unwrap();
+    let data = Tensor::from_fn(shape.clone(), |ix| ((ix[0] * 3 + ix[1] * 7) % 11) as f64);
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(&data));
+
+    // A batch partitioning the domain into 8 column bands.
+    let queries: Vec<RangeSum> = (0..8)
+        .map(|i| RangeSum::count(HyperRect::new(vec![0, i * 4], vec![31, i * 4 + 3])))
+        .collect();
+    let batch = BatchQueries::rewrite(&strategy, queries, &shape).unwrap();
+
+    // Fault-free reference.
+    let mut reference = ProgressiveExecutor::new(&batch, &Sse, &store);
+    reference.run_to_end();
+
+    // The same store behind a fault injector: 30% transient failures, and
+    // the two most important coefficients broken until `heal`.
+    let broken: Vec<CoeffKey> = {
+        let mut probe = ProgressiveExecutor::new(&batch, &Sse, &store);
+        (0..2).map(|_| probe.step().unwrap().key).collect()
+    };
+    let flaky = FaultInjectingStore::new(
+        &store,
+        FaultPlan::new(0xdecaf)
+            .with_transient_rate(0.3)
+            .with_permanent_keys(broken.iter().copied()),
+    );
+
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &flaky);
+    let policy = RetryPolicy::default();
+    let n_total = 32 * 32;
+    let k = store.abs_sum();
+
+    let status = exec.drain_with_faults(&policy);
+    let report = exec.degradation_report(n_total, k);
+    println!("drain over faulty store    : {status:?}");
+    println!("deferred coefficients      : {:?}", report.deferred.len());
+    println!(
+        "expected penalty bound     : {:.3}",
+        report.expected_penalty
+    );
+    println!(
+        "worst-case penalty bound   : {:.3}",
+        report.worst_case_bound
+    );
+    println!(
+        "fault counters             : {} attempts, {} transient, {} permanent, {} retries",
+        report.fault.attempts,
+        report.fault.transient_failures,
+        report.fault.permanent_failures,
+        report.fault.retries
+    );
+    println!(
+        "degraded estimates (valid) : {:?}",
+        exec.estimates()
+            .iter()
+            .map(|e| e.round())
+            .collect::<Vec<_>>()
+    );
+
+    // The store recovers; the deferral queue drains to exactness.
+    flaky.heal();
+    let status = exec.drain_with_faults(&policy);
+    let report = exec.degradation_report(n_total, k);
+    println!("drain after heal           : {status:?}");
+    println!("exact                      : {}", report.is_exact);
+    println!(
+        "estimates match fault-free : {}",
+        exec.estimates() == reference.estimates()
+    );
+    assert_eq!(exec.estimates(), reference.estimates());
+}

@@ -20,7 +20,10 @@ fn main() {
     // --- 3. A batch: COUNT over a 4×4 grid partition of the whole domain.
     let ranges = partition::grid_partition(&domain, &[4, 4]);
     let queries: Vec<RangeSum> = ranges.iter().cloned().map(RangeSum::count).collect();
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(dfd.tensor()))
+        .collect();
     let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
     println!(
         "batch: {} queries, {} coefficients total, {} after I/O sharing",
@@ -32,7 +35,10 @@ fn main() {
     // --- 4. Progressive evaluation under SSE.
     store.reset_stats();
     let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
-    println!("\n{:>12} {:>18} {:>16}", "retrieved", "mean rel. error", "norm. SSE");
+    println!(
+        "\n{:>12} {:>18} {:>16}",
+        "retrieved", "mean rel. error", "norm. SSE"
+    );
     let mut budget = 1usize;
     while !exec.is_exact() {
         let stepped = exec.run(budget - exec.retrieved());

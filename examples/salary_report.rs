@@ -12,7 +12,11 @@ fn main() {
     let dataset = synth::salary(250_000, 2002);
     let dfd = dataset.to_frequency_distribution();
     let domain = dfd.schema().domain();
-    println!("employees: {} on {} (age × salary_k)", dataset.len(), domain);
+    println!(
+        "employees: {} on {} (age × salary_k)",
+        dataset.len(),
+        domain
+    );
 
     let strategy = WaveletStrategy::new(Wavelet::Db4);
     let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
@@ -25,17 +29,15 @@ fn main() {
     // The whole §3 query family over one range, as one batch.
     let (age, sal) = (0, 1);
     let queries = vec![
-        RangeSum::count(range.clone()),                    // COUNT
-        RangeSum::sum(range.clone(), sal),                 // SUM(salary)
-        RangeSum::sum(range.clone(), age),                 // SUM(age)
-        RangeSum::sum_product(range.clone(), sal, sal),    // SUM(salary²)
-        RangeSum::sum_product(range.clone(), age, sal),    // SUM(age·salary)
+        RangeSum::count(range.clone()),                 // COUNT
+        RangeSum::sum(range.clone(), sal),              // SUM(salary)
+        RangeSum::sum(range.clone(), age),              // SUM(age)
+        RangeSum::sum_product(range.clone(), sal, sal), // SUM(salary²)
+        RangeSum::sum_product(range.clone(), age, sal), // SUM(age·salary)
     ];
     // degree 2 (salary²) needs Db6; pick the minimal adequate filter.
-    let strategy = WaveletStrategy::for_degree(
-        queries.iter().map(RangeSum::degree).max().unwrap(),
-    )
-    .expect("degree supported");
+    let strategy = WaveletStrategy::for_degree(queries.iter().map(RangeSum::degree).max().unwrap())
+        .expect("degree supported");
     println!("strategy: {}", strategy.name());
     let store = {
         drop(store);
@@ -51,7 +53,10 @@ fn main() {
     );
 
     // Progressive: report the derived statistics at increasing budgets.
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(dfd.tensor()))
+        .collect();
     let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
     println!(
         "\n{:>10} {:>12} {:>14} {:>12} {:>12} {:>14}",

@@ -72,7 +72,10 @@ fn main() {
     );
     let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store);
     exec.run_to_end();
-    println!("\n{:>22} {:>10} {:>12}", "age band (bins)", "COUNT", "AVG(salary)");
+    println!(
+        "\n{:>22} {:>10} {:>12}",
+        "age band (bins)", "COUNT", "AVG(salary)"
+    );
     for (cell, row) in p.cells().iter().zip(p.finish(exec.estimates())) {
         println!(
             "{:>22} {:>10.0} {:>12.2}",

@@ -50,7 +50,10 @@ fn main() {
         .map(|q| RangeSum::count(q.range().clone()))
         .collect();
 
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(dfd.tensor()))
+        .collect();
     let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
     let count_batch = BatchQueries::rewrite(&strategy, counts, &domain).unwrap();
 

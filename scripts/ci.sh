@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints, release build, test suite.
+# Runs entirely offline — all dependencies are in-tree (see shims/).
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip the release build (fmt + clippy + tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *)
+            echo "unknown argument: $arg" >&2
+            exit 2
+            ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+if [ "$quick" -eq 0 ]; then
+    run cargo build --release
+fi
+run cargo test -q --workspace
+
+echo "==> ci green"

@@ -1,0 +1,87 @@
+//! Shim exposing the `bytes` API surface used by this workspace:
+//! little-endian `f64` reads/writes over a growable byte buffer.
+
+use std::ops::Deref;
+
+/// Sequential little-endian reads from a byte source.
+pub trait Buf {
+    /// Reads the next 8 bytes as a little-endian `f64`, advancing the
+    /// cursor. Panics if fewer than 8 bytes remain.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for &[u8] {
+    fn get_f64_le(&mut self) -> f64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        f64::from_le_bytes(head.try_into().expect("split_at returned 8 bytes"))
+    }
+}
+
+/// Sequential little-endian writes into a byte sink.
+pub trait BufMut {
+    /// Appends `v` as 8 little-endian bytes.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_f64_le(&mut self, v: f64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_f64_le(1.5);
+        buf.put_f64_le(-2.25);
+        assert_eq!(buf.len(), 16);
+        let mut slice = &buf[..];
+        assert_eq!(slice.get_f64_le(), 1.5);
+        assert_eq!(slice.get_f64_le(), -2.25);
+        assert!(slice.is_empty());
+    }
+}

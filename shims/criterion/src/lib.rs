@@ -1,0 +1,218 @@
+//! Shim exposing the `criterion` API surface used by this workspace's
+//! benches.
+//!
+//! Two modes, selected from the process arguments the way upstream does:
+//!
+//! * **bench mode** (`--bench` present, i.e. `cargo bench`): each routine
+//!   is warmed up, then timed over enough iterations to fill a small
+//!   budget; mean ns/iter is printed;
+//! * **test mode** (anything else, i.e. `cargo test` compiling the bench
+//!   target with `harness = false`): each routine runs once so the bench
+//!   code is exercised but stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing harness handed to each benchmark routine.
+pub struct Bencher {
+    bench_mode: bool,
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`. In test mode the routine runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            black_box(routine());
+            self.last_ns = 0.0;
+            return;
+        }
+        // Warm up and estimate a single-iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~50ms of measurement, between 1 and 10_000 iterations.
+        let iters =
+            (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            bench_mode: self.criterion.bench_mode,
+            last_ns: 0.0,
+        };
+        routine(&mut b);
+        self.criterion.report(&self.name, &id.0, b.last_ns);
+        self
+    }
+
+    /// Benchmarks `routine` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            bench_mode: self.criterion.bench_mode,
+            last_ns: 0.0,
+        };
+        routine(&mut b, input);
+        self.criterion.report(&self.name, &id.0, b.last_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name_owned = name.to_string();
+        let mut g = self.benchmark_group(name_owned);
+        g.bench_function(name, routine);
+        g.finish();
+        self
+    }
+
+    fn report(&self, group: &str, id: &str, ns: f64) {
+        if self.bench_mode {
+            println!("{group}/{id}: {ns:.0} ns/iter");
+        }
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("one", |b| {
+            b.iter(|| runs += 1);
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_times_iterations() {
+        let mut c = Criterion { bench_mode: true };
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("n", 3), &3u64, |b, &n| {
+            b.iter(|| {
+                runs += n;
+                black_box(runs)
+            });
+        });
+        g.finish();
+        assert!(runs >= 3, "routine must run at least once");
+    }
+}

@@ -1,0 +1,54 @@
+//! Shim over `std::thread::scope` exposing the `crossbeam::scope` API
+//! surface used by this workspace.
+//!
+//! Difference from upstream: a panicking child thread propagates its panic
+//! when the scope exits (via `std::thread::scope` semantics) instead of
+//! being reported through the returned `Result`. Callers here `.expect()`
+//! the result, so the observable behaviour — a panic — is the same.
+
+/// A scope handle; closures passed to [`Scope::spawn`] receive it so they
+/// can spawn nested scoped threads.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives this scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, non-`'static` threads can be
+/// spawned; all are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = [0u64; 8];
+        super::scope(|scope| {
+            for chunk in data.chunks_mut(2) {
+                scope.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&v| v == 1));
+    }
+}

@@ -54,10 +54,10 @@
 #![warn(missing_docs)]
 
 pub use batchbb_core as core;
-pub use batchbb_sqlish as sqlish;
 pub use batchbb_penalty as penalty;
 pub use batchbb_query as query;
 pub use batchbb_relation as relation;
+pub use batchbb_sqlish as sqlish;
 pub use batchbb_storage as storage;
 pub use batchbb_tensor as tensor;
 pub use batchbb_wavelet as wavelet;
@@ -65,9 +65,12 @@ pub use batchbb_wavelet as wavelet;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use batchbb_core::{
-        bounded::evaluate_bounded, data_approx::CompressedView, metrics, optimality,
-        round_robin::RoundRobin, stats, BatchQueries,
-        MasterList, ProgressiveExecutor, StepInfo,
+        bounded::{evaluate_bounded, evaluate_bounded_fallible},
+        data_approx::CompressedView,
+        metrics, optimality,
+        round_robin::RoundRobin,
+        stats, BatchQueries, DegradationReport, DrainStatus, MasterList, ProgressiveExecutor,
+        StepInfo, TryStepOutcome,
     };
     pub use batchbb_penalty::{
         Combination, CursorKernel, CursorPenalty, DiagonalQuadratic, LaplacianPenalty, LpPenalty,
@@ -81,9 +84,12 @@ pub mod prelude {
         cube, synth, Attribute, Dataset, FrequencyDistribution, Schema, SchemaError,
     };
     pub use batchbb_storage::{
-        ArrayStore, BlockLayout, BlockStore, CachingStore, CoefficientStore, FileStore, IoStats,
-        MemoryStore, MutableStore, SharedStore,
+        retry::get_with_retry, ArrayStore, CachingStore, CoefficientStore, FaultInjectingStore,
+        FaultPlan, FaultStats, IoStats, MemoryStore, MutableStore, RetryPolicy, SharedStore,
+        StorageError,
     };
+    #[cfg(unix)]
+    pub use batchbb_storage::{BlockLayout, BlockStore, FileStore};
     pub use batchbb_tensor::{CoeffKey, Shape, Tensor};
     pub use batchbb_wavelet::{Poly, SparseCoeffs, SparseVec1, Wavelet};
 }

@@ -35,7 +35,7 @@ fn equi_depth_balances_skewed_attributes() {
     .unwrap();
 
     let occupancy_spread = |schema: &Schema| -> f64 {
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for t in &tuples {
             counts[schema.attributes()[0].bin(t[0])] += 1;
         }

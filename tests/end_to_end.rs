@@ -22,7 +22,10 @@ fn count_batch(domain: &Shape, cells: usize, seed: u64) -> Vec<RangeSum> {
 fn every_strategy_reaches_exact_results() {
     let (dfd, domain) = fixture();
     let queries = count_batch(&domain, 24, 7);
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(dfd.tensor()))
+        .collect();
 
     let strategies: Vec<Box<dyn LinearStrategy>> = vec![
         Box::new(WaveletStrategy::new(Wavelet::Haar)),
@@ -46,6 +49,7 @@ fn every_strategy_reaches_exact_results() {
     }
 }
 
+#[cfg(unix)]
 #[test]
 fn file_and_block_stores_agree_with_memory() {
     let (dfd, domain) = fixture();
@@ -114,7 +118,10 @@ fn progressive_error_bound_holds_pointwise() {
     // K^2 · ι(next) at any step.
     let (dfd, domain) = fixture();
     let queries = count_batch(&domain, 12, 13);
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(dfd.tensor()))
+        .collect();
     let strategy = WaveletStrategy::new(Wavelet::Haar);
     let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
     let k = store.abs_sum();

@@ -12,7 +12,10 @@ fn workload() -> (FrequencyDistribution, Shape, Vec<RangeSum>, Vec<f64>) {
         .into_iter()
         .map(RangeSum::count)
         .collect();
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(dfd.tensor()))
+        .collect();
     (dfd, domain, queries, exact)
 }
 
@@ -39,25 +42,49 @@ fn every_strategy_times_every_store_is_exact() {
         let entries = strategy.transform_data(dfd.tensor());
         let batch = BatchQueries::rewrite(strategy.as_ref(), queries.clone(), &domain).unwrap();
 
-        let tmp = std::env::temp_dir();
-        let fpath = tmp.join(format!("batchbb-matrix-f-{}-{}", std::process::id(), strategy.name().len()));
-        let bpath = tmp.join(format!("batchbb-matrix-b-{}-{}", std::process::id(), strategy.name().len()));
-        let stores: Vec<(&str, Box<dyn CoefficientStore>)> = vec![
-            ("memory", Box::new(MemoryStore::from_entries(entries.clone()))),
-            ("shared", Box::new(SharedStore::from_entries(entries.clone()))),
+        #[allow(unused_mut)]
+        let mut stores: Vec<(&str, Box<dyn CoefficientStore>)> = vec![
+            (
+                "memory",
+                Box::new(MemoryStore::from_entries(entries.clone())),
+            ),
+            (
+                "shared",
+                Box::new(SharedStore::from_entries(entries.clone())),
+            ),
             (
                 "caching",
-                Box::new(CachingStore::new(MemoryStore::from_entries(entries.clone()))),
+                Box::new(CachingStore::new(MemoryStore::from_entries(
+                    entries.clone(),
+                ))),
             ),
-            ("file", Box::new(FileStore::create(&fpath, entries.clone()).unwrap())),
-            (
+        ];
+        #[cfg(unix)]
+        let (fpath, bpath) = {
+            let tmp = std::env::temp_dir();
+            let fpath = tmp.join(format!(
+                "batchbb-matrix-f-{}-{}",
+                std::process::id(),
+                strategy.name().len()
+            ));
+            let bpath = tmp.join(format!(
+                "batchbb-matrix-b-{}-{}",
+                std::process::id(),
+                strategy.name().len()
+            ));
+            stores.push((
+                "file",
+                Box::new(FileStore::create(&fpath, entries.clone()).unwrap()),
+            ));
+            stores.push((
                 "block",
                 Box::new(
                     BlockStore::create(&bpath, entries.clone(), 32, 4, BlockLayout::LevelMajor)
                         .unwrap(),
                 ),
-            ),
-        ];
+            ));
+            (fpath, bpath)
+        };
         for (store_name, store) in &stores {
             let mut exec = ProgressiveExecutor::new(&batch, &Sse, store.as_ref());
             exec.run_to_end();
@@ -70,8 +97,11 @@ fn every_strategy_times_every_store_is_exact() {
             }
         }
         drop(stores);
-        std::fs::remove_file(&fpath).unwrap();
-        std::fs::remove_file(&bpath).unwrap();
+        #[cfg(unix)]
+        {
+            std::fs::remove_file(&fpath).unwrap();
+            std::fs::remove_file(&bpath).unwrap();
+        }
     }
 }
 
@@ -86,7 +116,13 @@ fn every_penalty_family_reaches_exactness_and_orders_sanely() {
     let penalties: Vec<Box<dyn Penalty>> = vec![
         Box::new(Sse),
         Box::new(DiagonalQuadratic::cursored(s, &[0, 1], 10.0)),
-        Box::new(CursorPenalty::new(s, s / 2, 10.0, 2.0, CursorKernel::Gaussian)),
+        Box::new(CursorPenalty::new(
+            s,
+            s / 2,
+            10.0,
+            2.0,
+            CursorKernel::Gaussian,
+        )),
         Box::new(LaplacianPenalty::path(s)),
         Box::new(LpPenalty::l1()),
         Box::new(LpPenalty::l2()),

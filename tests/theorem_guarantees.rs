@@ -21,7 +21,10 @@ fn fixture() -> (FrequencyDistribution, Shape, Vec<RangeSum>, Vec<f64>) {
         .into_iter()
         .map(RangeSum::count)
         .collect();
-    let exact: Vec<f64> = queries.iter().map(|q| q.eval_direct(cube.tensor())).collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| q.eval_direct(cube.tensor()))
+        .collect();
     (cube, domain, queries, exact)
 }
 
