@@ -1,0 +1,260 @@
+//! Replays an observability trace (`exec.*` JSONL, see DESIGN.md §8) into a
+//! per-step progress table and *verifies* the trace's invariants:
+//!
+//! * the `worst_case_bound` column is monotonically non-increasing (the
+//!   degradation contract of Theorems 1/2 extended to deferrals);
+//! * the final `exec.finish` counters reconcile with the per-step events
+//!   (`attempts = successes + transient + permanent`, first-deferral events
+//!   match the deferral count, recovered steps match the recovery count).
+//!
+//! Any violation prints a diagnostic and exits nonzero, which makes this
+//! binary a CI gate over the event schema, not just a pretty-printer.
+//!
+//! With no `--input`, a self-contained demo runs first: a fault-injected
+//! progressive evaluation of the §6 temperature workload (two permanently
+//! broken top coefficients plus a transient fault rate), degraded drain,
+//! store heal, recovery drain — the richest trace the executor can emit.
+//!
+//! Flags: `--input trace.jsonl` (replay instead of demo), `--output
+//! trace.jsonl` (save the demo trace), `--limit N` (table head/tail rows,
+//! default 10), `--records N`, `--cells N`, `--seed N` (demo workload).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use batchbb_bench::{temperature_workload, Args};
+use batchbb_core::{BatchQueries, ExecObserver, ProgressiveExecutor};
+use batchbb_obs::jsonl::{self, ParsedEvent};
+use batchbb_obs::MemorySink;
+use batchbb_penalty::Sse;
+use batchbb_query::{LinearStrategy, WaveletStrategy};
+use batchbb_storage::{
+    FaultInjectingStore, FaultPlan, InstrumentedStore, MemoryStore, RetryPolicy,
+};
+use batchbb_wavelet::Wavelet;
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let limit = args.usize("limit", 10);
+
+    let lines: Vec<String> = match args.get("input") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read --input {path}: {e}"));
+            text.lines().map(str::to_string).collect()
+        }
+        None => {
+            let lines = demo_trace(
+                args.usize("records", 20_000),
+                args.usize("cells", 16),
+                args.u64("seed", 7),
+            );
+            if let Some(path) = args.get("output") {
+                let mut text = lines.join("\n");
+                text.push('\n');
+                std::fs::write(path, text)
+                    .unwrap_or_else(|e| panic!("cannot write --output {path}: {e}"));
+                println!("# trace saved to {path}");
+            }
+            lines
+        }
+    };
+
+    let events: Vec<ParsedEvent> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            jsonl::parse_line(l).unwrap_or_else(|e| panic!("line {}: bad JSONL: {e}", i + 1))
+        })
+        .collect();
+
+    print_table(&events, limit);
+    match verify(&events) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(violation) => {
+            eprintln!("TRACE INVARIANT VIOLATED: {violation}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the fault-injected demo evaluation and returns its JSONL trace.
+fn demo_trace(records: usize, cells: usize, seed: u64) -> Vec<String> {
+    let w = temperature_workload(records, cells, false, true, seed);
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(w.cube.tensor()));
+    let batch = BatchQueries::rewrite(&strategy, w.queries.clone(), &w.domain)
+        .expect("workload queries fit their domain");
+
+    // Break the two most important coefficients of the progression, so the
+    // executor must defer real mass and the penalty bound visibly plateaus
+    // until the store heals.
+    let mut probe = ProgressiveExecutor::new(&batch, &Sse, &store);
+    let broken: Vec<_> = (0..2).filter_map(|_| probe.step().map(|i| i.key)).collect();
+    let faulty = FaultInjectingStore::new(
+        &store,
+        FaultPlan::new(seed)
+            .with_transient_rate(0.1)
+            .with_permanent_keys(broken),
+    );
+
+    let sink = Arc::new(MemorySink::new());
+    let wrapped = InstrumentedStore::new(faulty).with_sink(sink.clone());
+    let observer = ExecObserver::new(sink.clone()).with_bounds(w.domain.len(), store.abs_sum());
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &wrapped).with_observer(observer);
+
+    let policy = RetryPolicy::default();
+    exec.drain_with_faults(&policy); // degraded: permanent keys deferred
+    wrapped.inner().heal();
+    exec.drain_with_faults(&policy); // recovers the deferred mass, exact
+    assert!(exec.is_exact(), "demo must converge after heal");
+    sink.lines()
+}
+
+fn fmt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.4e}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Prints the per-step table: head/tail `limit` rows of the progression.
+fn print_table(events: &[ParsedEvent], limit: usize) {
+    let rows: Vec<&ParsedEvent> = events
+        .iter()
+        .filter(|e| e.name() == "exec.step" || e.name() == "exec.defer")
+        .collect();
+    println!(
+        "{:>6}  {:<10} {:<18} {:>11} {:>8} {:>8} {:>12} {:>12} {:>9} {:>8}",
+        "step",
+        "kind",
+        "key",
+        "importance",
+        "pending",
+        "deferred",
+        "E[penalty]",
+        "worst-case",
+        "attempts",
+        "retries"
+    );
+    let elide = rows.len() > 2 * limit;
+    for (i, e) in rows.iter().enumerate() {
+        if elide && i == limit {
+            println!("{:>6}  ... {} rows elided ...", "", rows.len() - 2 * limit);
+        }
+        if elide && (limit..rows.len() - limit).contains(&i) {
+            continue;
+        }
+        let kind = match e.name() {
+            "exec.defer" => {
+                let first = e.bool("first").unwrap_or(true);
+                if first {
+                    "defer"
+                } else {
+                    "re-defer"
+                }
+            }
+            _ => e.str("kind").unwrap_or("?"),
+        };
+        println!(
+            "{:>6}  {:<10} {:<18} {:>11} {:>8} {:>8} {:>12} {:>12} {:>9} {:>8}",
+            e.u64("step").map(|s| s.to_string()).unwrap_or_default(),
+            kind,
+            e.str("key").unwrap_or("?"),
+            fmt_f64(e.num("importance")),
+            e.u64("pending").unwrap_or(0),
+            e.u64("deferred").unwrap_or(0),
+            fmt_f64(e.num("expected_penalty")),
+            fmt_f64(e.num("worst_case_bound")),
+            e.u64("attempts").unwrap_or(0),
+            e.u64("retries").unwrap_or(0),
+        );
+    }
+}
+
+/// Checks the trace invariants; returns a one-line summary or the first
+/// violation found.
+fn verify(events: &[ParsedEvent]) -> Result<String, String> {
+    let steps: Vec<&ParsedEvent> = events.iter().filter(|e| e.name() == "exec.step").collect();
+    if steps.is_empty() {
+        return Err("trace holds no exec.step events".to_string());
+    }
+
+    // 1. The worst-case penalty bound never increases along the progression.
+    let mut last: Option<f64> = None;
+    for (i, e) in steps.iter().enumerate() {
+        let Some(bound) = e.num("worst_case_bound") else {
+            continue; // engines without importance tracking omit the field
+        };
+        if let Some(prev) = last {
+            if bound > prev * (1.0 + 1e-12) + 1e-12 {
+                return Err(format!(
+                    "worst_case_bound rose from {prev} to {bound} at step event {i}"
+                ));
+            }
+        }
+        last = Some(bound);
+    }
+
+    // 2. The final cumulative counters reconcile with the event stream.
+    let finish = events
+        .iter()
+        .rev()
+        .find(|e| e.name() == "exec.finish")
+        .ok_or("trace holds no exec.finish event")?;
+    let c = |k: &str| finish.u64(k).unwrap_or(0);
+    let (attempts, successes) = (c("attempts"), c("successes"));
+    let (transient, permanent) = (c("transient_failures"), c("permanent_failures"));
+    let (deferrals, recoveries) = (c("deferrals"), c("recoveries"));
+    if attempts != successes + transient + permanent {
+        return Err(format!(
+            "attempts {attempts} != successes {successes} + transient {transient} + permanent {permanent}"
+        ));
+    }
+    if deferrals < recoveries {
+        return Err(format!(
+            "recoveries {recoveries} exceed deferrals {deferrals}"
+        ));
+    }
+    let first_deferrals = events
+        .iter()
+        .filter(|e| e.name() == "exec.defer" && e.bool("first") == Some(true))
+        .count() as u64;
+    if first_deferrals != deferrals {
+        return Err(format!(
+            "{first_deferrals} first-deferral events vs {deferrals} counted deferrals"
+        ));
+    }
+    let recovered_steps = steps
+        .iter()
+        .filter(|e| e.str("kind") == Some("recovered"))
+        .count() as u64;
+    if recovered_steps != recoveries {
+        return Err(format!(
+            "{recovered_steps} recovered steps vs {recoveries} counted recoveries"
+        ));
+    }
+    if c("retrieved") != steps.len() as u64 {
+        return Err(format!(
+            "finish reports {} retrievals but the trace holds {} step events",
+            c("retrieved"),
+            steps.len()
+        ));
+    }
+
+    let store_faults = events.iter().filter(|e| e.name() == "store.fault").count();
+    let final_bound = last.map(|b| format!("{b:.4e}")).unwrap_or("-".to_string());
+    Ok(format!(
+        "OK: {} steps ({} recovered), {} deferrals, {} store faults, {} attempts, final worst-case bound {}",
+        steps.len(),
+        recovered_steps,
+        deferrals,
+        store_faults,
+        attempts,
+        final_bound
+    ))
+}

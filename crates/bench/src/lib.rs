@@ -59,6 +59,11 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// String flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
     /// Boolean flag (`--name true/false`) with default.
     pub fn flag(&self, name: &str, default: bool) -> bool {
         self.values

@@ -1,8 +1,11 @@
 //! A batch of queries rewritten into the transform domain.
 
+use batchbb_obs::SpanTimer;
 use batchbb_query::{LinearStrategy, RangeSum, StrategyError};
 use batchbb_tensor::Shape;
 use batchbb_wavelet::SparseCoeffs;
+
+use crate::observe::RewriteObserver;
 
 /// A query batch after step 2 of Batch-Biggest-B: every query's sparse
 /// coefficient list in the strategy's transform domain.
@@ -19,10 +22,40 @@ impl BatchQueries {
         queries: Vec<RangeSum>,
         domain: &Shape,
     ) -> Result<Self, StrategyError> {
+        BatchQueries::rewrite_observed(strategy, queries, domain, None)
+    }
+
+    /// [`BatchQueries::rewrite`] with an optional [`RewriteObserver`]:
+    /// per-query rewrite latency and coefficient counts go to `rewrite.*`
+    /// metrics and events. With `None` no clock is ever read.
+    pub fn rewrite_observed(
+        strategy: &dyn LinearStrategy,
+        queries: Vec<RangeSum>,
+        domain: &Shape,
+        observer: Option<&RewriteObserver>,
+    ) -> Result<Self, StrategyError> {
+        let batch_timer = observer.map(|_| SpanTimer::start());
         let coeffs = queries
             .iter()
-            .map(|q| strategy.query_coefficients(q, domain))
-            .collect::<Result<Vec<_>, _>>()?;
+            .enumerate()
+            .map(|(qi, q)| {
+                let timer = observer.map(|_| SpanTimer::start());
+                let coeffs = strategy.query_coefficients(q, domain)?;
+                if let Some(obs) = observer {
+                    obs.on_query(qi, coeffs.nnz(), timer.map_or(0, |t| t.elapsed_ns()));
+                }
+                Ok(coeffs)
+            })
+            .collect::<Result<Vec<_>, StrategyError>>()?;
+        if let Some(obs) = observer {
+            let total = coeffs.iter().map(SparseCoeffs::nnz).sum();
+            obs.on_batch(
+                queries.len(),
+                total,
+                1,
+                batch_timer.map_or(0, |t| t.elapsed_ns()),
+            );
+        }
         Ok(BatchQueries { queries, coeffs })
     }
 
@@ -37,18 +70,46 @@ impl BatchQueries {
         domain: &Shape,
         threads: usize,
     ) -> Result<Self, StrategyError> {
+        BatchQueries::rewrite_parallel_observed(strategy, queries, domain, threads, None)
+    }
+
+    /// [`BatchQueries::rewrite_parallel`] with an optional
+    /// [`RewriteObserver`]. Workers emit `rewrite.query` events concurrently
+    /// (the sink serializes); the `rewrite.batch` summary carries the
+    /// wall-clock time of the whole scoped fan-out.
+    pub fn rewrite_parallel_observed(
+        strategy: &(dyn LinearStrategy + Sync),
+        queries: Vec<RangeSum>,
+        domain: &Shape,
+        threads: usize,
+        observer: Option<&RewriteObserver>,
+    ) -> Result<Self, StrategyError> {
         assert!(threads >= 1, "need at least one thread");
         if threads == 1 || queries.len() < 2 {
-            return BatchQueries::rewrite(strategy, queries, domain);
+            return BatchQueries::rewrite_observed(strategy, queries, domain, observer);
         }
+        let batch_timer = observer.map(|_| SpanTimer::start());
         let mut slots: Vec<Option<Result<SparseCoeffs, StrategyError>>> =
             (0..queries.len()).map(|_| None).collect();
         let chunk = queries.len().div_ceil(threads);
         crossbeam::scope(|scope| {
-            for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            for (ci, (qs, outs)) in queries
+                .chunks(chunk)
+                .zip(slots.chunks_mut(chunk))
+                .enumerate()
+            {
                 scope.spawn(move |_| {
-                    for (q, out) in qs.iter().zip(outs.iter_mut()) {
-                        *out = Some(strategy.query_coefficients(q, domain));
+                    for (i, (q, out)) in qs.iter().zip(outs.iter_mut()).enumerate() {
+                        let timer = observer.map(|_| SpanTimer::start());
+                        let result = strategy.query_coefficients(q, domain);
+                        if let (Some(obs), Ok(coeffs)) = (observer, &result) {
+                            obs.on_query(
+                                ci * chunk + i,
+                                coeffs.nnz(),
+                                timer.map_or(0, |t| t.elapsed_ns()),
+                            );
+                        }
+                        *out = Some(result);
                     }
                 });
             }
@@ -58,6 +119,15 @@ impl BatchQueries {
             .into_iter()
             .map(|s| s.expect("all slots filled"))
             .collect::<Result<Vec<_>, _>>()?;
+        if let Some(obs) = observer {
+            let total = coeffs.iter().map(SparseCoeffs::nnz).sum();
+            obs.on_batch(
+                queries.len(),
+                total,
+                threads,
+                batch_timer.map_or(0, |t| t.elapsed_ns()),
+            );
+        }
         Ok(BatchQueries { queries, coeffs })
     }
 

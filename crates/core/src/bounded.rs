@@ -20,10 +20,14 @@
 
 use std::collections::HashMap;
 
+use batchbb_obs::SpanTimer;
 use batchbb_penalty::Penalty;
 use batchbb_query::{LinearStrategy, RangeSum, StrategyError};
 use batchbb_storage::{retry::get_with_retry, CoefficientStore, FaultStats, RetryPolicy};
 use batchbb_tensor::{CoeffKey, Shape};
+
+use crate::observe::{ExecObserver, StepObservation};
+use crate::StepInfo;
 
 /// Result of a bounded-workspace evaluation.
 #[derive(Debug, Clone)]
@@ -72,15 +76,70 @@ pub fn evaluate_bounded(
     penalty: &dyn Penalty,
     budget: usize,
 ) -> Result<BoundedResult, StrategyError> {
-    let (ranked, peak) = score_and_select(strategy, queries, domain, penalty, budget)?;
+    evaluate_bounded_observed(strategy, queries, domain, store, penalty, budget, None)
+}
 
-    // Retrieve the selected coefficients.
+/// [`evaluate_bounded`] with an optional [`ExecObserver`] emitting one
+/// `exec.step` event per retrieval in the shared schema (label the observer
+/// with `with_engine("bounded")` so the events are tagged truthfully).
+/// `remaining_importance` tracks the not-yet-retrieved tail of the
+/// selection, so the penalty-bound columns are comparable with the full
+/// executor's over the selected set.
+pub fn evaluate_bounded_observed(
+    strategy: &dyn LinearStrategy,
+    queries: &[RangeSum],
+    domain: &Shape,
+    store: &dyn CoefficientStore,
+    penalty: &dyn Penalty,
+    budget: usize,
+    observer: Option<&ExecObserver>,
+) -> Result<BoundedResult, StrategyError> {
+    let (ranked, peak) = score_and_select(strategy, queries, domain, penalty, budget)?;
+    if let Some(obs) = observer {
+        obs.on_start(queries.len(), ranked.len());
+    }
+
+    // Retrieve the selected coefficients (most important first).
     let mut values: HashMap<CoeffKey, f64> = HashMap::with_capacity(ranked.len());
-    for (key, _) in &ranked {
-        values.insert(*key, store.get(key).unwrap_or(0.0));
+    let mut remaining: f64 = ranked.iter().map(|&(_, i)| i).sum();
+    let fault = FaultStats::default();
+    for (ix, &(key, importance)) in ranked.iter().enumerate() {
+        let timer = observer.map(|_| SpanTimer::start());
+        let value = store.get(&key).unwrap_or(0.0);
+        let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
+        values.insert(key, value);
+        remaining = if ix + 1 == ranked.len() {
+            0.0
+        } else {
+            (remaining - importance).max(0.0)
+        };
+        if let Some(obs) = observer {
+            let info = StepInfo {
+                key,
+                importance,
+                value,
+                queries_advanced: 0,
+            };
+            obs.on_step(&StepObservation {
+                kind: "retrieved",
+                info: &info,
+                pending: ranked.len() - ix - 1,
+                deferred: 0,
+                remaining_importance: remaining,
+                deferred_importance: 0.0,
+                max_unresolved: ranked.get(ix + 1).map(|&(_, i)| i),
+                homogeneity: penalty.homogeneity(),
+                retrieved: ix + 1,
+                fault,
+                latency_ns,
+            });
+        }
     }
 
     let estimates = apply_selected(strategy, queries, domain, &values)?;
+    if let Some(obs) = observer {
+        obs.on_finish("exact", values.len(), true, &fault);
+    }
     Ok(BoundedResult {
         estimates,
         retrieved: values.len(),
@@ -102,12 +161,37 @@ pub fn evaluate_bounded_fallible(
     budget: usize,
     policy: &RetryPolicy,
 ) -> Result<BoundedFallibleResult, StrategyError> {
+    evaluate_bounded_fallible_observed(
+        strategy, queries, domain, store, penalty, budget, policy, None,
+    )
+}
+
+/// [`evaluate_bounded_fallible`] with an optional [`ExecObserver`] (see
+/// [`evaluate_bounded_observed`]). A deferral caused by a failed retrieval
+/// emits `exec.defer`; deferrals caused by an exhausted attempt budget are
+/// counted in [`FaultStats`] but attempt nothing, so they emit no event.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_bounded_fallible_observed(
+    strategy: &dyn LinearStrategy,
+    queries: &[RangeSum],
+    domain: &Shape,
+    store: &dyn CoefficientStore,
+    penalty: &dyn Penalty,
+    budget: usize,
+    policy: &RetryPolicy,
+    observer: Option<&ExecObserver>,
+) -> Result<BoundedFallibleResult, StrategyError> {
     let (ranked, peak) = score_and_select(strategy, queries, domain, penalty, budget)?;
+    if let Some(obs) = observer {
+        obs.on_start(queries.len(), ranked.len());
+    }
 
     let mut values: HashMap<CoeffKey, f64> = HashMap::with_capacity(ranked.len());
     let mut deferred: Vec<(CoeffKey, f64)> = Vec::new();
     let mut fault = FaultStats::default();
-    for &(key, importance) in &ranked {
+    let mut remaining: f64 = ranked.iter().map(|&(_, i)| i).sum();
+    let mut deferred_mass = 0.0;
+    for (ix, &(key, importance)) in ranked.iter().enumerate() {
         let attempts_allowed = match policy.total_attempt_budget {
             Some(budget) => {
                 let left = budget.saturating_sub(fault.attempts);
@@ -125,21 +209,69 @@ pub fn evaluate_bounded_fallible(
             }
             None => policy.max_attempts,
         };
+        let timer = observer.map(|_| SpanTimer::start());
         let out = get_with_retry(store, &key, policy, attempts_allowed);
+        let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
         out.record(&mut fault);
+        // The processed entry's mass leaves the pending tail either way —
+        // into the estimates on success, into the deferred mass on failure.
+        remaining = (remaining - importance).max(0.0);
         match out.result {
             Ok(value) => {
                 values.insert(key, value.unwrap_or(0.0));
+                if let Some(obs) = observer {
+                    let info = StepInfo {
+                        key,
+                        importance,
+                        value: value.unwrap_or(0.0),
+                        queries_advanced: 0,
+                    };
+                    // The bounded variant never recovers deferrals, so the
+                    // most important unresolved coefficient is whichever is
+                    // larger of the deferred head (sorted descending) and
+                    // the next ranked entry.
+                    let max_unresolved = deferred
+                        .first()
+                        .map(|&(_, i)| i)
+                        .into_iter()
+                        .chain(ranked.get(ix + 1).map(|&(_, i)| i))
+                        .fold(None::<f64>, |acc, i| Some(acc.map_or(i, |a| a.max(i))));
+                    obs.on_step(&StepObservation {
+                        kind: "retrieved",
+                        info: &info,
+                        pending: ranked.len() - ix - 1,
+                        deferred: deferred.len(),
+                        remaining_importance: remaining,
+                        deferred_importance: deferred_mass,
+                        max_unresolved,
+                        homogeneity: penalty.homogeneity(),
+                        retrieved: values.len(),
+                        fault,
+                        latency_ns,
+                    });
+                }
             }
-            Err(_) => {
+            Err(error) => {
                 fault.deferrals += 1;
                 deferred.push((key, importance));
+                deferred_mass += importance;
+                if let Some(obs) = observer {
+                    obs.on_defer(&key, importance, &error, true, deferred.len(), &fault);
+                }
             }
         }
     }
 
     let estimates = apply_selected(strategy, queries, domain, &values)?;
     let deferred_importance = deferred.iter().map(|&(_, i)| i).sum();
+    if let Some(obs) = observer {
+        let status = if deferred.is_empty() {
+            "exact"
+        } else {
+            "degraded"
+        };
+        obs.on_finish(status, values.len(), deferred.is_empty(), &fault);
+    }
     Ok(BoundedFallibleResult {
         estimates,
         retrieved: values.len(),

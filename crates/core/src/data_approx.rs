@@ -1,6 +1,6 @@
 //! The *data approximation* baseline (§1.1).
 //!
-//! Prior wavelet work ([17] Vitter & Wang, [1] Chakrabarti et al.) keeps a
+//! Prior wavelet work (\[17\] Vitter & Wang, \[1\] Chakrabarti et al.) keeps a
 //! compressed synopsis — the `B` largest coefficients of the *data* — and
 //! answers every query against it.  The paper's position is that "there is
 //! no reason to expect a general relation to have a good wavelet

@@ -11,6 +11,7 @@ use batchbb_storage::{
 };
 use batchbb_tensor::CoeffKey;
 
+use crate::observe::{ExecObserver, StepObservation};
 use crate::{BatchQueries, MasterList};
 
 /// A heap entry ordered by importance (ties broken by key for
@@ -148,6 +149,9 @@ pub struct ProgressiveExecutor<'a> {
     deferred_importance: f64,
     /// Fault-path counters (all zero when only the infallible path runs).
     fault: FaultStats,
+    /// Optional instrumentation: metrics and trace events per step. `None`
+    /// keeps the hot path free of even a clock read.
+    observer: Option<ExecObserver>,
 }
 
 impl<'a> ProgressiveExecutor<'a> {
@@ -200,7 +204,25 @@ impl<'a> ProgressiveExecutor<'a> {
             deferred: VecDeque::new(),
             deferred_importance: 0.0,
             fault: FaultStats::default(),
+            observer: None,
         }
+    }
+
+    /// Attaches an observer: every subsequent step records metrics and
+    /// (when the observer's sink is enabled) emits trace events. Emits the
+    /// `exec.start` event immediately.
+    ///
+    /// Observation never alters evaluation — estimates, progression order,
+    /// and fault handling are bit-for-bit identical with or without it.
+    pub fn with_observer(mut self, observer: ExecObserver) -> Self {
+        observer.on_start(self.estimates.len(), self.columns.len());
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&ExecObserver> {
+        self.observer.as_ref()
     }
 
     /// Extracts the most important unretrieved coefficient, fetches its
@@ -209,12 +231,15 @@ impl<'a> ProgressiveExecutor<'a> {
     /// [`ProgressiveExecutor::estimates`] holds the exact results.
     pub fn step(&mut self) -> Option<StepInfo> {
         let entry = self.heap.pop()?;
+        let timer = ExecObserver::maybe_timer(&self.observer);
         let value = self.store.get(&entry.key).unwrap_or(0.0);
+        let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
         let info = self.apply_value(&entry, value);
         self.debit_remaining(entry.importance);
         if self.is_exact() {
             self.canonicalize_estimates();
         }
+        self.observe_step("retrieved", &info, latency_ns);
         Some(info)
     }
 
@@ -285,6 +310,46 @@ impl<'a> ProgressiveExecutor<'a> {
         };
     }
 
+    /// `max ι_p` over pending ∪ deferred coefficients — Theorem 1's
+    /// `ι_p(ξ′)` extended to the fault-tolerant setting; `None` once exact.
+    fn max_unresolved_importance(&self) -> Option<f64> {
+        self.next_importance()
+            .into_iter()
+            .chain(self.deferred.iter().map(|e| e.importance))
+            .fold(None::<f64>, |acc, i| Some(acc.map_or(i, |a| a.max(i))))
+    }
+
+    fn observe_step(&self, kind: &'static str, info: &StepInfo, latency_ns: u64) {
+        if let Some(obs) = &self.observer {
+            obs.on_step(&StepObservation {
+                kind,
+                info,
+                pending: self.heap.len(),
+                deferred: self.deferred.len(),
+                remaining_importance: self.remaining_importance,
+                deferred_importance: self.deferred_importance,
+                max_unresolved: self.max_unresolved_importance(),
+                homogeneity: self.homogeneity,
+                retrieved: self.retrieved,
+                fault: self.fault,
+                latency_ns,
+            });
+        }
+    }
+
+    fn observe_defer(&self, key: &CoeffKey, importance: f64, error: &StorageError, first: bool) {
+        if let Some(obs) = &self.observer {
+            obs.on_defer(
+                key,
+                importance,
+                error,
+                first,
+                self.deferred.len(),
+                &self.fault,
+            );
+        }
+    }
+
     /// Fallible progressive step: like [`ProgressiveExecutor::step`], but
     /// retrieves through [`CoefficientStore::try_get`] with retries under
     /// `policy`, and *defers* instead of failing when a retrieval cannot be
@@ -309,7 +374,9 @@ impl<'a> ProgressiveExecutor<'a> {
             None => policy.max_attempts,
         };
         if let Some(entry) = self.heap.pop() {
+            let timer = ExecObserver::maybe_timer(&self.observer);
             let out = get_with_retry(self.store, &entry.key, policy, attempts_allowed);
+            let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
             out.record(&mut self.fault);
             match out.result {
                 Ok(value) => {
@@ -318,6 +385,7 @@ impl<'a> ProgressiveExecutor<'a> {
                     if self.is_exact() {
                         self.canonicalize_estimates();
                     }
+                    self.observe_step("retrieved", &info, latency_ns);
                     TryStepOutcome::Retrieved(info)
                 }
                 Err(error) => {
@@ -327,6 +395,7 @@ impl<'a> ProgressiveExecutor<'a> {
                     self.debit_remaining(entry.importance);
                     self.deferred_importance += entry.importance;
                     self.deferred.push_back(entry);
+                    self.observe_defer(&entry.key, entry.importance, &error, true);
                     TryStepOutcome::Deferred {
                         key: entry.key,
                         importance: entry.importance,
@@ -335,7 +404,9 @@ impl<'a> ProgressiveExecutor<'a> {
                 }
             }
         } else if let Some(entry) = self.deferred.pop_front() {
+            let timer = ExecObserver::maybe_timer(&self.observer);
             let out = get_with_retry(self.store, &entry.key, policy, attempts_allowed);
+            let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
             out.record(&mut self.fault);
             match out.result {
                 Ok(value) => {
@@ -345,11 +416,13 @@ impl<'a> ProgressiveExecutor<'a> {
                     if self.is_exact() {
                         self.canonicalize_estimates();
                     }
+                    self.observe_step("recovered", &info, latency_ns);
                     TryStepOutcome::Recovered(info)
                 }
                 Err(error) => {
                     // Re-deferral: back of the queue, no new deferral count.
                     self.deferred.push_back(entry);
+                    self.observe_defer(&entry.key, entry.importance, &error, false);
                     TryStepOutcome::Deferred {
                         key: entry.key,
                         importance: entry.importance,
@@ -369,6 +442,19 @@ impl<'a> ProgressiveExecutor<'a> {
     /// external change, e.g. `FaultInjectingStore::heal`, would loop
     /// forever).
     pub fn drain_with_faults(&mut self, policy: &RetryPolicy) -> DrainStatus {
+        let status = self.drain_loop(policy);
+        if let Some(obs) = &self.observer {
+            let label = match status {
+                DrainStatus::Exact => "exact",
+                DrainStatus::Degraded => "degraded",
+                DrainStatus::BudgetExhausted => "budget_exhausted",
+            };
+            obs.on_finish(label, self.retrieved, self.is_exact(), &self.fault);
+        }
+        status
+    }
+
+    fn drain_loop(&mut self, policy: &RetryPolicy) -> DrainStatus {
         loop {
             if self.heap.is_empty() {
                 if self.deferred.is_empty() {
@@ -414,6 +500,11 @@ impl<'a> ProgressiveExecutor<'a> {
         let mut done = 0;
         while self.step().is_some() {
             done += 1;
+        }
+        if let Some(obs) = &self.observer {
+            let exact = self.is_exact();
+            let status = if exact { "exact" } else { "degraded" };
+            obs.on_finish(status, self.retrieved, exact, &self.fault);
         }
         done
     }
@@ -521,11 +612,7 @@ impl<'a> ProgressiveExecutor<'a> {
     /// monotonically as `try_step` retrieves or recovers coefficients.
     pub fn degradation_report(&self, n_total: usize, k_abs_sum: f64) -> DegradationReport {
         assert!(n_total > 1, "need a non-trivial domain");
-        let max_unresolved = self
-            .next_importance()
-            .into_iter()
-            .chain(self.deferred.iter().map(|e| e.importance))
-            .fold(None::<f64>, |acc, i| Some(acc.map_or(i, |a| a.max(i))));
+        let max_unresolved = self.max_unresolved_importance();
         DegradationReport {
             estimates: self.estimates.clone(),
             deferred: self

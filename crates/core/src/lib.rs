@@ -31,6 +31,12 @@
 //! coefficients whose retrieval keeps failing, and reports the resulting
 //! penalty bounds through [`DegradationReport`] — progressive evaluation
 //! degrades gracefully instead of aborting.
+//!
+//! Every engine can carry an [`ExecObserver`] (and the rewrite stage a
+//! [`RewriteObserver`]) that records metrics and emits `exec.*` /
+//! `rewrite.*` trace events in one uniform schema — see DESIGN.md §8.
+//! Observation is read-only: runs with the default no-op sink are
+//! bit-for-bit identical to unobserved runs.
 
 //! # Example
 //!
@@ -72,6 +78,7 @@ mod executor;
 pub mod layout;
 mod master;
 pub mod metrics;
+mod observe;
 pub mod optimality;
 pub mod round_robin;
 pub mod stats;
@@ -79,3 +86,4 @@ pub mod stats;
 pub use batch::BatchQueries;
 pub use executor::{DegradationReport, DrainStatus, ProgressiveExecutor, StepInfo, TryStepOutcome};
 pub use master::MasterList;
+pub use observe::{ExecObserver, RewriteObserver};

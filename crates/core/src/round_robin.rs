@@ -12,7 +12,8 @@ use std::collections::VecDeque;
 use batchbb_storage::{retry::get_with_retry, CoefficientStore, FaultStats, RetryPolicy};
 use batchbb_tensor::CoeffKey;
 
-use crate::BatchQueries;
+use crate::observe::{ExecObserver, StepObservation};
+use crate::{BatchQueries, StepInfo};
 
 /// One query's private progression state.
 struct SingleQuery {
@@ -35,6 +36,7 @@ pub struct RoundRobin<'a> {
     retrievals: u64,
     next: usize,
     fault: FaultStats,
+    observer: Option<ExecObserver>,
 }
 
 impl<'a> RoundRobin<'a> {
@@ -64,6 +66,62 @@ impl<'a> RoundRobin<'a> {
             retrievals: 0,
             next: 0,
             fault: FaultStats::default(),
+            observer: None,
+        }
+    }
+
+    /// Attaches an observer (relabelled to the `"round_robin"` engine) so
+    /// baseline runs emit the same `exec.*` schema as the batch executor.
+    /// The baseline does not track importance masses, so the penalty-bound
+    /// fields are omitted from its step events.
+    pub fn with_observer(mut self, observer: ExecObserver) -> Self {
+        let observer = observer.with_engine("round_robin");
+        let total: usize = self.queries.iter().map(|q| q.plan.len()).sum();
+        observer.on_start(self.queries.len(), total);
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&ExecObserver> {
+        self.observer.as_ref()
+    }
+
+    /// Plan entries not yet attempted, across all queries.
+    fn pending_count(&self) -> usize {
+        self.queries.iter().map(|q| q.plan.len() - q.cursor).sum()
+    }
+
+    fn observe_step(
+        &self,
+        kind: &'static str,
+        key: CoeffKey,
+        coeff: f64,
+        value: f64,
+        latency_ns: u64,
+    ) {
+        if let Some(obs) = &self.observer {
+            // Single-query biggest-B importance is |q̂ᵢ[ξ]|²; batch-wide
+            // masses are untracked (NaN ⇒ bound fields omitted).
+            let info = StepInfo {
+                key,
+                importance: coeff * coeff,
+                value,
+                queries_advanced: 1,
+            };
+            obs.on_step(&StepObservation {
+                kind,
+                info: &info,
+                pending: self.pending_count(),
+                deferred: self.deferred_count(),
+                remaining_importance: f64::NAN,
+                deferred_importance: f64::NAN,
+                max_unresolved: None,
+                homogeneity: 2.0,
+                retrieved: self.retrievals as usize,
+                fault: self.fault,
+                latency_ns,
+            });
         }
     }
 
@@ -80,10 +138,13 @@ impl<'a> RoundRobin<'a> {
             if q.cursor < q.plan.len() {
                 let (key, coeff) = q.plan[q.cursor];
                 q.cursor += 1;
+                let timer = ExecObserver::maybe_timer(&self.observer);
                 let value = self.store.get(&key).unwrap_or(0.0);
-                q.estimate += coeff * value;
+                let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
+                self.queries[qi].estimate += coeff * value;
                 self.retrievals += 1;
                 self.next = (qi + 1) % s;
+                self.observe_step("retrieved", key, coeff, value, latency_ns);
                 return true;
             }
         }
@@ -93,6 +154,9 @@ impl<'a> RoundRobin<'a> {
     /// Runs to exact completion, returning total retrievals.
     pub fn run_to_end(&mut self) -> u64 {
         while self.step() {}
+        if let Some(obs) = &self.observer {
+            obs.on_finish("exact", self.retrievals as usize, true, &self.fault);
+        }
         self.retrievals
     }
 
@@ -123,24 +187,44 @@ impl<'a> RoundRobin<'a> {
                 continue;
             };
             let (key, coeff) = q.plan[plan_ix];
+            let timer = ExecObserver::maybe_timer(&self.observer);
             let outcome = get_with_retry(self.store, &key, policy, policy.max_attempts);
+            let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
             outcome.record(&mut self.fault);
             match outcome.result {
                 Ok(value) => {
                     if from_deferred {
                         self.fault.recoveries += 1;
                     }
-                    q.estimate += coeff * value.unwrap_or(0.0);
+                    let value = value.unwrap_or(0.0);
+                    self.queries[qi].estimate += coeff * value;
                     self.retrievals += 1;
+                    self.next = (qi + 1) % s;
+                    let kind = if from_deferred {
+                        "recovered"
+                    } else {
+                        "retrieved"
+                    };
+                    self.observe_step(kind, key, coeff, value, latency_ns);
                 }
-                Err(_) => {
+                Err(error) => {
                     if !from_deferred {
                         self.fault.deferrals += 1;
                     }
-                    q.deferred.push_back(plan_ix);
+                    self.queries[qi].deferred.push_back(plan_ix);
+                    self.next = (qi + 1) % s;
+                    if let Some(obs) = &self.observer {
+                        obs.on_defer(
+                            &key,
+                            coeff * coeff,
+                            &error,
+                            !from_deferred,
+                            self.deferred_count(),
+                            &self.fault,
+                        );
+                    }
                 }
             }
-            self.next = (qi + 1) % s;
             return true;
         }
         false
@@ -150,6 +234,15 @@ impl<'a> RoundRobin<'a> {
     /// deferral queues stop making progress (a full cycle over the batch
     /// recovers nothing). Returns `true` when all queries finished exact.
     pub fn run_with_faults(&mut self, policy: &RetryPolicy) -> bool {
+        let exact = self.fault_loop(policy);
+        if let Some(obs) = &self.observer {
+            let status = if exact { "exact" } else { "degraded" };
+            obs.on_finish(status, self.retrievals as usize, exact, &self.fault);
+        }
+        exact
+    }
+
+    fn fault_loop(&mut self, policy: &RetryPolicy) -> bool {
         loop {
             if self.queries.iter().all(|q| q.cursor >= q.plan.len()) {
                 let pending: usize = self.queries.iter().map(|q| q.deferred.len()).sum();

@@ -1,0 +1,314 @@
+//! Structured trace events and sinks.
+//!
+//! An [`Event`] is a named, flat bag of typed fields.  Components build
+//! events with the fluent methods and hand them to an [`EventSink`]; the
+//! sink decides what to do (drop, buffer, serialize).  Serialization is
+//! one JSON object per line (JSONL) with the event name under the
+//! reserved `"event"` key, hand-rolled so the crate stays
+//! zero-dependency; [`crate::jsonl::parse_line`] is the matching reader.
+//!
+//! Instrumented hot paths are expected to check [`EventSink::enabled`]
+//! before constructing an event, so the disabled ([`NullSink`]) path costs
+//! one virtual call and no allocation.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+/// One typed field value of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, sizes, ticks).
+    U64(u64),
+    /// Signed integer (gauge levels).
+    I64(i64),
+    /// Floating point (importances, penalty bounds). Non-finite values
+    /// serialize as JSON `null` (JSON has no NaN/inf).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (keys, error classes, engine names).
+    Str(String),
+}
+
+/// A named, flat, ordered bag of typed fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// A new event called `name` with no fields yet.
+    pub fn new(name: &'static str) -> Self {
+        Event {
+            name,
+            fields: Vec::with_capacity(12),
+        }
+    }
+
+    /// The event name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The fields, in insertion order.
+    pub fn fields(&self) -> &[(&'static str, FieldValue)] {
+        &self.fields
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &'static str, v: u64) -> Self {
+        self.fields.push((key, FieldValue::U64(v)));
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, key: &'static str, v: i64) -> Self {
+        self.fields.push((key, FieldValue::I64(v)));
+        self
+    }
+
+    /// Adds a floating-point field.
+    pub fn f64(mut self, key: &'static str, v: f64) -> Self {
+        self.fields.push((key, FieldValue::F64(v)));
+        self
+    }
+
+    /// Adds a floating-point field only when `v` is finite — the schema
+    /// treats a non-finite measurement as "not available".
+    pub fn f64_finite(self, key: &'static str, v: f64) -> Self {
+        if v.is_finite() {
+            self.f64(key, v)
+        } else {
+            self
+        }
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &'static str, v: bool) -> Self {
+        self.fields.push((key, FieldValue::Bool(v)));
+        self
+    }
+
+    /// Adds a text field.
+    pub fn str(mut self, key: &'static str, v: impl Into<String>) -> Self {
+        self.fields.push((key, FieldValue::Str(v.into())));
+        self
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + 24 * self.fields.len());
+        out.push_str("{\"event\":");
+        write_json_string(&mut out, self.name);
+        for (key, value) in &self.fields {
+            out.push(',');
+            write_json_string(&mut out, key);
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => out.push_str(&v.to_string()),
+                FieldValue::I64(v) => out.push_str(&v.to_string()),
+                FieldValue::F64(v) => {
+                    if v.is_finite() {
+                        // Debug formatting is the shortest round-trip
+                        // representation and uses JSON-compatible exponents.
+                        out.push_str(&format!("{v:?}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(v) => write_json_string(&mut out, v),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Where events go.
+///
+/// Implementations must be cheap when disabled and safe to share across
+/// threads (`&self` emission).
+pub trait EventSink: Send + Sync {
+    /// Delivers one event.
+    fn emit(&self, event: &Event);
+
+    /// Whether emitting is worthwhile.  Hot paths check this before
+    /// building an [`Event`]; the default says yes.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op default sink: nothing is recorded, nothing is allocated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Serializes every event as one JSON line into a writer.
+///
+/// The writer sits behind a mutex, so one sink can serve concurrently
+/// executing components (e.g. parallel rewrite workers).
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes and returns the writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().expect("sink lock poisoned");
+        let _ = w.flush();
+        w
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().expect("sink lock poisoned").flush()
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&self, event: &Event) {
+        let line = event.to_jsonl();
+        let mut w = self.writer.lock().expect("sink lock poisoned");
+        // A trace is diagnostics: losing a line to a full disk must not
+        // fail the evaluation it observes.
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Buffers serialized lines in memory — the sink tests and the
+/// `progress_report` self-demo replay from.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of every line emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("sink lock poisoned").clone()
+    }
+
+    /// Number of lines emitted so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("sink lock poisoned").len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.lines
+            .lock()
+            .expect("sink lock poisoned")
+            .push(event.to_jsonl());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_field_types_in_order() {
+        let e = Event::new("t")
+            .u64("u", 7)
+            .i64("i", -2)
+            .f64("f", 1.5)
+            .bool("b", true)
+            .str("s", "x\"y\\z");
+        assert_eq!(
+            e.to_jsonl(),
+            r#"{"event":"t","u":7,"i":-2,"f":1.5,"b":true,"s":"x\"y\\z"}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::new("t")
+            .f64("nan", f64::NAN)
+            .f64("inf", f64::INFINITY);
+        assert_eq!(e.to_jsonl(), r#"{"event":"t","nan":null,"inf":null}"#);
+        let skipped = Event::new("t").f64_finite("nan", f64::NAN).u64("k", 1);
+        assert_eq!(skipped.to_jsonl(), r#"{"event":"t","k":1}"#);
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let e = Event::new("t").str("s", "a\nb\tc\u{1}");
+        assert_eq!(e.to_jsonl(), "{\"event\":\"t\",\"s\":\"a\\nb\\tc\\u0001\"}");
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        NullSink.emit(&Event::new("ignored"));
+    }
+
+    #[test]
+    fn memory_sink_buffers_lines() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit(&Event::new("a").u64("n", 1));
+        sink.emit(&Event::new("b").u64("n", 2));
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"a\""));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&Event::new("a").u64("n", 1));
+        sink.emit(&Event::new("b").bool("ok", false));
+        let buf = sink.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"event":"a","n":1}"#);
+        assert_eq!(lines[1], r#"{"event":"b","ok":false}"#);
+    }
+}

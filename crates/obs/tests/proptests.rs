@@ -1,0 +1,106 @@
+//! Property-based tests for the observability primitives: registry
+//! snapshots are monotone for counters, histogram samples always land in
+//! the bucket whose bounds contain them, and JSONL events survive a
+//! serialize → parse round trip.
+
+use proptest::prelude::*;
+
+use batchbb_obs::{jsonl, Event, EventSink, Histogram, MemorySink, MetricsRegistry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Counters never decrease across snapshots, whatever interleaving of
+    /// increments and snapshot reads happens.
+    #[test]
+    fn counter_snapshots_are_monotone(increments in prop::collection::vec((0usize..4, 0u64..1000), 1..64)) {
+        let registry = MetricsRegistry::new();
+        let names = ["a", "b", "c", "d"];
+        let counters: Vec<_> = names.iter().map(|n| registry.counter(n)).collect();
+        let mut last = registry.snapshot();
+        for (which, amount) in increments {
+            counters[which].add(amount);
+            let snap = registry.snapshot();
+            for name in names {
+                let prev = last.counter(name).unwrap_or(0);
+                let now = snap.counter(name).unwrap_or(0);
+                prop_assert!(now >= prev, "counter {name} went {prev} -> {now}");
+            }
+            last = snap;
+        }
+        // The final snapshot accounts for every increment exactly.
+        let total: u64 = last.counters.values().sum();
+        let expected: u64 = counters.iter().map(|c| c.get()).sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    /// Histogram sample counts (total and per bucket) never decrease, and
+    /// every recorded value lands in the bucket whose inclusive bounds
+    /// contain it.
+    #[test]
+    fn histogram_buckets_contain_their_samples(values in prop::collection::vec(0u64..u64::MAX, 1..128)) {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("ns");
+        let mut last = registry.snapshot();
+        for &v in &values {
+            let bucket = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_bounds(bucket);
+            prop_assert!(lo <= v && v <= hi, "{v} outside bucket {bucket} = [{lo}, {hi}]");
+            // Neighbouring buckets must NOT contain the value.
+            if bucket > 0 {
+                let (_, below_hi) = Histogram::bucket_bounds(bucket - 1);
+                prop_assert!(v > below_hi);
+            }
+            h.record(v);
+            let snap = registry.snapshot();
+            let prev = last.histogram("ns").unwrap();
+            let now = snap.histogram("ns").unwrap();
+            prop_assert_eq!(now.count, prev.count + 1);
+            for b in 0..now.buckets.len() {
+                let grew = u64::from(b == bucket);
+                prop_assert_eq!(now.buckets[b], prev.buckets[b] + grew, "bucket {}", b);
+            }
+            last = snap;
+        }
+        let fin = last.histogram("ns").unwrap();
+        prop_assert_eq!(fin.count, values.len() as u64);
+        prop_assert_eq!(fin.buckets.iter().sum::<u64>(), fin.count);
+        prop_assert_eq!(fin.max, values.iter().copied().max().unwrap());
+    }
+
+    /// Arbitrary events serialize to JSONL and parse back to the same
+    /// name, field set, and values (non-finite floats become absent).
+    #[test]
+    fn events_round_trip_through_jsonl(
+        u in 0u64..u64::MAX,
+        i in -1_000_000i64..1_000_000,
+        f in -1e12f64..1e12,
+        b in 0u64..2,
+        text in prop::collection::vec(0u32..0xd7ff, 0..24),
+    ) {
+        let b = b == 1;
+        let text: String = text.into_iter().map(|c| char::from_u32(c).unwrap()).collect();
+        let sink = MemorySink::new();
+        sink.emit(
+            &Event::new("prop.case")
+                .u64("u", u)
+                .i64("i", i)
+                .f64("f", f)
+                .bool("b", b)
+                .str("s", text.clone())
+                .f64("gone", f64::NAN),
+        );
+        let line = sink.lines().pop().unwrap();
+        let parsed = jsonl::parse_line(&line).unwrap();
+        prop_assert_eq!(parsed.name(), "prop.case");
+        // u64 round-trips through the f64 accessor only below 2^53; compare
+        // against the same truncation the reader documents.
+        prop_assert_eq!(parsed.num("u").unwrap(), u as f64);
+        prop_assert_eq!(parsed.num("i").unwrap(), i as f64);
+        prop_assert_eq!(parsed.num("f").unwrap(), f);
+        prop_assert_eq!(parsed.bool("b"), Some(b));
+        prop_assert_eq!(parsed.str("s"), Some(text.as_str()));
+        prop_assert_eq!(parsed.num("gone"), None);
+        prop_assert_eq!(parsed.fields().len(), 5);
+    }
+}

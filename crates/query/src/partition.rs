@@ -1,6 +1,6 @@
 //! Workload generators: partitions of the domain into query ranges.
 //!
-//! The paper's experiments "partitioned [the] entire data domain into 512
+//! The paper's experiments "partitioned \[the\] entire data domain into 512
 //! randomly sized ranges" (§6).  [`random_partition`] reproduces that
 //! workload; [`grid_partition`] builds the regular coarse partitions of the
 //! drill-down scenario in §1.

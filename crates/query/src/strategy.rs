@@ -186,7 +186,7 @@ impl LinearStrategy for WaveletStrategy {
     }
 }
 
-/// Prefix-sum strategy (Ho et al. [8]): the view stores running sums of a
+/// Prefix-sum strategy (Ho et al. \[8\]): the view stores running sums of a
 /// fixed measure `w(x) = Π_i x_i^{e_i}`; a range-sum of that measure needs
 /// at most `2^d` signed corner lookups.
 ///

@@ -7,7 +7,7 @@
 //!   and keep the nonzeros (one pass, best for initial load);
 //! * [`point_entries`] — the coefficients touched by a single tuple, a
 //!   tensor product of 1-D point transforms with `O((L·log N)^d)` entries;
-//!   adding them to a [`batchbb_storage::MutableStore`] implements the
+//!   adding them to a `batchbb_storage::MutableStore` implements the
 //!   paper's `O((2δ+1)^d log^d N)` incremental insert.
 
 use batchbb_tensor::{CoeffKey, Shape};

@@ -52,6 +52,16 @@ impl StorageError {
     pub fn is_retryable(&self) -> bool {
         !matches!(self, StorageError::Permanent { .. })
     }
+
+    /// Stable lowercase label for trace events and metrics
+    /// (`"transient"`, `"permanent"`, or `"io"`).
+    pub fn class(&self) -> &'static str {
+        match self {
+            StorageError::Transient { .. } => "transient",
+            StorageError::Permanent { .. } => "permanent",
+            StorageError::Io { .. } => "io",
+        }
+    }
 }
 
 impl fmt::Display for StorageError {

@@ -18,7 +18,10 @@
 //!   progressive evaluation;
 //! * [`CachingStore`] — a memoizing wrapper that turns repeated retrievals
 //!   (e.g. the round-robin baseline's) into cache hits, isolating how much
-//!   of Batch-Biggest-B's win is I/O sharing vs shared computation.
+//!   of Batch-Biggest-B's win is I/O sharing vs shared computation;
+//! * [`InstrumentedStore`] — an observability wrapper recording per-call
+//!   latency histograms, hit/miss counters, and per-class fault counters
+//!   into a `batchbb_obs` registry (plus `store.fault` trace events).
 //!
 //! All stores are safe to share across threads (`&self` reads, atomic
 //! counters).
@@ -87,6 +90,7 @@ mod caching;
 mod disk;
 mod error;
 mod fault;
+mod instrument;
 mod memory;
 pub mod retry;
 mod shared;
@@ -100,6 +104,7 @@ pub use caching::CachingStore;
 pub use disk::FileStore;
 pub use error::StorageError;
 pub use fault::{FaultInjectingStore, FaultPlan};
+pub use instrument::InstrumentedStore;
 pub use memory::{ArrayStore, MemoryStore};
 pub use retry::{RetryOutcome, RetryPolicy};
 pub use shared::SharedStore;

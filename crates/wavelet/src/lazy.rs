@@ -93,7 +93,7 @@ impl Level {
 
 /// Computes all nonzero pyramid coefficients of `p(x)·χ_{[lo,hi]}(x)` on a
 /// length-`n` periodic domain. Coefficients with magnitude `<= tol` are
-/// dropped (pass [`DEFAULT_TOL`] for the workspace default).
+/// dropped (pass [`DEFAULT_TOL`](crate::DEFAULT_TOL) for the workspace default).
 pub fn lazy_query_transform(
     n: usize,
     lo: usize,

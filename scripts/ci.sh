@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# The full local CI gate: formatting, lints, release build, test suite.
+# The full local CI gate: formatting, lints, release build, test suite,
+# docs, example smoke-runs, and bench bitrot checks.
 # Runs entirely offline — all dependencies are in-tree (see shims/).
 #
 # Usage: scripts/ci.sh [--quick]
-#   --quick   skip the release build (fmt + clippy + tests only)
+#   --quick   skip the release build, docs gate, example smoke-runs, and
+#             bench bitrot checks (fmt + clippy + tests only)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,5 +32,31 @@ if [ "$quick" -eq 0 ]; then
     run cargo build --release
 fi
 run cargo test -q --workspace
+
+if [ "$quick" -eq 0 ]; then
+    # Docs gate: rustdoc warnings (broken intra-doc links, bad code fences)
+    # are errors.
+    echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+    # Example smoke-runs: every [[example]] in the root manifest must run to
+    # completion (they all self-check with asserts).
+    for ex in $(sed -n '/^\[\[example\]\]/{n;s/^name = "\(.*\)"/\1/p;}' Cargo.toml); do
+        echo "==> cargo run --release --example $ex"
+        cargo run -q --release --example "$ex" > /dev/null
+    done
+
+    # Bench bitrot: the criterion-shim harness runs each bench once in test
+    # mode (no --bench flag), so the harness code cannot silently rot.
+    run cargo test -q -p batchbb-bench --benches
+
+    # Trace-replay gate: progress_report runs a fault-injected evaluation,
+    # replays its own JSONL trace, and exits nonzero if the penalty-bound
+    # column is not monotone or the fault counters fail to reconcile.
+    trace="$(mktemp)"
+    trap 'rm -f "$trace"' EXIT
+    run cargo run -q --release -p batchbb-bench --bin progress_report -- --output "$trace" > /dev/null
+    run cargo run -q --release -p batchbb-bench --bin progress_report -- --input "$trace" > /dev/null
+fi
 
 echo "==> ci green"

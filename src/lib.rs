@@ -16,7 +16,9 @@
 //! * [`relation`] — schemas, data frequency distributions, generators;
 //! * [`query`] — vector queries and linear storage/evaluation strategies;
 //! * [`penalty`] — structural error penalty functions;
-//! * [`core`] — the Batch-Biggest-B executor, baselines, and diagnostics.
+//! * [`core`] — the Batch-Biggest-B executor, baselines, and diagnostics;
+//! * [`obs`] — zero-dependency metrics, span timing, and JSONL tracing
+//!   used by the observers in [`core`] and [`storage`].
 //!
 //! # Quickstart
 //!
@@ -54,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use batchbb_core as core;
+pub use batchbb_obs as obs;
 pub use batchbb_penalty as penalty;
 pub use batchbb_query as query;
 pub use batchbb_relation as relation;
@@ -65,12 +68,19 @@ pub use batchbb_wavelet as wavelet;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use batchbb_core::{
-        bounded::{evaluate_bounded, evaluate_bounded_fallible},
+        bounded::{
+            evaluate_bounded, evaluate_bounded_fallible, evaluate_bounded_fallible_observed,
+            evaluate_bounded_observed,
+        },
         data_approx::CompressedView,
         metrics, optimality,
         round_robin::RoundRobin,
-        stats, BatchQueries, DegradationReport, DrainStatus, MasterList, ProgressiveExecutor,
-        StepInfo, TryStepOutcome,
+        stats, BatchQueries, DegradationReport, DrainStatus, ExecObserver, MasterList,
+        ProgressiveExecutor, RewriteObserver, StepInfo, TryStepOutcome,
+    };
+    pub use batchbb_obs::{
+        jsonl, Event, EventSink, JsonlSink, MemorySink, MetricsRegistry, MetricsSnapshot, NullSink,
+        SpanTimer,
     };
     pub use batchbb_penalty::{
         Combination, CursorKernel, CursorPenalty, DiagonalQuadratic, LaplacianPenalty, LpPenalty,
@@ -85,8 +95,8 @@ pub mod prelude {
     };
     pub use batchbb_storage::{
         retry::get_with_retry, ArrayStore, CachingStore, CoefficientStore, FaultInjectingStore,
-        FaultPlan, FaultStats, IoStats, MemoryStore, MutableStore, RetryPolicy, SharedStore,
-        StorageError,
+        FaultPlan, FaultStats, InstrumentedStore, IoStats, MemoryStore, MutableStore, RetryPolicy,
+        SharedStore, StorageError,
     };
     #[cfg(unix)]
     pub use batchbb_storage::{BlockLayout, BlockStore, FileStore};
