@@ -1,0 +1,110 @@
+//! Criterion benchmarks for the concurrent batch server: pool throughput
+//! vs sequential execution, worker-count scaling, and the I/O saved by
+//! the cross-batch shared cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use batchbb_core::{BatchQueries, ProgressiveExecutor};
+use batchbb_penalty::Sse;
+use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
+use batchbb_relation::synth;
+use batchbb_serve::{BatchRequest, BatchServer, ServeConfig};
+use batchbb_storage::MemoryStore;
+use batchbb_tensor::Shape;
+use batchbb_wavelet::Wavelet;
+
+struct Fixture {
+    store: MemoryStore,
+    batches: Vec<BatchQueries>,
+    n_total: usize,
+    k: f64,
+}
+
+fn fixture(nbatches: usize, cells: usize) -> Fixture {
+    let dataset = synth::clustered(2, 7, 50_000, 4, 11);
+    let dfd = dataset.to_frequency_distribution();
+    let domain: Shape = dfd.schema().domain();
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+    let batches = (0..nbatches)
+        .map(|b| {
+            let queries: Vec<RangeSum> = partition::random_partition(&domain, cells, b as u64)
+                .into_iter()
+                .map(RangeSum::count)
+                .collect();
+            BatchQueries::rewrite(&strategy, queries, &domain).unwrap()
+        })
+        .collect();
+    let n_total = domain.len();
+    let k = store.abs_sum();
+    Fixture {
+        store,
+        batches,
+        n_total,
+        k,
+    }
+}
+
+fn bench_pool_vs_sequential(c: &mut Criterion) {
+    let f = fixture(8, 16);
+    let mut g = c.benchmark_group("serve_8x16q");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            for batch in &f.batches {
+                let mut exec = ProgressiveExecutor::new(batch, &Sse, &f.store);
+                exec.run_to_end();
+            }
+        })
+    });
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("pool", workers),
+            &workers,
+            |b, &workers| {
+                let requests: Vec<BatchRequest<'_>> = f
+                    .batches
+                    .iter()
+                    .map(|batch| BatchRequest::new(batch, &Sse))
+                    .collect();
+                let server = BatchServer::new(
+                    ServeConfig::new(f.n_total, f.k)
+                        .workers(workers)
+                        .slice_steps(64),
+                );
+                b.iter(|| server.serve(&f.store, &requests))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_cache_sharing(c: &mut Criterion) {
+    let f = fixture(8, 16);
+    let mut g = c.benchmark_group("serve_cache_sharing");
+    g.sample_size(10);
+    for share in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("share_cache", share),
+            &share,
+            |b, &share| {
+                let requests: Vec<BatchRequest<'_>> = f
+                    .batches
+                    .iter()
+                    .map(|batch| BatchRequest::new(batch, &Sse))
+                    .collect();
+                let server = BatchServer::new(
+                    ServeConfig::new(f.n_total, f.k)
+                        .workers(4)
+                        .slice_steps(64)
+                        .share_cache(share),
+                );
+                b.iter(|| server.serve(&f.store, &requests))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_vs_sequential, bench_cache_sharing);
+criterion_main!(benches);

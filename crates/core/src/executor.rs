@@ -154,6 +154,15 @@ pub struct ProgressiveExecutor<'a> {
     observer: Option<ExecObserver>,
 }
 
+/// Compile-time `Send` audit: executors migrate between `batchbb-serve`
+/// pool workers, so every field (store borrow, observer, bookkeeping) must
+/// stay `Send`. `CoefficientStore` and `EventSink` both require
+/// `Send + Sync`, which this function proves transitively.
+#[allow(dead_code)]
+fn assert_executor_is_send(exec: ProgressiveExecutor<'_>) -> impl Send + '_ {
+    exec
+}
+
 impl<'a> ProgressiveExecutor<'a> {
     /// Builds the executor: merges the batch into a master list, scores
     /// every coefficient with `ι_p`, and heapifies.
@@ -442,25 +451,58 @@ impl<'a> ProgressiveExecutor<'a> {
     /// external change, e.g. `FaultInjectingStore::heal`, would loop
     /// forever).
     pub fn drain_with_faults(&mut self, policy: &RetryPolicy) -> DrainStatus {
-        let status = self.drain_loop(policy);
-        if let Some(obs) = &self.observer {
-            let label = match status {
-                DrainStatus::Exact => "exact",
-                DrainStatus::Degraded => "degraded",
-                DrainStatus::BudgetExhausted => "budget_exhausted",
-            };
-            obs.on_finish(label, self.retrieved, self.is_exact(), &self.fault);
+        self.drain_with_faults_budgeted(policy, usize::MAX)
+            .expect("an unbounded step budget always reaches a terminal state")
+    }
+
+    /// Step-budgeted variant of [`ProgressiveExecutor::drain_with_faults`]:
+    /// runs at most `max_steps` fallible steps, then hands control back.
+    ///
+    /// Returns `Some(status)` when a terminal state was reached within the
+    /// budget, `None` when the budget expired first — the caller re-invokes
+    /// later to continue exactly where evaluation stopped.  This is the
+    /// scheduling primitive the `batchbb-serve` worker pool slices batches
+    /// with, so one huge batch cannot starve the others.
+    ///
+    /// Fairness caveat: once the heap is drained, concluding `Degraded`
+    /// requires one *full* fruitless pass over the deferral queue, so a
+    /// budget smaller than [`ProgressiveExecutor::deferred_count`] cannot
+    /// make progress in that phase — pass at least
+    /// `max_steps.max(self.deferred_count())`.
+    pub fn drain_with_faults_budgeted(
+        &mut self,
+        policy: &RetryPolicy,
+        max_steps: usize,
+    ) -> Option<DrainStatus> {
+        let status = self.drain_loop(policy, max_steps);
+        if let Some(status) = status {
+            if let Some(obs) = &self.observer {
+                let label = match status {
+                    DrainStatus::Exact => "exact",
+                    DrainStatus::Degraded => "degraded",
+                    DrainStatus::BudgetExhausted => "budget_exhausted",
+                };
+                obs.on_finish(label, self.retrieved, self.is_exact(), &self.fault);
+            }
         }
         status
     }
 
-    fn drain_loop(&mut self, policy: &RetryPolicy) -> DrainStatus {
+    fn drain_loop(&mut self, policy: &RetryPolicy, max_steps: usize) -> Option<DrainStatus> {
+        let mut remaining = max_steps;
         loop {
             if self.heap.is_empty() {
                 if self.deferred.is_empty() {
-                    return DrainStatus::Exact;
+                    return Some(DrainStatus::Exact);
                 }
                 let queue_len = self.deferred.len();
+                if remaining < queue_len {
+                    // Can't complete a full deferral pass within the
+                    // budget, and a partial pass proves nothing about
+                    // persistence — yield to the caller instead.
+                    return None;
+                }
+                remaining -= queue_len;
                 let mut recovered_any = false;
                 for _ in 0..queue_len {
                     match self.try_step(policy) {
@@ -468,17 +510,23 @@ impl<'a> ProgressiveExecutor<'a> {
                             recovered_any = true;
                         }
                         TryStepOutcome::Deferred { .. } => {}
-                        TryStepOutcome::BudgetExhausted => return DrainStatus::BudgetExhausted,
-                        TryStepOutcome::Exhausted => return DrainStatus::Exact,
+                        TryStepOutcome::BudgetExhausted => {
+                            return Some(DrainStatus::BudgetExhausted)
+                        }
+                        TryStepOutcome::Exhausted => return Some(DrainStatus::Exact),
                     }
                 }
                 if !recovered_any && !self.deferred.is_empty() {
-                    return DrainStatus::Degraded;
+                    return Some(DrainStatus::Degraded);
                 }
             } else {
+                if remaining == 0 {
+                    return None;
+                }
+                remaining -= 1;
                 match self.try_step(policy) {
-                    TryStepOutcome::BudgetExhausted => return DrainStatus::BudgetExhausted,
-                    TryStepOutcome::Exhausted => return DrainStatus::Exact,
+                    TryStepOutcome::BudgetExhausted => return Some(DrainStatus::BudgetExhausted),
+                    TryStepOutcome::Exhausted => return Some(DrainStatus::Exact),
                     _ => {}
                 }
             }
@@ -517,6 +565,21 @@ impl<'a> ProgressiveExecutor<'a> {
     /// Number of coefficients retrieved so far.
     pub fn retrieved(&self) -> usize {
         self.retrieved
+    }
+
+    /// The coefficients retrieved so far with the values currently on
+    /// record (post any [`ProgressiveExecutor::apply_update`] repairs),
+    /// sorted by key.
+    ///
+    /// Together with canonical finalization this is a *replay witness*:
+    /// once evaluation is exact, the estimates are a pure function of these
+    /// entries, so a serial re-evaluation against a store holding exactly
+    /// these values reproduces the final estimates bit for bit — the
+    /// determinism check the concurrent-serving tests rest on.
+    pub fn retrieved_entries(&self) -> Vec<(CoeffKey, f64)> {
+        let mut entries: Vec<(CoeffKey, f64)> = self.seen.iter().map(|(k, &v)| (*k, v)).collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        entries
     }
 
     /// Number of coefficients still pending in the heap (deferred
@@ -991,6 +1054,57 @@ mod tests {
         let final_report = exec.degradation_report(shape.len(), store.abs_sum());
         assert_eq!(final_report.worst_case_bound, 0.0);
         assert_eq!(final_report.expected_penalty, 0.0);
+    }
+
+    #[test]
+    fn budgeted_drain_slices_to_the_same_result() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let policy = RetryPolicy::default();
+        let mut whole = ProgressiveExecutor::new(&batch, &Sse, &store);
+        assert_eq!(whole.drain_with_faults(&policy), DrainStatus::Exact);
+        let mut sliced = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let mut yields = 0;
+        let status = loop {
+            match sliced.drain_with_faults_budgeted(&policy, 5) {
+                Some(status) => break status,
+                None => yields += 1,
+            }
+        };
+        assert_eq!(status, DrainStatus::Exact);
+        assert!(yields > 0, "a 5-step budget must yield at least once");
+        assert_eq!(sliced.estimates(), whole.estimates());
+        assert_eq!(sliced.retrieved_entries(), whole.retrieved_entries());
+    }
+
+    #[test]
+    fn budget_below_deferral_queue_yields_without_progress() {
+        use batchbb_storage::{FaultInjectingStore, FaultPlan};
+
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut probe = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let broken: Vec<CoeffKey> = (0..3).map(|_| probe.step().unwrap().key).collect();
+        let faulty = FaultInjectingStore::new(
+            &store,
+            FaultPlan::new(1).with_permanent_keys(broken.iter().copied()),
+        );
+        let policy = RetryPolicy::default();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &faulty);
+        // Drain the heap in slices; the three broken keys defer.
+        while exec.remaining() > 0 {
+            let _ = exec.drain_with_faults_budgeted(&policy, 7);
+        }
+        assert_eq!(exec.deferred_count(), 3);
+        let attempts_before = exec.fault_stats().attempts;
+        // A budget below the queue length cannot run a conclusive pass.
+        assert_eq!(exec.drain_with_faults_budgeted(&policy, 2), None);
+        assert_eq!(exec.fault_stats().attempts, attempts_before);
+        // A full pass concludes Degraded.
+        assert_eq!(
+            exec.drain_with_faults_budgeted(&policy, exec.deferred_count()),
+            Some(DrainStatus::Degraded)
+        );
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! * [`SpanTimer`] — lightweight wall-clock span timing in nanoseconds;
 //! * [`Event`] / [`EventSink`] — structured trace events with a JSONL sink
 //!   ([`JsonlSink`]), an in-memory sink for tests and replay
-//!   ([`MemorySink`]), and a no-op default ([`NullSink`]) that keeps the
-//!   instrumented paths bit-for-bit identical to uninstrumented ones;
+//!   ([`MemorySink`]), a no-op default ([`NullSink`]) that keeps the
+//!   instrumented paths bit-for-bit identical to uninstrumented ones, and a
+//!   labelling adapter ([`LabeledSink`]) that stamps a fixed field (e.g.
+//!   `batch = 3`) onto every event so concurrent engines can share one
+//!   sink;
 //! * [`jsonl`] — a minimal flat-JSON parser so traces can be replayed
 //!   (e.g. by the `progress_report` harness in `batchbb-bench`) without an
 //!   external JSON dependency.
@@ -52,9 +55,11 @@
 
 mod event;
 pub mod jsonl;
+mod label;
 mod metrics;
 mod span;
 
 pub use event::{Event, EventSink, FieldValue, JsonlSink, MemorySink, NullSink};
+pub use label::LabeledSink;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::SpanTimer;

@@ -1,0 +1,134 @@
+//! Serving configuration and batch admission types.
+
+use std::sync::Arc;
+
+use batchbb_core::BatchQueries;
+use batchbb_obs::{EventSink, MetricsRegistry};
+use batchbb_penalty::Penalty;
+use batchbb_storage::RetryPolicy;
+
+/// How a [`BatchServer`](crate::BatchServer) runs its pool.
+///
+/// The two required parameters are the bound inputs shared by every batch:
+/// `n_total` (the domain size `N^d`, Theorem 2's denominator) and
+/// `k_abs_sum` (the data's coefficient ℓ¹-norm `K`, Theorem 1's scale).
+/// Everything else has serving defaults tuned for small fixtures: 4
+/// workers, 64-step slices, the default retry policy, and a shared
+/// 16-shard read-through cache.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Domain size `N^d` for expected-penalty reporting.
+    pub(crate) n_total: usize,
+    /// Coefficient ℓ¹-norm `K` for worst-case bound reporting.
+    pub(crate) k_abs_sum: f64,
+    /// Pool size; clamped to at least 1.
+    pub(crate) workers: usize,
+    /// Steps per scheduling slice; clamped to at least 1.
+    pub(crate) slice_steps: usize,
+    /// Retry policy applied by every batch's fallible drain.
+    pub(crate) retry: RetryPolicy,
+    /// Route all batches through one sharded read-through cache.
+    pub(crate) share_cache: bool,
+    /// Shard count for the shared cache.
+    pub(crate) cache_shards: usize,
+    /// Shared metrics registry for `exec.*` counters, if any.
+    pub(crate) registry: Option<Arc<MetricsRegistry>>,
+    /// Shared trace sink; each batch's events get a `batch = <id>` label.
+    pub(crate) sink: Option<Arc<dyn EventSink>>,
+}
+
+impl ServeConfig {
+    /// Creates a config with serving defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_total < 2` (the expected-penalty denominator
+    /// `n_total - 1` must be positive).
+    pub fn new(n_total: usize, k_abs_sum: f64) -> Self {
+        assert!(n_total > 1, "need a non-trivial domain");
+        ServeConfig {
+            n_total,
+            k_abs_sum,
+            workers: 4,
+            slice_steps: 64,
+            retry: RetryPolicy::default(),
+            share_cache: true,
+            cache_shards: 16,
+            registry: None,
+            sink: None,
+        }
+    }
+
+    /// Sets the worker-pool size (values below 1 become 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-slice step budget (values below 1 become 1).
+    ///
+    /// Smaller slices interleave batches more finely (better fairness,
+    /// more scheduling overhead); `usize::MAX` runs each batch to
+    /// completion in one slice.
+    pub fn slice_steps(mut self, steps: usize) -> Self {
+        self.slice_steps = steps.max(1);
+        self
+    }
+
+    /// Sets the retry policy used by every batch's fallible drain.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables or disables the shared read-through coefficient cache.
+    ///
+    /// With sharing on (the default), concurrent batches that need the
+    /// same coefficient trigger exactly one physical fetch; with it off,
+    /// every batch reads the store directly.
+    pub fn share_cache(mut self, share: bool) -> Self {
+        self.share_cache = share;
+        self
+    }
+
+    /// Sets the shard count of the shared cache (values below 1 become 1).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Attaches a metrics registry; every batch's executor records its
+    /// `exec.*` counters and histograms there.
+    pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Attaches a trace sink; batch `i`'s events are stamped with a
+    /// `batch = i` label so one trace can be split per batch afterwards.
+    pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+/// One batch admitted to the server: the rewritten queries plus the
+/// penalty function that scores coefficient importance for *this* batch.
+///
+/// Requests only borrow — rewriting (`BatchQueries::rewrite`) stays with
+/// the caller, so the same rewritten batch can be served repeatedly or
+/// under several penalties without re-deriving it.
+#[derive(Clone, Copy)]
+pub struct BatchRequest<'a> {
+    /// The rewritten query batch.
+    pub batch: &'a BatchQueries,
+    /// The penalty function whose `ι_p` orders this batch's retrievals.
+    pub penalty: &'a dyn Penalty,
+}
+
+impl<'a> BatchRequest<'a> {
+    /// Pairs a rewritten batch with its penalty.
+    pub fn new(batch: &'a BatchQueries, penalty: &'a dyn Penalty) -> Self {
+        BatchRequest { batch, penalty }
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-batch job state, snapshots, and results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use batchbb_core::{DegradationReport, DrainStatus, ProgressiveExecutor};
+use batchbb_tensor::CoeffKey;
+use parking_lot::Mutex;
+
+use crate::ServeConfig;
+
+/// How a served batch ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// Every master-list coefficient retrieved; estimates are exact.
+    Exact,
+    /// Persistent faults left coefficients deferred; estimates carry the
+    /// penalty bound of the final [`DegradationReport`].
+    Degraded,
+    /// The retry policy's total attempt budget ran out.
+    BudgetExhausted,
+    /// The batch was cancelled via [`BatchHandle::cancel`]; the result
+    /// holds the progressive estimates reached by then.
+    Cancelled,
+}
+
+impl From<DrainStatus> for BatchStatus {
+    fn from(status: DrainStatus) -> Self {
+        match status {
+            DrainStatus::Exact => BatchStatus::Exact,
+            DrainStatus::Degraded => BatchStatus::Degraded,
+            DrainStatus::BudgetExhausted => BatchStatus::BudgetExhausted,
+        }
+    }
+}
+
+/// Final outcome of one served batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Terminal state of the batch.
+    pub status: BatchStatus,
+    /// The full degraded-result contract at finish (estimates, deferred
+    /// population, Theorem 1/2 bounds, fault counters).
+    pub report: DegradationReport,
+    /// Every `(key, value)` this batch retrieved, in sorted key order —
+    /// the replay witness: re-running the batch serially against exactly
+    /// these values reproduces `report.estimates` bit for bit.
+    pub retrieved_entries: Vec<(CoeffKey, f64)>,
+    /// How many scheduling slices the batch consumed.
+    pub slices: usize,
+    /// Theorem 1's worst-case bound sampled after every slice; monotone
+    /// non-increasing regardless of scheduling interleaving.
+    pub bound_history: Vec<f64>,
+}
+
+impl BatchResult {
+    /// The final progressive estimates (one per query in the batch).
+    pub fn estimates(&self) -> &[f64] {
+        &self.report.estimates
+    }
+}
+
+/// A point-in-time progress view of a running batch, readable without
+/// pausing the batch for longer than a snapshot clone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSnapshot {
+    /// Current progressive estimates (valid at every prefix).
+    pub estimates: Vec<f64>,
+    /// Coefficients retrieved so far.
+    pub retrieved: usize,
+    /// Master-list coefficients still unretrieved.
+    pub remaining: usize,
+    /// Coefficients parked in the deferral queue.
+    pub deferred: usize,
+    /// Theorem 1's current worst-case penalty bound.
+    pub worst_case_bound: f64,
+    /// Theorem 2's current expected penalty.
+    pub expected_penalty: f64,
+    /// Scheduling slices consumed so far.
+    pub slices: usize,
+    /// Whether the batch has published its final result.
+    pub finished: bool,
+}
+
+/// Executor state guarded by the job's slice lock. Workers hold this lock
+/// for one slice at a time; the session's update barrier holds every
+/// job's lock at once.
+pub(crate) struct JobState<'a> {
+    pub(crate) exec: ProgressiveExecutor<'a>,
+    pub(crate) slices: usize,
+    pub(crate) bound_history: Vec<f64>,
+    pub(crate) result: Option<BatchResult>,
+}
+
+/// One admitted batch: its executor (behind the slice lock), its
+/// published snapshot, and the cancellation flag.
+pub(crate) struct JobCell<'a> {
+    pub(crate) state: Mutex<JobState<'a>>,
+    pub(crate) snapshot: Mutex<BatchSnapshot>,
+    pub(crate) cancelled: AtomicBool,
+    pub(crate) finished: AtomicBool,
+}
+
+impl<'a> JobCell<'a> {
+    pub(crate) fn new(exec: ProgressiveExecutor<'a>, config: &ServeConfig) -> Self {
+        let snapshot = snapshot_of(&exec, 0, false, config);
+        JobCell {
+            state: Mutex::new(JobState {
+                exec,
+                slices: 0,
+                bound_history: Vec::new(),
+                result: None,
+            }),
+            snapshot: Mutex::new(snapshot),
+            cancelled: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Builds a [`BatchSnapshot`] from live executor state.
+pub(crate) fn snapshot_of(
+    exec: &ProgressiveExecutor<'_>,
+    slices: usize,
+    finished: bool,
+    config: &ServeConfig,
+) -> BatchSnapshot {
+    let report = exec.degradation_report(config.n_total, config.k_abs_sum);
+    BatchSnapshot {
+        estimates: report.estimates,
+        retrieved: exec.retrieved(),
+        remaining: exec.remaining(),
+        deferred: exec.deferred_count(),
+        worst_case_bound: report.worst_case_bound,
+        expected_penalty: report.expected_penalty,
+        slices,
+        finished,
+    }
+}
+
+/// Caller-side view of one admitted batch: progressive snapshots and
+/// cooperative cancellation.
+///
+/// Handles are only reachable inside
+/// [`BatchServer::serve_with`](crate::BatchServer::serve_with)'s driver
+/// closure, which runs on the caller's thread while the pool works.
+#[derive(Clone, Copy)]
+pub struct BatchHandle<'s, 'a> {
+    pub(crate) cell: &'s JobCell<'a>,
+    pub(crate) index: usize,
+}
+
+impl<'s, 'a> BatchHandle<'s, 'a> {
+    /// The batch's admission index (its position in the request slice and
+    /// its `batch` trace label).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// A clone of the batch's latest published progress snapshot.
+    ///
+    /// Snapshots refresh after every scheduling slice, so this shows
+    /// slice-granular progress without contending on the executor itself.
+    pub fn snapshot(&self) -> BatchSnapshot {
+        self.cell.snapshot.lock().clone()
+    }
+
+    /// Whether the batch has published its final [`BatchResult`].
+    pub fn is_finished(&self) -> bool {
+        self.cell.finished.load(Ordering::Acquire)
+    }
+
+    /// Requests cooperative cancellation.
+    ///
+    /// The batch finalizes with [`BatchStatus::Cancelled`] at its next
+    /// scheduling slice, keeping the progressive estimates (and their
+    /// penalty bounds) it had reached. Cancelling a finished batch is a
+    /// no-op. Returns whether the flag was newly set.
+    pub fn cancel(&self) -> bool {
+        !self.cell.cancelled.swap(true, Ordering::AcqRel)
+    }
+}

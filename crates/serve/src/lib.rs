@@ -1,0 +1,363 @@
+//! Concurrent batch serving for progressive range-sum evaluation.
+//!
+//! The paper evaluates one batch of range-sum queries progressively; a
+//! server evaluates *many batches at once* against one coefficient store.
+//! This crate supplies that layer:
+//!
+//! * [`BatchServer`] — a fixed worker pool that advances one
+//!   [`batchbb_core::ProgressiveExecutor`] per admitted batch in bounded
+//!   *slices*, work-stealing across per-worker run queues so a huge batch
+//!   cannot starve small ones;
+//! * [`BatchHandle`] — per-batch progressive snapshots
+//!   ([`BatchSnapshot`]) and cooperative cancellation while the pool
+//!   runs, reachable from the driver closure of
+//!   [`BatchServer::serve_with`];
+//! * [`ServeSession::update`] — live data updates applied atomically
+//!   across the store, the shared cache, and every in-flight executor;
+//! * cross-batch I/O sharing — with [`ServeConfig::share_cache`] (the
+//!   default) all batches read through one
+//!   [`batchbb_storage::ShardedCachingStore`], so coefficients needed by
+//!   several batches are fetched from the physical store exactly once;
+//! * observability — with a sink/registry configured, each batch's
+//!   `exec.*` events carry a `batch = <id>` label
+//!   ([`batchbb_obs::LabeledSink`]) and all metrics land in one shared
+//!   `MetricsRegistry`.
+//!
+//! # Determinism contract
+//!
+//! Scheduling decides only *interleaving*, never *content*: each batch
+//! follows its own penalty-driven importance order and finalizes with the
+//! canonical re-summation, so its final estimates are **bit-identical**
+//! to running the same batch alone against the same store state — the
+//! workspace's concurrency tests replay every served batch serially and
+//! compare with `==`, not a tolerance. Faults are handled per batch by
+//! the retry/deferral path; a batch that cannot finish exactly publishes
+//! the same penalty-bounded [`batchbb_core::DegradationReport`] contract
+//! it would serially.
+//!
+//! # Example
+//!
+//! ```
+//! use batchbb_core::BatchQueries;
+//! use batchbb_penalty::Sse;
+//! use batchbb_query::{HyperRect, LinearStrategy, RangeSum, WaveletStrategy};
+//! use batchbb_relation::{Attribute, FrequencyDistribution, Schema};
+//! use batchbb_serve::{BatchRequest, BatchServer, BatchStatus, ServeConfig};
+//! use batchbb_storage::{CoefficientStore, MemoryStore};
+//! use batchbb_wavelet::Wavelet;
+//!
+//! // A tiny 8×8 dataset and its wavelet-transformed store.
+//! let schema = Schema::new(vec![
+//!     Attribute::new("x", 0.0, 8.0, 3),
+//!     Attribute::new("y", 0.0, 8.0, 3),
+//! ])
+//! .unwrap();
+//! let mut dfd = FrequencyDistribution::new(schema);
+//! for i in 0..8 {
+//!     dfd.insert_binned(&[i, i], 1.0);
+//! }
+//! let strategy = WaveletStrategy::new(Wavelet::Haar);
+//! let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+//! let shape = dfd.schema().domain();
+//!
+//! // Two single-query batches served concurrently on a 2-worker pool.
+//! let q1 = vec![RangeSum::count(HyperRect::new(vec![0, 0], vec![3, 3]))];
+//! let q2 = vec![RangeSum::count(HyperRect::new(vec![0, 0], vec![7, 7]))];
+//! let b1 = BatchQueries::rewrite(&strategy, q1, &shape).unwrap();
+//! let b2 = BatchQueries::rewrite(&strategy, q2, &shape).unwrap();
+//!
+//! let k = store.abs_sum();
+//! let server = BatchServer::new(ServeConfig::new(64, k).workers(2).slice_steps(4));
+//! let results = server.serve(&store, &[BatchRequest::new(&b1, &Sse), BatchRequest::new(&b2, &Sse)]);
+//! assert_eq!(results[0].status, BatchStatus::Exact);
+//! assert!((results[0].estimates()[0] - 4.0).abs() < 1e-9);
+//! assert!((results[1].estimates()[0] - 8.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod job;
+mod server;
+
+pub use config::{BatchRequest, ServeConfig};
+pub use job::{BatchHandle, BatchResult, BatchSnapshot, BatchStatus};
+pub use server::{BatchServer, ServeSession};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use batchbb_core::{BatchQueries, DrainStatus, ProgressiveExecutor};
+    use batchbb_obs::{jsonl, MemorySink, MetricsRegistry};
+    use batchbb_penalty::{DiagonalQuadratic, Sse};
+    use batchbb_query::{HyperRect, LinearStrategy, RangeSum, WaveletStrategy};
+    use batchbb_relation::{Attribute, FrequencyDistribution, Schema};
+    use batchbb_storage::{CoefficientStore, MemoryStore, RetryPolicy};
+    use batchbb_wavelet::Wavelet;
+
+    use super::*;
+
+    fn fixture() -> (MemoryStore, Vec<BatchQueries>, usize, f64) {
+        let schema = Schema::new(vec![
+            Attribute::new("x", 0.0, 16.0, 4),
+            Attribute::new("y", 0.0, 16.0, 4),
+        ])
+        .unwrap();
+        let mut dfd = FrequencyDistribution::new(schema);
+        for i in 0..16 {
+            for j in 0..16 {
+                let w = ((i * 7 + j * 3) % 5) as f64;
+                if w != 0.0 {
+                    dfd.insert_binned(&[i, j], w);
+                }
+            }
+        }
+        let strategy = WaveletStrategy::new(Wavelet::Db4);
+        let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+        let shape = dfd.schema().domain();
+        let batches = vec![
+            BatchQueries::rewrite(
+                &strategy,
+                vec![
+                    RangeSum::count(HyperRect::new(vec![0, 0], vec![7, 7])),
+                    RangeSum::count(HyperRect::new(vec![8, 0], vec![15, 15])),
+                ],
+                &shape,
+            )
+            .unwrap(),
+            BatchQueries::rewrite(
+                &strategy,
+                vec![RangeSum::sum(HyperRect::new(vec![2, 3], vec![12, 14]), 1)],
+                &shape,
+            )
+            .unwrap(),
+            BatchQueries::rewrite(
+                &strategy,
+                vec![
+                    RangeSum::count(HyperRect::new(vec![4, 4], vec![11, 11])),
+                    RangeSum::count(HyperRect::new(vec![0, 8], vec![15, 15])),
+                    RangeSum::count(HyperRect::new(vec![1, 1], vec![2, 14])),
+                ],
+                &shape,
+            )
+            .unwrap(),
+        ];
+        let k = store.abs_sum();
+        (store, batches, 256, k)
+    }
+
+    #[test]
+    fn pool_matches_serial_execution_bit_for_bit() {
+        let (store, batches, n_total, k) = fixture();
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(ServeConfig::new(n_total, k).workers(3).slice_steps(5));
+        let results = server.serve(&store, &requests);
+        assert_eq!(results.len(), batches.len());
+        for (batch, result) in batches.iter().zip(&results) {
+            assert_eq!(result.status, BatchStatus::Exact);
+            assert!(result.slices > 1, "5-step slices must interleave");
+            let mut serial = ProgressiveExecutor::new(batch, &Sse, &store);
+            assert_eq!(
+                serial.drain_with_faults(&RetryPolicy::default()),
+                DrainStatus::Exact
+            );
+            assert_eq!(result.estimates(), serial.estimates());
+            assert_eq!(result.retrieved_entries, serial.retrieved_entries());
+        }
+    }
+
+    #[test]
+    fn bound_history_is_monotone_and_ends_at_zero() {
+        let (store, batches, n_total, k) = fixture();
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(ServeConfig::new(n_total, k).workers(4).slice_steps(3));
+        for result in server.serve(&store, &requests) {
+            let history = &result.bound_history;
+            assert!(!history.is_empty());
+            assert!(history.windows(2).all(|w| w[1] <= w[0]));
+            assert_eq!(*history.last().unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn cancellation_keeps_valid_progressive_estimates() {
+        let (store, batches, n_total, k) = fixture();
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        // One-step slices and a single worker: batch 0 cannot finish
+        // before the driver's cancel lands (the driver cancels before
+        // observing any progress requirement — cancellation is
+        // cooperative, so either outcome must be coherent).
+        let server = BatchServer::new(ServeConfig::new(n_total, k).workers(1).slice_steps(1));
+        let (results, cancelled_first) = server.serve_with(&store, &requests, |session| {
+            let handle = session.handle(0);
+            handle.cancel();
+            !handle.is_finished() || handle.snapshot().finished
+        });
+        assert!(cancelled_first);
+        let result = &results[0];
+        match result.status {
+            BatchStatus::Cancelled => {
+                // The partial estimates still honor Theorem 1: each
+                // true answer lies within the published bound.
+                let mut serial = ProgressiveExecutor::new(&batches[0], &Sse, &store);
+                serial.run_to_end();
+                assert!(result.report.worst_case_bound >= 0.0);
+                assert!(!result.report.is_exact || result.estimates() == serial.estimates());
+            }
+            BatchStatus::Exact => (), // finished before the flag was seen
+            other => panic!("unexpected status {other:?}"),
+        }
+        // Cancelling one batch never disturbs the others.
+        for result in &results[1..] {
+            assert_eq!(result.status, BatchStatus::Exact);
+        }
+    }
+
+    #[test]
+    fn snapshots_progress_while_serving() {
+        let (store, batches, n_total, k) = fixture();
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(ServeConfig::new(n_total, k).workers(2).slice_steps(2));
+        let (results, peak) = server.serve_with(&store, &requests, |session| {
+            assert_eq!(session.batches(), 3);
+            assert_eq!(session.handles().len(), 3);
+            let mut peak = 0;
+            while !session.all_finished() {
+                for handle in session.handles() {
+                    peak = peak.max(handle.snapshot().retrieved);
+                }
+                std::thread::yield_now();
+            }
+            // Final snapshots are published before the finished flag, so
+            // after the loop every handle shows its terminal state.
+            for handle in session.handles() {
+                let snapshot = handle.snapshot();
+                assert!(snapshot.finished);
+                assert!(handle.is_finished());
+                peak = peak.max(snapshot.retrieved);
+            }
+            peak
+        });
+        assert!(peak > 0, "snapshots must reflect retrieval progress");
+        for result in &results {
+            assert_eq!(result.status, BatchStatus::Exact);
+        }
+    }
+
+    #[test]
+    fn unshared_cache_and_mixed_penalties_still_match_serial() {
+        let (store, batches, n_total, k) = fixture();
+        let diag = DiagonalQuadratic::new(vec![3.0, 1.0]);
+        let requests = vec![
+            BatchRequest::new(&batches[0], &diag),
+            BatchRequest::new(&batches[1], &Sse),
+        ];
+        let server = BatchServer::new(
+            ServeConfig::new(n_total, k)
+                .share_cache(false)
+                .slice_steps(7),
+        );
+        let results = server.serve(&store, &requests);
+        let mut serial0 = ProgressiveExecutor::new(&batches[0], &diag, &store);
+        serial0.run_to_end();
+        let mut serial1 = ProgressiveExecutor::new(&batches[1], &Sse, &store);
+        serial1.run_to_end();
+        assert_eq!(results[0].estimates(), serial0.estimates());
+        assert_eq!(results[1].estimates(), serial1.estimates());
+    }
+
+    #[test]
+    fn empty_request_list_is_fine() {
+        let (store, _, n_total, k) = fixture();
+        let server = BatchServer::new(ServeConfig::new(n_total, k));
+        assert!(server.serve(&store, &[]).is_empty());
+    }
+
+    #[test]
+    fn events_are_labelled_per_batch_and_metrics_shared() {
+        let (store, batches, n_total, k) = fixture();
+        let sink = Arc::new(MemorySink::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(
+            ServeConfig::new(n_total, k)
+                .workers(2)
+                .slice_steps(4)
+                .sink(sink.clone())
+                .registry(registry.clone()),
+        );
+        let results = server.serve(&store, &requests);
+        assert_eq!(results.len(), 3);
+        let mut seen = [false; 3];
+        for line in sink.lines() {
+            let event = jsonl::parse_line(&line).unwrap();
+            let batch = event.num("batch").expect("every event carries the label") as usize;
+            seen[batch] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all three batches must emit events"
+        );
+        assert!(registry.snapshot().counter("serve.steps").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn observer_is_metrics_only_without_a_sink() {
+        let (store, batches, n_total, k) = fixture();
+        let registry = Arc::new(MetricsRegistry::new());
+        let requests = vec![BatchRequest::new(&batches[0], &Sse)];
+        let server = BatchServer::new(ServeConfig::new(n_total, k).registry(registry.clone()));
+        server.serve(&store, &requests);
+        assert!(registry.snapshot().counter("serve.steps").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn live_update_repairs_every_inflight_batch() {
+        let (store, batches, n_total, k) = fixture();
+        let shared = batchbb_storage::SharedStore::new(store);
+        let serial_all = |s: &dyn CoefficientStore| -> Vec<Vec<f64>> {
+            batches
+                .iter()
+                .map(|batch| {
+                    let mut exec = ProgressiveExecutor::new(batch, &Sse, s);
+                    exec.run_to_end();
+                    exec.estimates().to_vec()
+                })
+                .collect()
+        };
+        let pre = serial_all(&shared);
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let key = batchbb_tensor::CoeffKey::new(&[0, 0]);
+        let delta = 4.25;
+        let server = BatchServer::new(ServeConfig::new(n_total, k).workers(2).slice_steps(1));
+        let writes = AtomicUsize::new(0);
+        let (results, _) = server.serve_with(&shared, &requests, |session| {
+            session.update(&[(key, delta)], || {
+                shared.add_shared(key, delta);
+                writes.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(writes.load(Ordering::SeqCst), 1);
+        let post = serial_all(&shared);
+        // The update barrier repairs every in-flight batch, so each answer
+        // is bit-identical to a serial run against the updated store; a
+        // batch that finished *before* the barrier keeps its pre-update
+        // answer. Mixed states (half-applied updates) must never appear.
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.status, BatchStatus::Exact);
+            let estimates = result.estimates();
+            assert!(
+                estimates == post[i].as_slice() || estimates == pre[i].as_slice(),
+                "batch {i} published a torn update"
+            );
+        }
+    }
+}

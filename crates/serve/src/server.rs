@@ -1,0 +1,334 @@
+//! The batch server: a fixed worker pool multiplexing many progressive
+//! executors over one coefficient store.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use batchbb_core::{DegradationReport, ExecObserver, ProgressiveExecutor};
+use batchbb_obs::LabeledSink;
+use batchbb_storage::{CoefficientStore, ShardedCachingStore};
+use batchbb_tensor::CoeffKey;
+use parking_lot::Mutex;
+
+use crate::job::{JobCell, JobState};
+use crate::{BatchHandle, BatchRequest, BatchResult, BatchSnapshot, BatchStatus, ServeConfig};
+
+/// A thread-pool batch server.
+///
+/// Each admitted [`BatchRequest`] gets its own [`ProgressiveExecutor`];
+/// a fixed pool of workers advances them in bounded *slices*
+/// ([`ServeConfig::slice_steps`] retrievals at a time), work-stealing
+/// across per-worker run queues so a huge batch cannot starve small ones:
+/// after every slice the batch goes back to the end of a queue and the
+/// worker picks up whatever is runnable next.
+///
+/// Determinism: scheduling decides only *interleaving*, never *content*.
+/// Every batch walks its own importance order, and final estimates are
+/// re-summed canonically once exact, so each batch's final answer is
+/// bit-identical to running it alone — the concurrency tests assert this
+/// against serial replays.
+pub struct BatchServer {
+    config: ServeConfig,
+}
+
+impl BatchServer {
+    /// Creates a server with the given pool configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        BatchServer { config }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves every request to completion and returns the results in
+    /// request order.
+    pub fn serve(
+        &self,
+        store: &dyn CoefficientStore,
+        requests: &[BatchRequest<'_>],
+    ) -> Vec<BatchResult> {
+        self.serve_with(store, requests, |_| ()).0
+    }
+
+    /// Serves every request while running `driver` on the calling thread.
+    ///
+    /// The driver observes and steers the in-flight pool through a
+    /// [`ServeSession`]: progressive snapshots and cancellation per batch
+    /// ([`BatchHandle`]), and live data updates applied atomically across
+    /// the store and every executor ([`ServeSession::update`]). The call
+    /// returns once the driver has returned *and* every batch has
+    /// published its final result.
+    pub fn serve_with<R>(
+        &self,
+        store: &dyn CoefficientStore,
+        requests: &[BatchRequest<'_>],
+        driver: impl FnOnce(&ServeSession<'_, '_>) -> R,
+    ) -> (Vec<BatchResult>, R) {
+        let config = &self.config;
+        let cache = config
+            .share_cache
+            .then(|| ShardedCachingStore::with_shards(store, config.cache_shards));
+        let eff: &dyn CoefficientStore = match &cache {
+            Some(cache) => cache,
+            None => store,
+        };
+
+        // Executors are built serially on the caller thread: importance
+        // scoring sees a quiescent store and needs no `Penalty` to cross
+        // a thread boundary.
+        let jobs: Vec<JobCell<'_>> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let mut exec = ProgressiveExecutor::new(req.batch, req.penalty, eff);
+                if let Some(observer) = self.observer_for(i) {
+                    exec = exec.with_observer(observer);
+                }
+                JobCell::new(exec, config)
+            })
+            .collect();
+
+        let active = AtomicUsize::new(jobs.len());
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..config.workers)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        for index in 0..jobs.len() {
+            queues[index % config.workers].lock().push_back(index);
+        }
+
+        let driver_out = {
+            let session = ServeSession {
+                jobs: &jobs,
+                cache: cache.as_ref(),
+                config,
+            };
+            std::thread::scope(|scope| {
+                for me in 0..config.workers {
+                    let jobs = &jobs;
+                    let queues = &queues;
+                    let active = &active;
+                    scope.spawn(move || worker_loop(me, jobs, queues, active, config));
+                }
+                driver(&session)
+            })
+        };
+
+        let results = jobs
+            .into_iter()
+            .map(|cell| {
+                cell.state
+                    .into_inner()
+                    .result
+                    .expect("the pool only exits once every job has published")
+            })
+            .collect();
+        (results, driver_out)
+    }
+
+    /// Builds batch `index`'s observer from the configured sink/registry,
+    /// stamping a `batch = index` label so shared traces stay separable.
+    fn observer_for(&self, index: usize) -> Option<ExecObserver> {
+        let config = &self.config;
+        let observer = match (&config.sink, &config.registry) {
+            (None, None) => return None,
+            (Some(sink), _) => ExecObserver::new(Arc::new(LabeledSink::new(
+                sink.clone(),
+                "batch",
+                index as u64,
+            ))),
+            (None, Some(_)) => ExecObserver::metrics_only(),
+        };
+        let mut observer = observer
+            .with_engine("serve")
+            .with_bounds(config.n_total, config.k_abs_sum);
+        if let Some(registry) = &config.registry {
+            observer = observer.with_registry(registry.clone());
+        }
+        Some(observer)
+    }
+}
+
+/// The in-flight pool, as seen by [`BatchServer::serve_with`]'s driver.
+pub struct ServeSession<'s, 'a> {
+    jobs: &'s [JobCell<'a>],
+    cache: Option<&'s ShardedCachingStore<&'a dyn CoefficientStore>>,
+    config: &'s ServeConfig,
+}
+
+impl<'s, 'a> ServeSession<'s, 'a> {
+    /// Number of admitted batches.
+    pub fn batches(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The handle for batch `index` (panics if out of range).
+    pub fn handle(&self, index: usize) -> BatchHandle<'s, 'a> {
+        BatchHandle {
+            cell: &self.jobs[index],
+            index,
+        }
+    }
+
+    /// Handles for every admitted batch, in request order.
+    pub fn handles(&self) -> Vec<BatchHandle<'s, 'a>> {
+        (0..self.jobs.len()).map(|i| self.handle(i)).collect()
+    }
+
+    /// Whether every batch has published its final result.
+    pub fn all_finished(&self) -> bool {
+        self.jobs
+            .iter()
+            .all(|cell| cell.finished.load(Ordering::Acquire))
+    }
+
+    /// Applies a live data update atomically across the store and every
+    /// in-flight executor.
+    ///
+    /// This is a stop-the-world barrier: it takes every job's slice lock
+    /// in index order (workers hold at most one and never take a second,
+    /// so the barrier cannot deadlock), then — with all executors paused —
+    /// runs `write_store` (the caller's store mutation, e.g.
+    /// `SharedStore::add_shared` per entry), invalidates the shared cache
+    /// for the touched keys, and repairs each unfinished executor with
+    /// [`ProgressiveExecutor::apply_update`]. Batches that already
+    /// published a result are left untouched: their answer was final —
+    /// and correct — for the database as of their finish.
+    ///
+    /// `entries` lists the changed coefficients as `(key, delta)`, e.g.
+    /// from `batchbb_relation::cube::point_entries`.
+    pub fn update(&self, entries: &[(CoeffKey, f64)], write_store: impl FnOnce()) {
+        let mut guards: Vec<_> = self.jobs.iter().map(|cell| cell.state.lock()).collect();
+        write_store();
+        if let Some(cache) = self.cache {
+            for (key, _) in entries {
+                cache.invalidate(key);
+            }
+        }
+        for (cell, state) in self.jobs.iter().zip(guards.iter_mut()) {
+            if state.result.is_some() {
+                continue;
+            }
+            for (key, delta) in entries {
+                state.exec.apply_update(key, *delta);
+            }
+            let report = state
+                .exec
+                .degradation_report(self.config.n_total, self.config.k_abs_sum);
+            publish_snapshot(cell, state, &report, false);
+        }
+    }
+}
+
+/// One pool worker: drain the own queue front, steal from victims' backs,
+/// spin down once every job has published.
+fn worker_loop(
+    me: usize,
+    jobs: &[JobCell<'_>],
+    queues: &[Mutex<VecDeque<usize>>],
+    active: &AtomicUsize,
+    config: &ServeConfig,
+) {
+    loop {
+        if active.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        match pop_job(me, queues) {
+            Some(index) => {
+                let finished = run_slice(&jobs[index], config, active);
+                if !finished {
+                    queues[me].lock().push_back(index);
+                }
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+fn pop_job(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(index) = queues[me].lock().pop_front() {
+        return Some(index);
+    }
+    for offset in 1..queues.len() {
+        let victim = (me + offset) % queues.len();
+        if let Some(index) = queues[victim].lock().pop_back() {
+            return Some(index);
+        }
+    }
+    None
+}
+
+/// Advances one batch by one scheduling slice. Returns whether the batch
+/// has published its final result.
+fn run_slice(cell: &JobCell<'_>, config: &ServeConfig, active: &AtomicUsize) -> bool {
+    let mut state = cell.state.lock();
+    if state.result.is_some() {
+        return true;
+    }
+    if cell.cancelled.load(Ordering::Acquire) {
+        let report = state
+            .exec
+            .degradation_report(config.n_total, config.k_abs_sum);
+        finalize(cell, &mut state, BatchStatus::Cancelled, report, active);
+        return true;
+    }
+    // The budget never drops below the deferral queue length, so a slice
+    // that reaches the queue can always run one conclusive full pass —
+    // the fairness rule that keeps budgeted drains convergent.
+    let budget = config.slice_steps.max(state.exec.deferred_count());
+    let status = state.exec.drain_with_faults_budgeted(&config.retry, budget);
+    state.slices += 1;
+    let report = state
+        .exec
+        .degradation_report(config.n_total, config.k_abs_sum);
+    state.bound_history.push(report.worst_case_bound);
+    match status {
+        Some(status) => {
+            finalize(cell, &mut state, status.into(), report, active);
+            true
+        }
+        None => {
+            publish_snapshot(cell, &state, &report, false);
+            false
+        }
+    }
+}
+
+fn publish_snapshot(
+    cell: &JobCell<'_>,
+    state: &JobState<'_>,
+    report: &DegradationReport,
+    finished: bool,
+) {
+    *cell.snapshot.lock() = BatchSnapshot {
+        estimates: report.estimates.clone(),
+        retrieved: state.exec.retrieved(),
+        remaining: state.exec.remaining(),
+        deferred: state.exec.deferred_count(),
+        worst_case_bound: report.worst_case_bound,
+        expected_penalty: report.expected_penalty,
+        slices: state.slices,
+        finished,
+    };
+}
+
+fn finalize(
+    cell: &JobCell<'_>,
+    state: &mut JobState<'_>,
+    status: BatchStatus,
+    report: DegradationReport,
+    active: &AtomicUsize,
+) {
+    publish_snapshot(cell, state, &report, true);
+    state.result = Some(BatchResult {
+        status,
+        retrieved_entries: state.exec.retrieved_entries(),
+        slices: state.slices,
+        bound_history: std::mem::take(&mut state.bound_history),
+        report,
+    });
+    cell.finished.store(true, Ordering::Release);
+    active.fetch_sub(1, Ordering::AcqRel);
+}

@@ -1,0 +1,133 @@
+//! Property-based determinism tests for the batch server: random batch
+//! mixes pushed through the worker pool produce final answers
+//! bit-identical to sequential executor runs, for every penalty function
+//! and every pool shape.
+
+use proptest::prelude::*;
+
+use batchbb_core::{BatchQueries, ProgressiveExecutor};
+use batchbb_penalty::{Combination, DiagonalQuadratic, LaplacianPenalty, LpPenalty, Penalty, Sse};
+use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
+use batchbb_serve::{BatchRequest, BatchServer, BatchStatus, ServeConfig};
+use batchbb_storage::MemoryStore;
+use batchbb_tensor::{Shape, Tensor};
+use batchbb_wavelet::Wavelet;
+
+/// A random instance: data tensor plus several random-partition batches.
+fn arb_instance() -> impl Strategy<Value = (Tensor, Vec<Vec<RangeSum>>, Shape)> {
+    (2u32..5, 2u32..4, 2usize..5, 0u64..1000).prop_flat_map(|(bx, by, nbatches, seed)| {
+        let shape = Shape::new(vec![1usize << bx, 1usize << by]).unwrap();
+        let len = shape.len();
+        prop::collection::vec(0.0f64..9.0, len).prop_map(move |vals| {
+            let shape = Shape::new(vec![1usize << bx, 1usize << by]).unwrap();
+            let data = Tensor::from_vec(shape.clone(), vals).unwrap();
+            let batches = (0..nbatches)
+                .map(|b| {
+                    let cells = 2 + (seed as usize + b) % 4;
+                    partition::random_partition(&shape, cells.min(shape.len()), seed + b as u64)
+                        .into_iter()
+                        .map(RangeSum::count)
+                        .collect()
+                })
+                .collect();
+            (data, batches, shape)
+        })
+    })
+}
+
+/// One penalty per family the workspace ships, sized for `batch_size`
+/// (several families carry per-query weights and are batch-size
+/// specific).
+fn penalty_family(family: usize, batch_size: usize) -> Box<dyn Penalty> {
+    match family {
+        0 => Box::new(Sse),
+        1 => Box::new(DiagonalQuadratic::new(
+            (0..batch_size).map(|i| 1.0 + i as f64).collect(),
+        )),
+        2 => Box::new(LpPenalty::new(1.0)),
+        3 => Box::new(LaplacianPenalty::path(batch_size)),
+        _ => Box::new(Combination::new(vec![
+            (0.5, Box::new(Sse) as Box<dyn Penalty>),
+            (0.5, Box::new(DiagonalQuadratic::new(vec![2.0; batch_size]))),
+        ])),
+    }
+}
+
+const FAMILIES: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random batch mixes through the pool equal sequential runs bit for
+    /// bit, for every penalty function — scheduling decides interleaving,
+    /// never content.
+    #[test]
+    fn pool_is_bit_identical_to_sequential((data, query_batches, shape) in arb_instance(),
+                                           workers in 1usize..5,
+                                           slice in 1usize..9,
+                                           share in any::<bool>()) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let n_total = shape.len().max(2);
+        let k = store.abs_sum();
+        let batches: Vec<BatchQueries> = query_batches
+            .iter()
+            .map(|qs| BatchQueries::rewrite(&strategy, qs.clone(), &shape).unwrap())
+            .collect();
+        for family in 0..FAMILIES {
+            let panel: Vec<Box<dyn Penalty>> = batches
+                .iter()
+                .map(|b| penalty_family(family, b.len()))
+                .collect();
+            let requests: Vec<BatchRequest<'_>> = batches
+                .iter()
+                .zip(&panel)
+                .map(|(b, p)| BatchRequest::new(b, p.as_ref()))
+                .collect();
+            let server = BatchServer::new(
+                ServeConfig::new(n_total, k)
+                    .workers(workers)
+                    .slice_steps(slice)
+                    .share_cache(share),
+            );
+            let results = server.serve(&store, &requests);
+            prop_assert_eq!(results.len(), batches.len());
+            for ((batch, penalty), result) in batches.iter().zip(&panel).zip(&results) {
+                prop_assert_eq!(result.status, BatchStatus::Exact);
+                let mut serial = ProgressiveExecutor::new(batch, penalty.as_ref(), &store);
+                serial.run_to_end();
+                prop_assert_eq!(result.estimates(), serial.estimates(),
+                    "penalty {} diverged under workers={} slice={} share={}",
+                    penalty.name(), workers, slice, share);
+                prop_assert_eq!(&result.retrieved_entries, &serial.retrieved_entries());
+            }
+        }
+    }
+
+    /// Every served batch's per-slice worst-case bound trace is monotone
+    /// non-increasing and terminates at zero on a fault-free store —
+    /// Theorem 1 survives any scheduling interleaving.
+    #[test]
+    fn bounds_are_monotone_under_any_schedule((data, query_batches, shape) in arb_instance(),
+                                              workers in 1usize..5) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let n_total = shape.len().max(2);
+        let k = store.abs_sum();
+        let batches: Vec<BatchQueries> = query_batches
+            .iter()
+            .map(|qs| BatchQueries::rewrite(&strategy, qs.clone(), &shape).unwrap())
+            .collect();
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server =
+            BatchServer::new(ServeConfig::new(n_total, k).workers(workers).slice_steps(2));
+        for result in server.serve(&store, &requests) {
+            let history = &result.bound_history;
+            prop_assert!(!history.is_empty());
+            prop_assert!(history.windows(2).all(|w| w[1] <= w[0]),
+                "bound history not monotone: {history:?}");
+            prop_assert_eq!(*history.last().unwrap(), 0.0);
+        }
+    }
+}

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use batchbb_tensor::CoeffKey;
 use parking_lot::{Mutex, RwLock};
 
+use crate::fingerprint::{key_fingerprint, mix};
 use crate::{CoefficientStore, FaultStats, IoStats, StorageError};
 
 /// A deterministic description of which retrievals fail and how.
@@ -107,25 +108,6 @@ impl FaultCounters {
         self.permanent_failures.store(0, Ordering::Relaxed);
         self.latency_ticks.store(0, Ordering::Relaxed);
     }
-}
-
-/// Mixes a `CoeffKey` into a single word (FNV-1a over coords and rank).
-fn key_fingerprint(key: &CoeffKey) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for c in key.coords() {
-        h ^= *c as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h ^= key.rank() as u64;
-    h.wrapping_mul(0x0000_0100_0000_01b3)
-}
-
-/// splitmix64 finalizer: a well-mixed pure function of its input.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 /// Uniform draw in `[0, 1)` for attempt `attempt` on `key` under `seed`.

@@ -14,11 +14,14 @@
 //! * [`BlockStore`] — coefficients packed into fixed-size blocks behind an
 //!   LRU buffer pool, quantifying the paper's future-work remark on disk
 //!   layout and smart buffer management (§7) (unix only);
-//! * [`SharedStore`] — a lock-protected store for live updates during
-//!   progressive evaluation;
+//! * [`SharedStore`] — a shard-locked store for live updates during
+//!   progressive evaluation (writers stall only their own shard's readers);
 //! * [`CachingStore`] — a memoizing wrapper that turns repeated retrievals
 //!   (e.g. the round-robin baseline's) into cache hits, isolating how much
 //!   of Batch-Biggest-B's win is I/O sharing vs shared computation;
+//! * [`ShardedCachingStore`] — the concurrent variant: a sharded
+//!   read-through cache so many in-flight batches (the `batchbb-serve`
+//!   pool) share each physical fetch without serializing on one lock;
 //! * [`InstrumentedStore`] — an observability wrapper recording per-call
 //!   latency histograms, hit/miss counters, and per-class fault counters
 //!   into a `batchbb_obs` registry (plus `store.fault` trace events).
@@ -90,9 +93,11 @@ mod caching;
 mod disk;
 mod error;
 mod fault;
+mod fingerprint;
 mod instrument;
 mod memory;
 pub mod retry;
+mod sharded;
 mod shared;
 mod stats;
 mod store;
@@ -107,6 +112,7 @@ pub use fault::{FaultInjectingStore, FaultPlan};
 pub use instrument::InstrumentedStore;
 pub use memory::{ArrayStore, MemoryStore};
 pub use retry::{RetryOutcome, RetryPolicy};
+pub use sharded::ShardedCachingStore;
 pub use shared::SharedStore;
 pub use stats::{FaultStats, IoStats};
 pub use store::{CoefficientStore, MutableStore};

@@ -1,0 +1,211 @@
+//! A sharded read-through cache: cross-batch I/O sharing for concurrent
+//! serving.
+//!
+//! [`CachingStore`](crate::CachingStore) funnels every lookup through one
+//! mutex, which is fine for a single executor but serializes a worker pool.
+//! [`ShardedCachingStore`] splits the memo table across independently
+//! locked shards, so concurrent batches miss-fetch and hit on *different*
+//! coefficients in parallel, and a coefficient fetched for one batch is
+//! served from memory to every other in-flight batch.
+//!
+//! Each shard's lock is held across the inner fetch, so a coefficient is
+//! physically fetched **exactly once** no matter how many batches race on
+//! it — the property the `batchbb-serve` pool's fewer-fetches guarantee
+//! rests on.
+
+use std::collections::HashMap;
+
+use batchbb_tensor::CoeffKey;
+use parking_lot::Mutex;
+
+use crate::fingerprint;
+use crate::stats::Counters;
+use crate::{CoefficientStore, IoStats, StorageError};
+
+/// Default shard count, matching [`crate::SharedStore`].
+const DEFAULT_SHARDS: usize = 16;
+
+/// One cache shard: `None` memoizes "absent" (a zero coefficient) just
+/// like a value — absence is a cacheable answer.
+type Shard = Mutex<HashMap<CoeffKey, Option<f64>>>;
+
+/// Wraps any store with a sharded, unbounded read-through memo table.
+///
+/// `retrievals` counts logical requests to this wrapper; `physical_reads`
+/// counts requests forwarded to the inner store; `cache_hits` the rest.
+#[derive(Debug)]
+pub struct ShardedCachingStore<S> {
+    inner: S,
+    shards: Box<[Shard]>,
+    counters: Counters,
+}
+
+impl<S: CoefficientStore> ShardedCachingStore<S> {
+    /// Wraps `inner` with the default shard count.
+    pub fn new(inner: S) -> Self {
+        ShardedCachingStore::with_shards(inner, DEFAULT_SHARDS)
+    }
+
+    /// Wraps `inner` with an explicit shard count (`>= 1`).
+    pub fn with_shards(inner: S, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedCachingStore {
+            inner,
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of memoized keys across all shards.
+    pub fn cached(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Drops the memoized value for `key`, so the next retrieval reads
+    /// through to the (possibly updated) inner store. Returns whether a
+    /// cached value was present.
+    ///
+    /// This is the invalidation half of the live-update contract: callers
+    /// that mutate the underlying store mid-serve (e.g.
+    /// `SharedStore::add_shared`) must invalidate the touched keys, or
+    /// in-flight batches would keep reading the stale memo.
+    pub fn invalidate(&self, key: &CoeffKey) -> bool {
+        self.shards[fingerprint::shard_of(key, self.shards.len())]
+            .lock()
+            .remove(key)
+            .is_some()
+    }
+
+    fn shard(&self, key: &CoeffKey) -> &Mutex<HashMap<CoeffKey, Option<f64>>> {
+        &self.shards[fingerprint::shard_of(key, self.shards.len())]
+    }
+}
+
+impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
+    fn get(&self, key: &CoeffKey) -> Option<f64> {
+        self.counters.count_retrieval();
+        let mut shard = self.shard(key).lock();
+        if let Some(v) = shard.get(key) {
+            self.counters.count_hit();
+            return *v;
+        }
+        self.counters.count_physical();
+        let v = self.inner.get(key);
+        shard.insert(*key, v);
+        v
+    }
+
+    /// Forwards to the inner store's fallible path. Only successful results
+    /// are memoized, so a key whose retrieval failed is re-attempted (and
+    /// can recover) on later calls — from *any* batch.
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        self.counters.count_retrieval();
+        let mut shard = self.shard(key).lock();
+        if let Some(v) = shard.get(key) {
+            self.counters.count_hit();
+            return Ok(*v);
+        }
+        self.counters.count_physical();
+        let v = self.inner.try_get(key)?;
+        shard.insert(*key, v);
+        Ok(v)
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultInjectingStore, FaultPlan, MemoryStore};
+
+    fn store(n: usize) -> MemoryStore {
+        MemoryStore::from_entries((0..n).map(|i| (CoeffKey::one(i), i as f64 + 1.0)))
+    }
+
+    #[test]
+    fn second_read_is_a_hit() {
+        let s = ShardedCachingStore::new(store(4));
+        assert_eq!(s.get(&CoeffKey::one(1)), Some(2.0));
+        assert_eq!(s.get(&CoeffKey::one(1)), Some(2.0));
+        let st = s.stats();
+        assert_eq!(st.retrievals, 2);
+        assert_eq!(st.physical_reads, 1);
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(s.cached(), 1);
+    }
+
+    #[test]
+    fn misses_are_also_memoized() {
+        let s = ShardedCachingStore::new(MemoryStore::new());
+        assert_eq!(s.get(&CoeffKey::one(9)), None);
+        assert_eq!(s.get(&CoeffKey::one(9)), None);
+        assert_eq!(s.stats().physical_reads, 1, "negative result cached");
+    }
+
+    #[test]
+    fn concurrent_readers_fetch_each_key_exactly_once() {
+        let s = ShardedCachingStore::new(store(64));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..64 {
+                        assert_eq!(s.get(&CoeffKey::one(i)), Some(i as f64 + 1.0));
+                    }
+                });
+            }
+        });
+        // 8 threads × 64 keys logically, but the inner store saw each key
+        // exactly once: the shard lock is held across the fetch.
+        assert_eq!(s.stats().retrievals, 8 * 64);
+        assert_eq!(s.inner().stats().retrievals, 64);
+        assert_eq!(s.stats().physical_reads, 64);
+        assert_eq!(s.stats().cache_hits, 7 * 64);
+    }
+
+    #[test]
+    fn failures_are_not_memoized() {
+        let key = CoeffKey::one(2);
+        let s = ShardedCachingStore::new(FaultInjectingStore::new(
+            store(8),
+            FaultPlan::new(1).with_permanent_keys([key]),
+        ));
+        assert!(s.try_get(&key).is_err());
+        assert!(s.try_get(&key).is_err(), "error not cached");
+        s.inner().heal();
+        assert_eq!(s.try_get(&key), Ok(Some(3.0)), "recovers after heal");
+        assert_eq!(s.try_get(&key), Ok(Some(3.0)));
+        assert_eq!(s.stats().cache_hits, 1, "only the post-heal value caches");
+    }
+
+    #[test]
+    fn invalidate_reads_through_again() {
+        let s = ShardedCachingStore::new(store(4));
+        let key = CoeffKey::one(1);
+        assert_eq!(s.get(&key), Some(2.0));
+        assert!(s.invalidate(&key));
+        assert!(!s.invalidate(&key), "second invalidation is a no-op");
+        assert_eq!(s.get(&key), Some(2.0));
+        assert_eq!(s.stats().physical_reads, 2, "re-fetched after invalidate");
+    }
+}

@@ -5,25 +5,53 @@
 use batchbb_tensor::CoeffKey;
 use parking_lot::RwLock;
 
+use crate::fingerprint;
 use crate::{CoefficientStore, IoStats, MemoryStore, MutableStore, StorageError};
 
-/// A [`MemoryStore`] behind a read/write lock, so readers (progressive
-/// executors hold `&store`) and writers (tuple inserts) can interleave.
+/// Default shard count: enough that a writer touching one coefficient
+/// blocks ~1/16th of concurrent readers instead of all of them.
+const DEFAULT_SHARDS: usize = 16;
+
+/// A [`MemoryStore`] sharded across read/write locks, so readers
+/// (progressive executors hold `&store`) and writers (tuple inserts) can
+/// interleave — and, unlike the earlier single-lock design, a writer only
+/// stalls readers of *its* shard.
 ///
-/// Reads take the read lock per retrieval; updates take the write lock per
-/// coefficient.  Pair with
+/// Keys route to shards by a fixed hash ([`SharedStore::shard_of`]), so two
+/// retrievals of different keys usually hold different locks and proceed
+/// concurrently even while a write is in flight elsewhere.  Pair with
 /// `ProgressiveExecutor::apply_update` to repair estimates for
 /// already-retrieved coefficients.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SharedStore {
-    inner: RwLock<MemoryStore>,
+    shards: Box<[RwLock<MemoryStore>]>,
+}
+
+impl Default for SharedStore {
+    fn default() -> Self {
+        SharedStore::new(MemoryStore::new())
+    }
 }
 
 impl SharedStore {
-    /// Wraps an existing store.
+    /// Wraps an existing store, distributing its entries across the
+    /// default shard count.
     pub fn new(inner: MemoryStore) -> Self {
+        SharedStore::with_shards(inner, DEFAULT_SHARDS)
+    }
+
+    /// Wraps an existing store with an explicit shard count (`>= 1`).
+    pub fn with_shards(inner: MemoryStore, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let mut parts: Vec<Vec<(CoeffKey, f64)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (k, v) in inner.iter() {
+            parts[fingerprint::shard_of(k, shards)].push((*k, *v));
+        }
         SharedStore {
-            inner: RwLock::new(inner),
+            shards: parts
+                .into_iter()
+                .map(|p| RwLock::new(MemoryStore::from_entries(p)))
+                .collect(),
         }
     }
 
@@ -32,43 +60,63 @@ impl SharedStore {
         SharedStore::new(MemoryStore::from_entries(entries))
     }
 
-    /// Adds `delta` at `key` through the write lock (usable with `&self`,
-    /// unlike [`MutableStore::add`]).
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to (stable for the store's lifetime).
+    pub fn shard_of(&self, key: &CoeffKey) -> usize {
+        fingerprint::shard_of(key, self.shards.len())
+    }
+
+    /// Adds `delta` at `key` through the owning shard's write lock (usable
+    /// with `&self`, unlike [`MutableStore::add`]).
     pub fn add_shared(&self, key: CoeffKey, delta: f64) {
-        self.inner.write().add(key, delta);
+        self.shards[self.shard_of(&key)].write().add(key, delta);
     }
 
     /// Sum of |value| over stored coefficients (Theorem 1's `K`).
     pub fn abs_sum(&self) -> f64 {
-        self.inner.read().abs_sum()
+        self.shards.iter().map(|s| s.read().abs_sum()).sum()
     }
 }
 
 impl CoefficientStore for SharedStore {
     fn get(&self, key: &CoeffKey) -> Option<f64> {
-        self.inner.read().get(key)
+        self.shards[self.shard_of(key)].read().get(key)
     }
 
     fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
-        self.inner.read().try_get(key)
+        self.shards[self.shard_of(key)].read().try_get(key)
     }
 
     fn nnz(&self) -> usize {
-        self.inner.read().nnz()
+        self.shards.iter().map(|s| s.read().nnz()).sum()
     }
 
     fn stats(&self) -> IoStats {
-        self.inner.read().stats()
+        let mut total = IoStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.read().stats();
+            total.retrievals += s.retrievals;
+            total.physical_reads += s.physical_reads;
+            total.cache_hits += s.cache_hits;
+        }
+        total
     }
 
     fn reset_stats(&self) {
-        self.inner.read().reset_stats()
+        for shard in self.shards.iter() {
+            shard.read().reset_stats();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn shared_reads_and_writes() {
@@ -79,6 +127,25 @@ mod tests {
         s.add_shared(CoeffKey::one(3), 4.0);
         assert_eq!(s.nnz(), 1);
         assert_eq!(s.stats().retrievals, 2);
+    }
+
+    #[test]
+    fn sharding_preserves_contents_and_stats() {
+        let entries: Vec<_> = (0..200)
+            .map(|i| (CoeffKey::one(i), i as f64 + 1.0))
+            .collect();
+        for shards in [1, 2, 7, 16] {
+            let s = SharedStore::with_shards(MemoryStore::from_entries(entries.clone()), shards);
+            assert_eq!(s.shard_count(), shards);
+            assert_eq!(s.nnz(), 200);
+            assert_eq!(s.abs_sum(), (1..=200).map(|i| i as f64).sum::<f64>());
+            for (k, v) in &entries {
+                assert_eq!(s.get(k), Some(*v));
+            }
+            assert_eq!(s.stats().retrievals, 200, "shards={shards}");
+            s.reset_stats();
+            assert_eq!(s.stats(), IoStats::default());
+        }
     }
 
     #[test]
@@ -99,5 +166,38 @@ mod tests {
             });
         });
         assert_eq!(s.get(&CoeffKey::one(10)), Some(11.0));
+    }
+
+    /// Regression for the single-global-lock design: a reader of shard B
+    /// must complete *while* a writer holds shard A. Timing-free — if the
+    /// lock were global the reader would block forever (test hang), and the
+    /// counter asserts the read really happened before the writer released.
+    #[test]
+    fn readers_on_distinct_shards_do_not_serialize() {
+        let s = SharedStore::from_entries((0..64).map(|i| (CoeffKey::one(i), i as f64 + 1.0)));
+        // Find two keys routed to different shards.
+        let k1 = CoeffKey::one(0);
+        let k2 = (1..64)
+            .map(CoeffKey::one)
+            .find(|k| s.shard_of(k) != s.shard_of(&k1))
+            .expect("64 keys over 16 shards must span at least two shards");
+        let reads_done = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            // Hold the *write* lock on k1's shard for the whole check.
+            let guard = s.shards[s.shard_of(&k1)].write();
+            let reader = scope.spawn(|| {
+                assert!(s.get(&k2).is_some());
+                reads_done.fetch_add(1, Ordering::SeqCst);
+            });
+            reader
+                .join()
+                .expect("reader must finish under a held writer");
+            assert_eq!(
+                reads_done.load(Ordering::SeqCst),
+                1,
+                "the other-shard read completed while the writer was held"
+            );
+            drop(guard);
+        });
     }
 }

@@ -3,17 +3,21 @@
 # docs, example smoke-runs, and bench bitrot checks.
 # Runs entirely offline — all dependencies are in-tree (see shims/).
 #
-# Usage: scripts/ci.sh [--quick]
+# Usage: scripts/ci.sh [--quick] [--threads]
 #   --quick   skip the release build, docs gate, example smoke-runs, and
 #             bench bitrot checks (fmt + clippy + tests only)
+#   --threads run ONLY the concurrency test matrix (the serve-layer tests
+#             under RUST_TEST_THREADS=1 and at default parallelism)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
+threads_only=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
+        --threads) threads_only=1 ;;
         *)
             echo "unknown argument: $arg" >&2
             exit 2
@@ -26,12 +30,31 @@ run() {
     "$@"
 }
 
+# Concurrency matrix: the serve-layer tests must pass both serialized
+# (RUST_TEST_THREADS=1 — each test's own pool threads still run, but
+# tests cannot mask each other's races) and at default test parallelism
+# (maximum contention on the shared stores).
+threads_matrix() {
+    run env RUST_TEST_THREADS=1 cargo test -q -p batchbb \
+        --test concurrency --test serve_faults
+    run env RUST_TEST_THREADS=1 cargo test -q -p batchbb-serve
+    run cargo test -q -p batchbb --test concurrency --test serve_faults
+    run cargo test -q -p batchbb-serve
+}
+
+if [ "$threads_only" -eq 1 ]; then
+    threads_matrix
+    echo "==> ci green (threads matrix)"
+    exit 0
+fi
+
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$quick" -eq 0 ]; then
     run cargo build --release
 fi
 run cargo test -q --workspace
+threads_matrix
 
 if [ "$quick" -eq 0 ]; then
     # Docs gate: rustdoc warnings (broken intra-doc links, bad code fences)

@@ -17,6 +17,8 @@
 //! * [`query`] — vector queries and linear storage/evaluation strategies;
 //! * [`penalty`] — structural error penalty functions;
 //! * [`core`] — the Batch-Biggest-B executor, baselines, and diagnostics;
+//! * [`serve`] — a thread-pool batch server multiplexing many concurrent
+//!   batches over one store with cross-batch I/O sharing;
 //! * [`obs`] — zero-dependency metrics, span timing, and JSONL tracing
 //!   used by the observers in [`core`] and [`storage`].
 //!
@@ -60,6 +62,7 @@ pub use batchbb_obs as obs;
 pub use batchbb_penalty as penalty;
 pub use batchbb_query as query;
 pub use batchbb_relation as relation;
+pub use batchbb_serve as serve;
 pub use batchbb_sqlish as sqlish;
 pub use batchbb_storage as storage;
 pub use batchbb_tensor as tensor;
@@ -79,8 +82,8 @@ pub mod prelude {
         ProgressiveExecutor, RewriteObserver, StepInfo, TryStepOutcome,
     };
     pub use batchbb_obs::{
-        jsonl, Event, EventSink, JsonlSink, MemorySink, MetricsRegistry, MetricsSnapshot, NullSink,
-        SpanTimer,
+        jsonl, Event, EventSink, JsonlSink, LabeledSink, MemorySink, MetricsRegistry,
+        MetricsSnapshot, NullSink, SpanTimer,
     };
     pub use batchbb_penalty::{
         Combination, CursorKernel, CursorPenalty, DiagonalQuadratic, LaplacianPenalty, LpPenalty,
@@ -93,10 +96,14 @@ pub mod prelude {
     pub use batchbb_relation::{
         cube, synth, Attribute, Dataset, FrequencyDistribution, Schema, SchemaError,
     };
+    pub use batchbb_serve::{
+        BatchHandle, BatchRequest, BatchResult, BatchServer, BatchSnapshot, BatchStatus,
+        ServeConfig, ServeSession,
+    };
     pub use batchbb_storage::{
         retry::get_with_retry, ArrayStore, CachingStore, CoefficientStore, FaultInjectingStore,
         FaultPlan, FaultStats, InstrumentedStore, IoStats, MemoryStore, MutableStore, RetryPolicy,
-        SharedStore, StorageError,
+        ShardedCachingStore, SharedStore, StorageError,
     };
     #[cfg(unix)]
     pub use batchbb_storage::{BlockLayout, BlockStore, FileStore};
