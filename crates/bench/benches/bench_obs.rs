@@ -1,0 +1,135 @@
+//! Criterion benchmarks for the observability pipeline itself: the
+//! events/sec cost of each [`EventSink`] on the emitting thread, and the
+//! end-to-end overhead each sink adds to a concurrent serve-pool run
+//! (DESIGN.md §8's "observation must not perturb the observed" budget).
+//!
+//! Sinks compared: no sink at all, [`NullSink`] (schema cost only),
+//! [`MemorySink`] (serialize + lock), [`JsonlSink`] over a discarding
+//! writer (serialize + write), and [`BoundedSink`] draining to the same
+//! JSONL writer off-thread (queue handoff on the hot path).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use batchbb_core::BatchQueries;
+use batchbb_obs::{BoundedSink, Event, EventSink, JsonlSink, MemorySink, NullSink};
+use batchbb_penalty::Sse;
+use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
+use batchbb_relation::synth;
+use batchbb_serve::{BatchRequest, BatchServer, ServeConfig};
+use batchbb_storage::MemoryStore;
+use batchbb_tensor::Shape;
+use batchbb_wavelet::Wavelet;
+
+/// The sinks under comparison, in increasing ambition.
+fn sink_variants() -> Vec<(&'static str, Arc<dyn EventSink>)> {
+    vec![
+        ("null", Arc::new(NullSink) as Arc<dyn EventSink>),
+        ("memory", Arc::new(MemorySink::new())),
+        ("jsonl_devnull", Arc::new(JsonlSink::new(std::io::sink()))),
+        (
+            "bounded_jsonl",
+            Arc::new(BoundedSink::builder().build(Arc::new(JsonlSink::new(std::io::sink())))),
+        ),
+    ]
+}
+
+/// A representative `exec.step` event (the hot-path shape: several numeric
+/// fields plus a key string).
+fn step_event(i: u64) -> Event {
+    Event::new("exec.step")
+        .str("engine", "bench")
+        .u64("step", i)
+        .str("key", "3.1.4/1.5.9")
+        .f64("importance", 2.75)
+        .u64("pending", 1000 - (i % 1000))
+        .f64("worst_case_bound", 1e6 / (i + 1) as f64)
+        .f64("expected_penalty", 1e3 / (i + 1) as f64)
+}
+
+/// Raw emit throughput per sink: the cost the *emitting* thread pays per
+/// event, with no executor around it.
+fn bench_emit_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_emit_per_event");
+    for (name, sink) in sink_variants() {
+        g.bench_with_input(BenchmarkId::new("sink", name), &sink, |b, sink| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                sink.emit(&step_event(i));
+            })
+        });
+    }
+    g.finish();
+}
+
+struct Fixture {
+    store: MemoryStore,
+    batches: Vec<BatchQueries>,
+    n_total: usize,
+    k: f64,
+}
+
+fn fixture(nbatches: usize, cells: usize) -> Fixture {
+    let dataset = synth::clustered(2, 7, 30_000, 4, 13);
+    let dfd = dataset.to_frequency_distribution();
+    let domain: Shape = dfd.schema().domain();
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+    let batches = (0..nbatches)
+        .map(|b| {
+            let queries: Vec<RangeSum> = partition::random_partition(&domain, cells, b as u64)
+                .into_iter()
+                .map(RangeSum::count)
+                .collect();
+            BatchQueries::rewrite(&strategy, queries, &domain).unwrap()
+        })
+        .collect();
+    let n_total = domain.len();
+    let k = store.abs_sum();
+    Fixture {
+        store,
+        batches,
+        n_total,
+        k,
+    }
+}
+
+/// End-to-end overhead: the same serve-pool run with each sink attached,
+/// against the untraced baseline.  The delta over `untraced` is the whole
+/// observability bill for a run that emits one event per retrieval.
+fn bench_serve_overhead(c: &mut Criterion) {
+    fn requests(f: &Fixture) -> Vec<BatchRequest<'_>> {
+        f.batches
+            .iter()
+            .map(|batch| BatchRequest::new(batch, &Sse))
+            .collect()
+    }
+
+    let f = fixture(4, 16);
+    let mut g = c.benchmark_group("obs_serve_overhead_4x16q");
+    g.sample_size(10);
+
+    g.bench_function("untraced", |b| {
+        let reqs = requests(&f);
+        let server = BatchServer::new(ServeConfig::new(f.n_total, f.k).workers(2).slice_steps(64));
+        b.iter(|| server.serve(&f.store, &reqs))
+    });
+    for (name, sink) in sink_variants() {
+        g.bench_with_input(BenchmarkId::new("sink", name), &sink, |b, sink| {
+            let reqs = requests(&f);
+            let server = BatchServer::new(
+                ServeConfig::new(f.n_total, f.k)
+                    .workers(2)
+                    .slice_steps(64)
+                    .sink(sink.clone()),
+            );
+            b.iter(|| server.serve(&f.store, &reqs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_emit_throughput, bench_serve_overhead);
+criterion_main!(benches);

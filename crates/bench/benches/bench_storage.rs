@@ -1,10 +1,15 @@
 //! Criterion benchmarks for the coefficient stores, including the
 //! ✦ block-layout ablation (KeyOrder vs LevelMajor under a progressive
-//! access pattern).
+//! access pattern).  The layout comparison runs through an
+//! [`InstrumentedStore`], so alongside criterion's wall-clock numbers it
+//! reports the per-layout fetch latency distribution (p50/p95/p99 from the
+//! `store.get_ns` histogram) — the tail is where the layouts differ.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use batchbb_storage::{ArrayStore, CoefficientStore, FaultInjectingStore, FaultPlan, MemoryStore};
+use batchbb_storage::{
+    ArrayStore, CoefficientStore, FaultInjectingStore, FaultPlan, InstrumentedStore, MemoryStore,
+};
 #[cfg(unix)]
 use batchbb_storage::{BlockLayout, BlockStore, FileStore};
 use batchbb_tensor::{CoeffKey, Shape, Tensor};
@@ -100,7 +105,9 @@ fn bench_disk_stores(
             "batchbb-bench-block-{layout:?}-{}",
             std::process::id()
         ));
-        let block = BlockStore::create(&bpath, es.to_vec(), 512, 16, layout).unwrap();
+        let block = InstrumentedStore::new(
+            BlockStore::create(&bpath, es.to_vec(), 512, 16, layout).unwrap(),
+        );
         g.bench_with_input(
             BenchmarkId::new("block", format!("{layout:?}")),
             &block,
@@ -114,9 +121,16 @@ fn bench_disk_stores(
             },
         );
         let st = block.stats();
+        let snap = block.registry().snapshot();
+        let lat = snap
+            .histogram("store.get_ns")
+            .expect("instrumented benches record latency");
+        let (p50, p95, p99) = lat.p50_p95_p99();
         eprintln!(
-            "block {layout:?}: {} physical reads / {} retrievals ({} hits)",
-            st.physical_reads, st.retrievals, st.cache_hits
+            "block {layout:?}: {} physical reads / {} retrievals ({} hits); \
+             fetch latency p50 <= {p50} ns, p95 <= {p95} ns, p99 <= {p99} ns \
+             over {} timed gets",
+            st.physical_reads, st.retrievals, st.cache_hits, lat.count
         );
         drop(block);
         std::fs::remove_file(&bpath).unwrap();

@@ -15,13 +15,26 @@
 //! broken top coefficients plus a transient fault rate), degraded drain,
 //! store heal, recovery drain — the richest trace the executor can emit.
 //!
-//! Flags: `--input trace.jsonl` (replay instead of demo), `--output
-//! trace.jsonl` (save the demo trace), `--limit N` (table head/tail rows,
-//! default 10), `--records N`, `--cells N`, `--seed N` (demo workload).
+//! With `--diff a.jsonl b.jsonl`, the binary instead *compares* two traces
+//! (engine A/B runs over the same workload, e.g. progressive vs
+//! round-robin): a summary diff (retrievals, deferrals, faults,
+//! steps-to-bound milestones), a per-step penalty delta table, and ASCII
+//! penalty-bound curves for both families (Theorem 1 worst case, Theorem 2
+//! expected). Both traces are still verified — an invariant violation in
+//! either exits nonzero; mere differences do not, and identical traces
+//! diff to zero and exit 0.
+//!
+//! Flags: `--input trace.jsonl` (replay instead of demo), `--diff a b`
+//! (compare two traces), `--output trace.jsonl` (save the demo trace),
+//! `--limit N` (table head/tail rows, default 10), `--records N`,
+//! `--cells N`, `--seed N` (demo workload).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use batchbb_bench::trace::{
+    format_diff_table, format_summary_diff, render_curves, BoundFamily, TraceDiff, TraceSummary,
+};
 use batchbb_bench::{temperature_workload, Args};
 use batchbb_core::{BatchQueries, ExecObserver, ProgressiveExecutor};
 use batchbb_obs::jsonl::{self, ParsedEvent};
@@ -34,8 +47,24 @@ use batchbb_storage::{
 use batchbb_wavelet::Wavelet;
 
 fn main() -> ExitCode {
-    let args = Args::parse();
+    // `--diff` takes two values, which the strict `--flag value` parser
+    // cannot express; strip it from argv before delegating.
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut diff_paths: Option<(String, String)> = None;
+    if let Some(i) = argv.iter().position(|a| a == "--diff") {
+        if argv.len() < i + 3 {
+            eprintln!("--diff needs two trace paths: --diff a.jsonl b.jsonl");
+            return ExitCode::FAILURE;
+        }
+        let rest: Vec<String> = argv.drain(i..i + 3).collect();
+        diff_paths = Some((rest[1].clone(), rest[2].clone()));
+    }
+    let args = Args::parse_from(argv);
     let limit = args.usize("limit", 10);
+
+    if let Some((path_a, path_b)) = diff_paths {
+        return diff_mode(&path_a, &path_b, limit);
+    }
 
     let lines: Vec<String> = match args.get("input") {
         Some(path) => {
@@ -60,14 +89,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let events: Vec<ParsedEvent> = lines
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty())
-        .map(|(i, l)| {
-            jsonl::parse_line(l).unwrap_or_else(|e| panic!("line {}: bad JSONL: {e}", i + 1))
-        })
-        .collect();
+    let events = parse_events(&lines);
 
     print_table(&events, limit);
     match verify(&events) {
@@ -80,6 +102,66 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses non-empty lines into events, panicking with the line number on
+/// malformed JSONL.
+fn parse_events(lines: &[String]) -> Vec<ParsedEvent> {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            jsonl::parse_line(l).unwrap_or_else(|e| panic!("line {}: bad JSONL: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// The `--diff a b` mode: summary diff, per-step penalty delta tables,
+/// ASCII bound curves, and invariant verification of both traces.
+fn diff_mode(path_a: &str, path_b: &str, limit: usize) -> ExitCode {
+    let load = |path: &str| -> Vec<ParsedEvent> {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read trace {path}: {e}"));
+        parse_events(&text.lines().map(str::to_string).collect::<Vec<_>>())
+    };
+    let events_a = load(path_a);
+    let events_b = load(path_b);
+    let a = TraceSummary::from_events(&events_a);
+    let b = TraceSummary::from_events(&events_b);
+
+    println!("# trace diff: A = {path_a}, B = {path_b}");
+    println!();
+    print!("{}", format_summary_diff(&a, &b));
+
+    let mut all_zero = true;
+    for family in BoundFamily::ALL {
+        let diff = TraceDiff::compute(&a, &b, family);
+        all_zero &= diff.is_zero();
+        println!();
+        print!("{}", format_diff_table(&diff, family, limit));
+        if let Some(chart) = render_curves(&[("A", &a), ("B", &b)], family) {
+            println!();
+            print!("{chart}");
+        }
+    }
+    println!();
+    if all_zero {
+        println!("traces are identical on both penalty families");
+    }
+
+    // Both traces must individually satisfy the schema invariants; a
+    // violation in either is a hard failure, a mere difference is not.
+    for (label, events) in [("A", &events_a), ("B", &events_b)] {
+        match verify(events) {
+            Ok(summary) => println!("{label}: {summary}"),
+            Err(violation) => {
+                eprintln!("TRACE INVARIANT VIOLATED in {label}: {violation}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs the fault-injected demo evaluation and returns its JSONL trace.

@@ -9,6 +9,8 @@ use batchbb_query::{partition, HyperRect, RangeSum};
 use batchbb_relation::{synth, FrequencyDistribution};
 use batchbb_tensor::Shape;
 
+pub mod trace;
+
 /// Minimal `--flag value` parser for harness binaries.
 ///
 /// Flags must be `--name value` pairs; unknown flags abort with a message
@@ -21,7 +23,12 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args()`.
     pub fn parse() -> Self {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument vector (no program name), so binaries
+    /// can strip positional/multi-value flags before delegating.
+    pub fn parse_from(argv: Vec<String>) -> Self {
         let mut values = HashMap::new();
         let mut i = 0;
         while i < argv.len() {

@@ -174,39 +174,66 @@ impl EventSink for NullSink {
 /// Serializes every event as one JSON line into a writer.
 ///
 /// The writer sits behind a mutex, so one sink can serve concurrently
-/// executing components (e.g. parallel rewrite workers).
+/// executing components (e.g. parallel rewrite workers).  The writer is
+/// flushed on [`Drop`] as well as by [`JsonlSink::into_inner`] /
+/// [`JsonlSink::flush`], so short-lived processes (examples, one-shot
+/// harnesses) never lose their tail events to a buffering writer.
 pub struct JsonlSink<W: Write + Send> {
-    writer: Mutex<W>,
+    // `Option` so `into_inner` can move the writer out despite the
+    // flush-on-drop impl; it is `None` only after `into_inner`.
+    writer: Mutex<Option<W>>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps `writer`.
     pub fn new(writer: W) -> Self {
         JsonlSink {
-            writer: Mutex::new(writer),
+            writer: Mutex::new(Some(writer)),
         }
     }
 
     /// Flushes and returns the writer.
     pub fn into_inner(self) -> W {
-        let mut w = self.writer.into_inner().expect("sink lock poisoned");
+        let mut w = self
+            .writer
+            .lock()
+            .expect("sink lock poisoned")
+            .take()
+            .expect("writer present until into_inner");
         let _ = w.flush();
         w
     }
 
     /// Flushes buffered output.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.writer.lock().expect("sink lock poisoned").flush()
+        match self.writer.lock().expect("sink lock poisoned").as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
     }
 }
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn emit(&self, event: &Event) {
         let line = event.to_jsonl();
-        let mut w = self.writer.lock().expect("sink lock poisoned");
-        // A trace is diagnostics: losing a line to a full disk must not
-        // fail the evaluation it observes.
-        let _ = writeln!(w, "{line}");
+        if let Some(w) = self.writer.lock().expect("sink lock poisoned").as_mut() {
+            // A trace is diagnostics: losing a line to a full disk must not
+            // fail the evaluation it observes.
+            let _ = writeln!(w, "{line}");
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Same contract as emit: flush errors are diagnostics, not faults —
+        // and a lock poisoned by a panicking emitter must not double-panic
+        // here.
+        if let Ok(mut guard) = self.writer.lock() {
+            if let Some(w) = guard.as_mut() {
+                let _ = w.flush();
+            }
+        }
     }
 }
 
@@ -297,6 +324,52 @@ mod tests {
         let lines = sink.lines();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"a\""));
+    }
+
+    /// A writer that buffers internally and publishes to a shared string
+    /// only on `flush()` — the worst case for tail loss (a plain
+    /// `BufWriter` flushes on its own drop; this one deliberately does
+    /// not, so only `JsonlSink`'s drop-flush can save the tail).
+    struct FlushOnlyWriter {
+        buffered: Vec<u8>,
+        published: std::sync::Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl Write for FlushOnlyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.buffered.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.published
+                .lock()
+                .unwrap()
+                .extend_from_slice(&self.buffered);
+            self.buffered.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let published = std::sync::Arc::new(Mutex::new(Vec::new()));
+        {
+            let sink = JsonlSink::new(FlushOnlyWriter {
+                buffered: Vec::new(),
+                published: published.clone(),
+            });
+            sink.emit(&Event::new("tail").u64("n", 7));
+            assert!(
+                published.lock().unwrap().is_empty(),
+                "writer holds the line until a flush"
+            );
+        } // sink dropped without into_inner or an explicit flush
+        let text = String::from_utf8(published.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text, "{\"event\":\"tail\",\"n\":7}\n",
+            "drop must flush the tail event through"
+        );
     }
 
     #[test]

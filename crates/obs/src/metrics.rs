@@ -10,6 +10,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::event::{Event, EventSink};
+
 /// A monotonically increasing counter.
 #[derive(Clone, Debug)]
 pub struct Counter(Arc<AtomicU64>);
@@ -120,6 +122,20 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all samples recorded so far (wraps only after `u64::MAX`
+    /// total).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Conservative quantile estimate over the live buckets: the upper
+    /// bound of the smallest bucket prefix holding at least `q · count`
+    /// samples (see [`HistogramSnapshot::quantile_upper_bound`]).
+    /// Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.snapshot().quantile_upper_bound(q)
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         let c = &self.0;
         HistogramSnapshot {
@@ -171,10 +187,25 @@ impl HistogramSnapshot {
         }
         Histogram::bucket_bounds(HISTOGRAM_BUCKETS - 1).1
     }
+
+    /// [`Self::quantile_upper_bound`] under its common name.
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.quantile_upper_bound(q)
+    }
+
+    /// The (p50, p95, p99) bucket upper bounds in one call — the trio the
+    /// snapshot exporter and the benches report.
+    pub fn p50_p95_p99(&self) -> (u64, u64, u64) {
+        (
+            self.quantile_upper_bound(0.50),
+            self.quantile_upper_bound(0.95),
+            self.quantile_upper_bound(0.99),
+        )
+    }
 }
 
 /// A point-in-time copy of every metric in a registry.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
@@ -198,6 +229,65 @@ impl MetricsSnapshot {
     /// Histogram snapshot by name, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
+    }
+
+    /// The snapshot as `metrics.*` trace events, in a stable sorted order
+    /// (counters, then gauges, then histograms, each alphabetical).
+    ///
+    /// Histogram events carry the derived p50/p95/p99 bucket upper bounds
+    /// alongside count/sum/max/mean, so a dumped trace needs no bucket
+    /// arithmetic to replot latency percentiles.  Emitting these into the
+    /// same sink as the `exec.*` stream puts metrics and events in one
+    /// trace file; replay tooling distinguishes them by the `metrics.`
+    /// event-name prefix.
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut out =
+            Vec::with_capacity(self.counters.len() + self.gauges.len() + self.histograms.len());
+        for (name, value) in &self.counters {
+            out.push(
+                Event::new("metrics.counter")
+                    .str("name", name.clone())
+                    .u64("value", *value),
+            );
+        }
+        for (name, value) in &self.gauges {
+            out.push(
+                Event::new("metrics.gauge")
+                    .str("name", name.clone())
+                    .i64("value", *value),
+            );
+        }
+        for (name, h) in &self.histograms {
+            let (p50, p95, p99) = h.p50_p95_p99();
+            out.push(
+                Event::new("metrics.histogram")
+                    .str("name", name.clone())
+                    .u64("count", h.count)
+                    .u64("sum", h.sum)
+                    .u64("max", h.max)
+                    .f64("mean", h.mean())
+                    .u64("p50", p50)
+                    .u64("p95", p95)
+                    .u64("p99", p99),
+            );
+        }
+        out
+    }
+
+    /// Serializes the snapshot as JSONL lines (one `metrics.*` event per
+    /// line, stable order — identical snapshots dump identical bytes).
+    pub fn to_jsonl_lines(&self) -> Vec<String> {
+        self.to_events().iter().map(Event::to_jsonl).collect()
+    }
+
+    /// Emits every `metrics.*` event into `sink`.
+    pub fn emit(&self, sink: &dyn EventSink) {
+        if !sink.enabled() {
+            return;
+        }
+        for event in self.to_events() {
+            sink.emit(&event);
+        }
     }
 }
 
@@ -356,5 +446,107 @@ mod tests {
         assert_eq!(hs.count, 0);
         assert_eq!(hs.mean(), 0.0);
         assert_eq!(hs.quantile_upper_bound(0.99), 0);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("empty");
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        let (p50, p95, p99) = r.snapshot().histogram("empty").unwrap().p50_p95_p99();
+        assert_eq!((p50, p95, p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn percentile_of_single_bucket_histogram() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("one_bucket");
+        // All samples land in bucket 7 = [64, 127]; every percentile
+        // reports that bucket's upper bound.
+        for v in [64u64, 100, 127, 64, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 64 + 100 + 127 + 64 + 127);
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 127, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_saturating_inputs() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("sat");
+        // u64::MAX lives in the open-topped last bucket; the sum also
+        // wraps (documented) without disturbing count or percentiles.
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(0.01), 0, "the zero sample is the p1");
+        assert_eq!(h.percentile(0.99), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        let hs = r.snapshot();
+        let hs = hs.histogram("sat").unwrap();
+        assert_eq!(hs.max, u64::MAX);
+        assert_eq!(hs.percentile(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_distributed_across_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("spread");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p95, p99) = r.snapshot().histogram("spread").unwrap().p50_p95_p99();
+        // Bucket upper bounds are conservative: each percentile is >= the
+        // true quantile but within one power of two of it.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert!((950..=1023).contains(&p95), "p95 = {p95}");
+        assert!((990..=1023).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn snapshot_exports_stable_sorted_jsonl() {
+        let r = MetricsRegistry::new();
+        r.counter("b.count").add(2);
+        r.counter("a.count").add(1);
+        r.gauge("depth").set(-3);
+        r.histogram("ns").record(100);
+        let snap = r.snapshot();
+        let lines = snap.to_jsonl_lines();
+        assert_eq!(lines.len(), 4);
+        // Counters first (alphabetical), then gauges, then histograms.
+        assert!(lines[0].contains("\"a.count\""));
+        assert!(lines[1].contains("\"b.count\""));
+        assert!(lines[2].contains("\"depth\"") && lines[2].contains("-3"));
+        assert!(lines[3].contains("\"ns\"") && lines[3].contains("\"p99\""));
+        // Identical snapshots dump identical bytes.
+        assert_eq!(lines, r.snapshot().to_jsonl_lines());
+        // Every line parses back through the workspace's own reader.
+        for line in &lines {
+            let parsed = crate::jsonl::parse_line(line).unwrap();
+            assert!(parsed.name().starts_with("metrics."));
+            assert!(parsed.str("name").is_some());
+        }
+    }
+
+    #[test]
+    fn snapshot_emit_respects_disabled_sinks() {
+        use crate::event::{EventSink, MemorySink, NullSink};
+        let r = MetricsRegistry::new();
+        r.counter("x").inc();
+        let snap = r.snapshot();
+        let mem = MemorySink::new();
+        snap.emit(&mem);
+        assert_eq!(mem.len(), 1);
+        // A disabled sink gets nothing (and no events are built).
+        snap.emit(&NullSink);
+        assert!(!NullSink.enabled());
     }
 }

@@ -1,11 +1,15 @@
 //! Property-based tests for the observability primitives: registry
 //! snapshots are monotone for counters, histogram samples always land in
-//! the bucket whose bounds contain them, and JSONL events survive a
-//! serialize → parse round trip.
+//! the bucket whose bounds contain them, JSONL events survive a
+//! serialize → parse round trip (every field type, the `f64_finite`
+//! omission rule, escaped strings), and the bounded sink's accounting is
+//! exact under arbitrary event streams.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use batchbb_obs::{jsonl, Event, EventSink, Histogram, MemorySink, MetricsRegistry};
+use batchbb_obs::{jsonl, BoundedSink, Event, EventSink, Histogram, MemorySink, MetricsRegistry};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -102,5 +106,77 @@ proptest! {
         prop_assert_eq!(parsed.str("s"), Some(text.as_str()));
         prop_assert_eq!(parsed.num("gone"), None);
         prop_assert_eq!(parsed.fields().len(), 5);
+    }
+
+    /// `Event::to_jsonl` → `jsonl::parse_line` preserves every field
+    /// exactly, including the `f64_finite` omission rule (a non-finite
+    /// value never reaches the line; a finite one round-trips bit for
+    /// bit) and strings built purely from JSON-escaped characters.
+    #[test]
+    fn f64_finite_omission_and_escapes_round_trip(
+        finite in -1e300f64..1e300,
+        class in 0u8..3,
+        escapes in prop::collection::vec(
+            prop::sample::select(vec!['"', '\\', '\n', '\r', '\t', '\u{1}', '\u{8}', '\u{c}', '\u{1f}', '/']),
+            1..32,
+        ),
+    ) {
+        let nonfinite = match class {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let hostile: String = escapes.into_iter().collect();
+        let line = Event::new("prop.finite")
+            .f64_finite("kept", finite)
+            .f64_finite("omitted", nonfinite)
+            .f64("nulled", nonfinite)
+            .str("hostile", hostile.clone())
+            .to_jsonl();
+        // The omitted field must not appear in the serialized line at all,
+        // while the plain f64 path serializes non-finite as null.
+        prop_assert!(!line.contains("\"omitted\""));
+        prop_assert!(line.contains("\"nulled\":null"));
+        let parsed = jsonl::parse_line(&line).unwrap();
+        prop_assert_eq!(parsed.name(), "prop.finite");
+        // Bit-exact round trip for the finite value (Debug formatting is
+        // the shortest representation that reparses to the same f64).
+        prop_assert_eq!(parsed.num("kept").unwrap().to_bits(), finite.to_bits());
+        prop_assert_eq!(parsed.num("omitted"), None);
+        prop_assert_eq!(parsed.num("nulled"), None, "null parses as absent");
+        prop_assert_eq!(parsed.str("hostile"), Some(hostile.as_str()));
+        prop_assert_eq!(parsed.fields().len(), 2);
+    }
+
+    /// The bounded sink's ledger is exact for any stream shape: after
+    /// close, `emitted == written + dropped + sampled`, and the inner sink
+    /// holds exactly `written` lines.
+    #[test]
+    fn bounded_sink_accounting_is_exact(
+        capacity in 1usize..64,
+        names in prop::collection::vec(0u8..3, 1..128),
+        sample_n in 0u64..6,
+    ) {
+        let mem = Arc::new(MemorySink::new());
+        let sink = BoundedSink::builder()
+            .capacity(capacity)
+            .sample_one_in("exec.step", sample_n)
+            .build(mem.clone());
+        for (i, name) in names.iter().enumerate() {
+            let name = match name {
+                0 => "exec.step",
+                1 => "exec.defer",
+                _ => "store.fault",
+            };
+            sink.emit(&Event::new(name).u64("i", i as u64));
+        }
+        sink.close();
+        let stats = sink.stats();
+        prop_assert_eq!(stats.emitted, names.len() as u64);
+        prop_assert_eq!(stats.emitted, stats.written + stats.dropped + stats.sampled);
+        prop_assert_eq!(mem.len() as u64, stats.written);
+        if sample_n < 2 {
+            prop_assert_eq!(stats.sampled, 0, "n <= 1 keeps everything");
+        }
     }
 }

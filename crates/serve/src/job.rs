@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use batchbb_core::{DegradationReport, DrainStatus, ProgressiveExecutor};
+use batchbb_obs::MetricsSnapshot;
 use batchbb_tensor::CoeffKey;
 use parking_lot::Mutex;
 
@@ -50,6 +51,13 @@ pub struct BatchResult {
     /// Theorem 1's worst-case bound sampled after every slice; monotone
     /// non-increasing regardless of scheduling interleaving.
     pub bound_history: Vec<f64>,
+    /// The final state of the server's shared
+    /// [`batchbb_obs::MetricsRegistry`], stamped onto every result once
+    /// the whole run has finished (so all results of one run carry the
+    /// *same* snapshot and its counters cover the *entire* run — taking
+    /// per-batch snapshots mid-flight would capture racy prefixes).
+    /// Empty when the run had no registry configured.
+    pub metrics: MetricsSnapshot,
 }
 
 impl BatchResult {

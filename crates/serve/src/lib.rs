@@ -20,8 +20,13 @@
 //!   several batches are fetched from the physical store exactly once;
 //! * observability — with a sink/registry configured, each batch's
 //!   `exec.*` events carry a `batch = <id>` label
-//!   ([`batchbb_obs::LabeledSink`]) and all metrics land in one shared
-//!   `MetricsRegistry`.
+//!   ([`batchbb_obs::LabeledSink`]), all metrics land in one shared
+//!   `MetricsRegistry`, every [`BatchResult`] carries the run's final
+//!   [`batchbb_obs::MetricsSnapshot`], and that snapshot is appended to
+//!   the trace as `metrics.*` events so metrics and events share one
+//!   file. For high-throughput serving, wrap the sink in a
+//!   [`batchbb_obs::BoundedSink`] so slow trace I/O can never block the
+//!   worker pool (overflow drops-and-counts instead).
 //!
 //! # Determinism contract
 //!
@@ -298,7 +303,12 @@ mod tests {
         let mut seen = [false; 3];
         for line in sink.lines() {
             let event = jsonl::parse_line(&line).unwrap();
-            let batch = event.num("batch").expect("every event carries the label") as usize;
+            if event.name().starts_with("metrics.") {
+                continue; // the run-wide metrics dump is per-run, not per-batch
+            }
+            let batch = event
+                .num("batch")
+                .expect("every exec event carries the label") as usize;
             seen[batch] = true;
         }
         assert!(
@@ -306,6 +316,57 @@ mod tests {
             "all three batches must emit events"
         );
         assert!(registry.snapshot().counter("serve.steps").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn results_carry_the_final_metrics_snapshot_and_trace_gets_a_dump() {
+        let (store, batches, n_total, k) = fixture();
+        let sink = Arc::new(MemorySink::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(
+            ServeConfig::new(n_total, k)
+                .workers(2)
+                .slice_steps(4)
+                .sink(sink.clone())
+                .registry(registry.clone()),
+        );
+        let results = server.serve(&store, &requests);
+        // Every result of one run carries the SAME final snapshot, and its
+        // step counter covers the whole run: one exec.step event per step.
+        let steps_in_trace = sink
+            .lines()
+            .iter()
+            .filter(|l| jsonl::parse_line(l).unwrap().name() == "exec.step")
+            .count() as u64;
+        for result in &results {
+            assert_eq!(result.metrics, results[0].metrics);
+            assert_eq!(result.metrics.counter("serve.steps"), Some(steps_in_trace));
+        }
+        // The snapshot is also dumped into the trace as metrics.* events,
+        // after every exec.* event, and reconciles with the carried copy.
+        let metric_lines: Vec<_> = sink
+            .lines()
+            .iter()
+            .map(|l| jsonl::parse_line(l).unwrap())
+            .filter(|e| e.name().starts_with("metrics."))
+            .collect();
+        assert!(!metric_lines.is_empty(), "trace must carry a metrics dump");
+        let dumped_steps = metric_lines
+            .iter()
+            .find(|e| e.name() == "metrics.counter" && e.str("name") == Some("serve.steps"))
+            .expect("serve.steps counter dumped");
+        assert_eq!(dumped_steps.u64("value"), Some(steps_in_trace));
+    }
+
+    #[test]
+    fn results_without_a_registry_carry_an_empty_snapshot() {
+        let (store, batches, n_total, k) = fixture();
+        let requests = vec![BatchRequest::new(&batches[0], &Sse)];
+        let server = BatchServer::new(ServeConfig::new(n_total, k));
+        let results = server.serve(&store, &requests);
+        assert!(results[0].metrics.counters.is_empty());
     }
 
     #[test]

@@ -116,13 +116,30 @@ impl BatchServer {
             })
         };
 
+        // One run-wide final metrics snapshot: every result of this run
+        // carries the same totals (a per-batch snapshot at finalize time
+        // would capture a racy prefix of the shared registry), and — when
+        // a trace sink is configured — the snapshot is appended to the
+        // trace as `metrics.*` events, so metrics and events land in one
+        // replayable file.
+        let metrics = config
+            .registry
+            .as_ref()
+            .map(|registry| registry.snapshot())
+            .unwrap_or_default();
+        if let Some(sink) = &config.sink {
+            metrics.emit(&**sink);
+        }
         let results = jobs
             .into_iter()
             .map(|cell| {
-                cell.state
+                let mut result = cell
+                    .state
                     .into_inner()
                     .result
-                    .expect("the pool only exits once every job has published")
+                    .expect("the pool only exits once every job has published");
+                result.metrics = metrics.clone();
+                result
             })
             .collect();
         (results, driver_out)
@@ -328,6 +345,8 @@ fn finalize(
         slices: state.slices,
         bound_history: std::mem::take(&mut state.bound_history),
         report,
+        // Stamped with the run-wide final snapshot once the pool exits.
+        metrics: Default::default(),
     });
     cell.finished.store(true, Ordering::Release);
     active.fetch_sub(1, Ordering::AcqRel);

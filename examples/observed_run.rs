@@ -1,10 +1,12 @@
 //! Observability end to end: metrics and trace events from every stage.
 //!
 //! Rewrites a batch under a `RewriteObserver`, evaluates it over a
-//! fault-injected, instrumented store with an `ExecObserver` attached, then
-//! prints the metrics registry and a slice of the JSONL trace — and proves
-//! that observation is free of side effects by comparing the estimates
-//! against an unobserved run bit for bit.
+//! fault-injected, instrumented store with an `ExecObserver` attached —
+//! tracing through a `BoundedSink`, so the emitting threads pay a queue
+//! handoff instead of sink I/O — then prints the metrics registry (with
+//! the sink's own `obs.*` ledger), appends the snapshot to the trace as
+//! `metrics.*` events, and proves observation is free of side effects by
+//! comparing the estimates against an unobserved run bit for bit.
 //!
 //! Run with: `cargo run --example observed_run`
 
@@ -21,9 +23,16 @@ fn main() {
     let n_total = shape.len();
     let k = store.abs_sum();
 
-    // Everything records into ONE registry and ONE event sink.
+    // Everything records into ONE registry and ONE event sink — a bounded
+    // queue draining to memory off-thread, the production shape (swap the
+    // MemorySink for a JsonlSink over a file and nothing else changes).
     let registry = Arc::new(MetricsRegistry::new());
-    let sink = Arc::new(MemorySink::new());
+    let inner = Arc::new(MemorySink::new());
+    let sink = Arc::new(
+        BoundedSink::builder()
+            .registry(registry.clone())
+            .build(inner.clone()),
+    );
 
     // Stage 1: observed rewrite.
     let queries: Vec<RangeSum> = (0..8)
@@ -70,7 +79,21 @@ fn main() {
     );
     println!("estimates match plain  : bit for bit");
 
-    // The registry aggregates all three components.
+    // Flush the bounded queue conclusively; its ledger must be exact.
+    sink.close();
+    let stats = sink.stats();
+    assert_eq!(
+        stats.emitted,
+        stats.written + stats.dropped + stats.sampled,
+        "bounded-sink ledger out of balance: {stats:?}"
+    );
+    println!(
+        "bounded sink           : {} emitted = {} written + {} dropped",
+        stats.emitted, stats.written, stats.dropped
+    );
+
+    // The registry aggregates all components, including the sink's own
+    // obs.* counters.
     let snap = registry.snapshot();
     println!("\nmetrics:");
     for (name, value) in &snap.counters {
@@ -85,9 +108,16 @@ fn main() {
         );
     }
 
+    // The snapshot itself exports as JSONL, so metrics and events land in
+    // one trace file (`progress_report --diff` compares such files).
+    let mut lines = inner.lines();
+    lines.extend(snap.to_jsonl_lines());
+    for line in &lines {
+        jsonl::parse_line(line).expect("every trace line re-parses");
+    }
+
     // And the trace is replayable JSONL (see `progress_report` in
     // batchbb-bench for the full table + invariant checks).
-    let lines = sink.lines();
     println!("\ntrace: {} events; first and last three:", lines.len());
     for line in lines.iter().take(3) {
         println!("  {line}");

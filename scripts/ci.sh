@@ -73,6 +73,10 @@ if [ "$quick" -eq 0 ]; then
     # mode (no --bench flag), so the harness code cannot silently rot.
     run cargo test -q -p batchbb-bench --benches
 
+    # Observability overhead smoke: the sink-comparison bench must run its
+    # fixtures end to end (events/sec numbers come from `cargo bench`).
+    run cargo test -q -p batchbb-bench --bench bench_obs
+
     # Trace-replay gate: progress_report runs a fault-injected evaluation,
     # replays its own JSONL trace, and exits nonzero if the penalty-bound
     # column is not monotone or the fault counters fail to reconcile.
@@ -80,6 +84,11 @@ if [ "$quick" -eq 0 ]; then
     trap 'rm -f "$trace"' EXIT
     run cargo run -q --release -p batchbb-bench --bin progress_report -- --output "$trace" > /dev/null
     run cargo run -q --release -p batchbb-bench --bin progress_report -- --input "$trace" > /dev/null
+
+    # Trace-diff gate: a trace diffed against itself must report zero delta
+    # on both penalty families and exit 0 (and both copies still pass the
+    # invariant checks above).
+    run cargo run -q --release -p batchbb-bench --bin progress_report -- --diff "$trace" "$trace" > /dev/null
 fi
 
 echo "==> ci green"

@@ -82,8 +82,8 @@ pub mod prelude {
         ProgressiveExecutor, RewriteObserver, StepInfo, TryStepOutcome,
     };
     pub use batchbb_obs::{
-        jsonl, Event, EventSink, JsonlSink, LabeledSink, MemorySink, MetricsRegistry,
-        MetricsSnapshot, NullSink, SpanTimer,
+        jsonl, BoundedSink, BoundedSinkBuilder, BoundedSinkStats, Event, EventSink, JsonlSink,
+        LabeledSink, MemorySink, MetricsRegistry, MetricsSnapshot, NullSink, SpanTimer,
     };
     pub use batchbb_penalty::{
         Combination, CursorKernel, CursorPenalty, DiagonalQuadratic, LaplacianPenalty, LpPenalty,

@@ -8,9 +8,15 @@
 //!   monotonically non-increasing (the degradation contract of
 //!   Theorems 1/2, now enforceable from the trace alone);
 //! * attaching an observer (or the default [`NullSink`]) changes the
-//!   estimates **bit for bit not at all** — observation is read-only.
+//!   estimates **bit for bit not at all** — observation is read-only;
+//! * a serve-pool run tracing through a [`BoundedSink`] over a *slow*
+//!   inner sink never blocks the workers — wall clock stays bounded and
+//!   the sink's ledger (`emitted == written + dropped`) is exact;
+//! * every [`BatchResult`] carries the run's final [`MetricsSnapshot`],
+//!   and its counters reconcile with the trace events.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use batchbb::prelude::*;
 
@@ -188,6 +194,122 @@ fn observation_is_bit_for_bit_free() {
     // same bits after healing (canonical finalization).
     let (faulty_estimates, _, _) = observed_faulty_run(&fx);
     assert_eq!(faulty_estimates, reference);
+}
+
+/// An event sink that takes `delay` per line — a stand-in for a stalled
+/// disk or network collector.
+struct SlowSink {
+    inner: MemorySink,
+    delay: Duration,
+}
+
+impl EventSink for SlowSink {
+    fn emit(&self, event: &Event) {
+        std::thread::sleep(self.delay);
+        self.inner.emit(event);
+    }
+}
+
+#[test]
+fn bounded_sink_never_blocks_the_serve_pool() {
+    let fx = fixture();
+    let requests: Vec<BatchRequest<'_>> = (0..10)
+        .map(|_| BatchRequest::new(&fx.batch, &Sse))
+        .collect();
+
+    let delay = Duration::from_millis(1);
+    let slow = Arc::new(SlowSink {
+        inner: MemorySink::new(),
+        delay,
+    });
+    let sink = Arc::new(BoundedSink::builder().capacity(64).build(slow.clone()));
+    let server = BatchServer::new(
+        ServeConfig::new(fx.n_total, fx.k_abs_sum)
+            .workers(2)
+            .slice_steps(32)
+            .sink(sink.clone()),
+    );
+
+    let start = Instant::now();
+    let results = server.serve(&fx.store, &requests);
+    let elapsed = start.elapsed();
+    assert!(results.iter().all(|r| r.status == BatchStatus::Exact));
+
+    sink.close();
+    let stats = sink.stats();
+    // 10 batches of ~75 events each: far more than the slow sink could
+    // absorb synchronously inside the measured window.
+    assert!(
+        stats.emitted > 500,
+        "fixture must emit plenty ({} events)",
+        stats.emitted
+    );
+    // Had every emit paid the inner sink's delay, the run would take at
+    // least emitted × delay; the queue handoff keeps it well under half.
+    let blocking_floor = delay * stats.emitted as u32;
+    assert!(
+        elapsed < blocking_floor / 2,
+        "serve took {elapsed:?}, blocking would take >= {blocking_floor:?}"
+    );
+    // The overflow ledger is exact: nothing vanishes silently.
+    assert_eq!(stats.emitted, stats.written + stats.dropped, "{stats:?}");
+    assert_eq!(stats.sampled, 0, "no sampling configured");
+    assert_eq!(slow.inner.len() as u64, stats.written);
+    assert!(
+        stats.dropped > 0,
+        "a 64-slot queue over a 1ms sink must overflow"
+    );
+}
+
+#[test]
+fn batch_results_metrics_reconcile_with_the_trace() {
+    let fx = fixture();
+    let requests: Vec<BatchRequest<'_>> =
+        (0..3).map(|_| BatchRequest::new(&fx.batch, &Sse)).collect();
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(MemorySink::new());
+    let server = BatchServer::new(
+        ServeConfig::new(fx.n_total, fx.k_abs_sum)
+            .workers(2)
+            .slice_steps(32)
+            .registry(registry.clone())
+            .sink(sink.clone()),
+    );
+    let results = server.serve(&fx.store, &requests);
+    let events = parse(&sink.lines());
+
+    // Every result of the run carries the same final snapshot.
+    let snapshot = &results[0].metrics;
+    assert!(results.iter().all(|r| &r.metrics == snapshot));
+    assert_eq!(snapshot, &registry.snapshot(), "stamped AFTER the pool");
+
+    // The snapshot's counters reconcile with the trace events.
+    let steps = events.iter().filter(|e| e.name() == "exec.step").count() as u64;
+    let finishes = events.iter().filter(|e| e.name() == "exec.finish").count();
+    assert_eq!(snapshot.counter("serve.steps"), Some(steps));
+    assert_eq!(finishes, requests.len(), "one finish per batch");
+    assert_eq!(snapshot.counter("serve.deferrals").unwrap_or(0), 0);
+    let step_ns = snapshot
+        .histogram("serve.step_ns")
+        .expect("step latency histogram recorded");
+    assert_eq!(step_ns.count, steps);
+
+    // The same snapshot was appended to the trace as metrics.* events, so
+    // the trace file alone reconstructs the counters.
+    let dumped: Vec<_> = events
+        .iter()
+        .filter(|e| e.name() == "metrics.counter")
+        .collect();
+    assert!(
+        !dumped.is_empty(),
+        "serve dumps the snapshot into the trace"
+    );
+    let traced_steps = dumped
+        .iter()
+        .find(|e| e.str("name") == Some("serve.steps"))
+        .and_then(|e| e.u64("value"));
+    assert_eq!(traced_steps, Some(steps));
 }
 
 #[test]
