@@ -1,17 +1,22 @@
 //! Criterion benchmarks for the Batch-Biggest-B pipeline: batch rewrite
 //! (sequential vs parallel ✦), master-list merge, progressive execution,
-//! and the round-robin baseline.
+//! the round-robin baseline, and the ✦ prefetch-window sweep
+//! (W ∈ {1, 4, 16, 64}): per window it reports store round-trips,
+//! fetch-latency percentiles, and steps until the Theorem-1 bound falls
+//! below 1% of its initial value, and writes the machine-readable rows to
+//! `results/BENCH_exec.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use batchbb_bench::report::{results_dir, write_section, FetchCounter, Json};
 use batchbb_core::{
-    bounded::evaluate_bounded, round_robin::RoundRobin, BatchQueries, MasterList,
-    ProgressiveExecutor,
+    bounded::evaluate_bounded, round_robin::RoundRobin, BatchQueries, ExecObserver, MasterList,
+    ProgressiveExecutor, TryStepOutcome,
 };
 use batchbb_penalty::Sse;
 use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
 use batchbb_relation::synth;
-use batchbb_storage::MemoryStore;
+use batchbb_storage::{MemoryStore, RetryPolicy};
 use batchbb_tensor::Shape;
 use batchbb_wavelet::Wavelet;
 
@@ -101,5 +106,97 @@ fn bench_master_and_executor(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rewrite, bench_master_and_executor);
+/// ✦ The prefetch-window sweep.  Criterion times the full fallible drain
+/// per window; a separate measured pass (outside the timed loop) counts
+/// store round-trips through a [`FetchCounter`], reads fetch-latency
+/// percentiles off the executor's metrics registry, and counts steps
+/// until the Theorem-1 worst-case bound drops below 1% of its initial
+/// value.  Steps-to-bound is invariant across W — the progression order
+/// is unchanged; only the store-call count falls — and the rows land in
+/// `results/BENCH_exec.json` under `bench_executor_prefetch`.
+fn bench_prefetch_window(c: &mut Criterion) {
+    let f = fixture(256);
+    let k = f.store.abs_sum();
+    let policy = RetryPolicy::default();
+    let mut g = c.benchmark_group("executor_prefetch_256q");
+    g.sample_size(10);
+    let mut rows = Vec::new();
+    for w in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("drain", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut e =
+                    ProgressiveExecutor::new(&f.batch, &Sse, &f.store).with_prefetch_window(w);
+                e.drain_with_faults(&policy);
+                e.estimates()[0]
+            })
+        });
+
+        let counter = FetchCounter::new(&f.store);
+        let observer = ExecObserver::metrics_only();
+        let registry = observer.registry().clone();
+        let started = std::time::Instant::now();
+        let mut e = ProgressiveExecutor::new(&f.batch, &Sse, &counter)
+            .with_observer(observer)
+            .with_prefetch_window(w);
+        let target = e.worst_case_bound(k) / 100.0;
+        let mut steps = 0u64;
+        let mut steps_to_bound = None;
+        while !matches!(e.try_step(&policy), TryStepOutcome::Exhausted) {
+            steps += 1;
+            if steps_to_bound.is_none() && e.worst_case_bound(k) <= target {
+                steps_to_bound = Some(steps);
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let steps_to_bound = steps_to_bound.unwrap_or(steps);
+        let throughput = steps as f64 / elapsed.max(1e-9);
+        let snap = registry.snapshot();
+        let fetch_hist = if w == 1 {
+            "progressive.step_ns"
+        } else {
+            "progressive.prefetch_ns"
+        };
+        let (p50, p95, p99) = snap
+            .histogram(fetch_hist)
+            .expect("observer records fetch latency")
+            .p50_p95_p99();
+        eprintln!(
+            "prefetch W={w}: {} store calls ({} batched fetches carrying {} keys) \
+             for {steps} steps; fetch p50 <= {p50} ns, p95 <= {p95} ns, p99 <= {p99} ns; \
+             {steps_to_bound} steps to 1% bound; {throughput:.0} steps/s",
+            counter.total_calls(),
+            counter.batch_calls(),
+            counter.batch_keys(),
+        );
+        rows.push(Json::obj([
+            ("window", Json::U64(w as u64)),
+            ("store_calls", Json::U64(counter.total_calls())),
+            ("batch_calls", Json::U64(counter.batch_calls())),
+            ("batch_keys", Json::U64(counter.batch_keys())),
+            ("steps", Json::U64(steps)),
+            ("steps_to_bound_1pct", Json::U64(steps_to_bound)),
+            ("throughput_steps_per_s", Json::F64(throughput)),
+            ("fetch_p50_ns", Json::U64(p50)),
+            ("fetch_p95_ns", Json::U64(p95)),
+            ("fetch_p99_ns", Json::U64(p99)),
+        ]));
+    }
+    g.finish();
+    write_section(
+        &results_dir().join("BENCH_exec.json"),
+        "bench_executor_prefetch",
+        &Json::obj([
+            ("queries", Json::U64(256)),
+            ("n_total", Json::U64(f.domain.len() as u64)),
+            ("windows", Json::Arr(rows)),
+        ]),
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_rewrite,
+    bench_master_and_executor,
+    bench_prefetch_window
+);
 criterion_main!(benches);

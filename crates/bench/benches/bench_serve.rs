@@ -1,10 +1,18 @@
 //! Criterion benchmarks for the concurrent batch server: pool throughput
-//! vs sequential execution, worker-count scaling, and the I/O saved by
-//! the cross-batch shared cache.
+//! vs sequential execution, worker-count scaling, the I/O saved by the
+//! cross-batch shared cache, and the ✦ prefetch-window sweep — each
+//! worker slice fetches W coefficients per `try_get_many` instead of one
+//! per step, and the sweep reports store round-trips, fetch-latency
+//! percentiles, and slices-to-bound per window into
+//! `results/BENCH_exec.json`.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use batchbb_bench::report::{results_dir, write_section, FetchCounter, Json};
 use batchbb_core::{BatchQueries, ProgressiveExecutor};
+use batchbb_obs::MetricsRegistry;
 use batchbb_penalty::Sse;
 use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
 use batchbb_relation::synth;
@@ -106,5 +114,108 @@ fn bench_cache_sharing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pool_vs_sequential, bench_cache_sharing);
+/// ✦ The serve-layer prefetch sweep: the whole stack (worker pool →
+/// shared sharded cache → store) run at W ∈ {1, 4, 16, 64}.  The
+/// [`FetchCounter`] sits *under* the shared cache, so `batch_calls`
+/// counts the cache's own batched miss fills — the full-stack round-trip
+/// saving, not just the executor's.  Slices-to-bound is measured per
+/// batch off its `bound_history` (first slice at or below 1% of the
+/// initial bound) and averaged.
+fn bench_prefetch_window(c: &mut Criterion) {
+    let f = fixture(8, 16);
+    let mut g = c.benchmark_group("serve_prefetch_8x16q");
+    g.sample_size(10);
+    let mut rows = Vec::new();
+    for w in [1usize, 4, 16, 64] {
+        let requests: Vec<BatchRequest<'_>> = f
+            .batches
+            .iter()
+            .map(|batch| BatchRequest::new(batch, &Sse))
+            .collect();
+        let config = ServeConfig::new(f.n_total, f.k)
+            .workers(4)
+            .slice_steps(64)
+            .prefetch_window(w);
+        let server = BatchServer::new(config.clone());
+        g.bench_with_input(BenchmarkId::new("pool4", w), &w, |b, _| {
+            b.iter(|| server.serve(&f.store, &requests))
+        });
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let measured = BatchServer::new(config.registry(registry.clone()));
+        let counter = FetchCounter::new(&f.store);
+        let started = std::time::Instant::now();
+        let results = measured.serve(&counter, &requests);
+        let elapsed = started.elapsed().as_secs_f64();
+        let retrieved: u64 = results
+            .iter()
+            .map(|r| r.retrieved_entries.len() as u64)
+            .sum();
+        let throughput = retrieved as f64 / elapsed.max(1e-9);
+        let mean_slices_to_bound = results
+            .iter()
+            .map(|r| {
+                let history = &r.bound_history;
+                let target = history[0] / 100.0;
+                (history
+                    .iter()
+                    .position(|&b| b <= target)
+                    .unwrap_or(history.len() - 1)
+                    + 1) as f64
+            })
+            .sum::<f64>()
+            / results.len() as f64;
+        let snap = registry.snapshot();
+        let fetch_hist = if w == 1 {
+            "serve.step_ns"
+        } else {
+            "serve.prefetch_ns"
+        };
+        let (p50, p95, p99) = snap
+            .histogram(fetch_hist)
+            .expect("serve registry records fetch latency")
+            .p50_p95_p99();
+        eprintln!(
+            "serve prefetch W={w}: {} store calls ({} batched fills carrying {} keys) \
+             for {retrieved} retrievals across {} batches; fetch p50 <= {p50} ns, \
+             p95 <= {p95} ns, p99 <= {p99} ns; {mean_slices_to_bound:.1} mean slices \
+             to 1% bound; {throughput:.0} retrievals/s",
+            counter.total_calls(),
+            counter.batch_calls(),
+            counter.batch_keys(),
+            results.len(),
+        );
+        rows.push(Json::obj([
+            ("window", Json::U64(w as u64)),
+            ("store_calls", Json::U64(counter.total_calls())),
+            ("batch_calls", Json::U64(counter.batch_calls())),
+            ("batch_keys", Json::U64(counter.batch_keys())),
+            ("retrieved", Json::U64(retrieved)),
+            ("mean_slices_to_bound_1pct", Json::F64(mean_slices_to_bound)),
+            ("throughput_retrievals_per_s", Json::F64(throughput)),
+            ("fetch_p50_ns", Json::U64(p50)),
+            ("fetch_p95_ns", Json::U64(p95)),
+            ("fetch_p99_ns", Json::U64(p99)),
+        ]));
+    }
+    g.finish();
+    write_section(
+        &results_dir().join("BENCH_exec.json"),
+        "bench_serve_prefetch",
+        &Json::obj([
+            ("batches", Json::U64(8)),
+            ("queries_per_batch", Json::U64(16)),
+            ("workers", Json::U64(4)),
+            ("slice_steps", Json::U64(64)),
+            ("windows", Json::Arr(rows)),
+        ]),
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_pool_vs_sequential,
+    bench_cache_sharing,
+    bench_prefetch_window
+);
 criterion_main!(benches);

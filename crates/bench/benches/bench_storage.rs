@@ -1,9 +1,14 @@
 //! Criterion benchmarks for the coefficient stores, including the
-//! ✦ block-layout ablation (KeyOrder vs LevelMajor under a progressive
-//! access pattern).  The layout comparison runs through an
-//! [`InstrumentedStore`], so alongside criterion's wall-clock numbers it
-//! reports the per-layout fetch latency distribution (p50/p95/p99 from the
-//! `store.get_ns` histogram) — the tail is where the layouts differ.
+//! ✦ block-layout ablation (KeyOrder vs LevelMajor vs ImportanceOrder
+//! under a progressive access pattern).  The layout comparison runs
+//! through an [`InstrumentedStore`], so alongside criterion's wall-clock
+//! numbers it reports the per-layout fetch latency distribution
+//! (p50/p95/p99 from the `store.get_ns` histogram) — the tail is where
+//! the layouts differ.  A separate head-scan pass drives each layout with
+//! batched `try_get_many` windows and reports physical block reads: with
+//! the store laid out in the workload's own importance order, the head of
+//! the progression packs into the fewest blocks (gated by an assert, so
+//! the CI smoke run trips if the layout regresses).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -83,6 +88,28 @@ fn bench_get_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// The three layouts under comparison.  `ImportanceOrder` is keyed to the
+/// benchmark's own progressive access pattern: position `i` in the pattern
+/// gets importance `n - i`, so the store packs coefficients in exactly the
+/// order the scan will want them.
+#[cfg(unix)]
+fn layouts(pattern: &[CoeffKey]) -> Vec<(&'static str, BlockLayout)> {
+    let n = pattern.len();
+    let ranking: std::collections::HashMap<CoeffKey, f64> = pattern
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (*k, (n - i) as f64))
+        .collect();
+    vec![
+        ("KeyOrder", BlockLayout::KeyOrder),
+        ("LevelMajor", BlockLayout::LevelMajor),
+        (
+            "ImportanceOrder",
+            BlockLayout::ImportanceOrder(std::sync::Arc::new(ranking)),
+        ),
+    ]
+}
+
 #[cfg(unix)]
 fn bench_disk_stores(
     g: &mut criterion::BenchmarkGroup<'_>,
@@ -100,26 +127,20 @@ fn bench_disk_stores(
         })
     });
 
-    for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
-        let bpath = std::env::temp_dir().join(format!(
-            "batchbb-bench-block-{layout:?}-{}",
-            std::process::id()
-        ));
+    for (name, layout) in layouts(pattern) {
+        let bpath =
+            std::env::temp_dir().join(format!("batchbb-bench-block-{name}-{}", std::process::id()));
         let block = InstrumentedStore::new(
             BlockStore::create(&bpath, es.to_vec(), 512, 16, layout).unwrap(),
         );
-        g.bench_with_input(
-            BenchmarkId::new("block", format!("{layout:?}")),
-            &block,
-            |b, store| {
-                b.iter(|| {
-                    pattern
-                        .iter()
-                        .map(|k| store.get(k).unwrap_or(0.0))
-                        .sum::<f64>()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("block", name), &block, |b, store| {
+            b.iter(|| {
+                pattern
+                    .iter()
+                    .map(|k| store.get(k).unwrap_or(0.0))
+                    .sum::<f64>()
+            })
+        });
         let st = block.stats();
         let snap = block.registry().snapshot();
         let lat = snap
@@ -127,7 +148,7 @@ fn bench_disk_stores(
             .expect("instrumented benches record latency");
         let (p50, p95, p99) = lat.p50_p95_p99();
         eprintln!(
-            "block {layout:?}: {} physical reads / {} retrievals ({} hits); \
+            "block {name}: {} physical reads / {} retrievals ({} hits); \
              fetch latency p50 <= {p50} ns, p95 <= {p95} ns, p99 <= {p99} ns \
              over {} timed gets",
             st.physical_reads, st.retrievals, st.cache_hits, lat.count
@@ -136,6 +157,62 @@ fn bench_disk_stores(
         std::fs::remove_file(&bpath).unwrap();
     }
     std::fs::remove_file(&fpath).unwrap();
+
+    head_scan_block_reads(g, es, pattern);
+}
+
+/// ✦ The progressive head scan: the first 4 096 coefficients of the
+/// progression, fetched as 64-key `try_get_many` windows (the executor's
+/// prefetch path) against a deliberately tiny 4-block pool, so every
+/// working-set miss is a real block read.  Reports physical reads per
+/// layout and asserts the acceptance criterion: ImportanceOrder does
+/// strictly fewer block reads than KeyOrder.
+#[cfg(unix)]
+fn head_scan_block_reads(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    es: &[(CoeffKey, f64)],
+    pattern: &[CoeffKey],
+) {
+    let head = &pattern[..4096.min(pattern.len())];
+    let mut reads: Vec<(&str, u64)> = Vec::new();
+    for (name, layout) in layouts(pattern) {
+        let bpath =
+            std::env::temp_dir().join(format!("batchbb-bench-head-{name}-{}", std::process::id()));
+        let store = BlockStore::create(&bpath, es.to_vec(), 512, 4, layout).unwrap();
+        for window in head.chunks(64) {
+            store.try_get_many(window).unwrap();
+        }
+        let st = store.stats();
+        eprintln!(
+            "head scan {name}: {} block reads / {} retrievals ({} hits) \
+             over {} keys in 64-key try_get_many windows",
+            st.physical_reads,
+            st.retrievals,
+            st.cache_hits,
+            head.len()
+        );
+        reads.push((name, st.physical_reads));
+        g.bench_with_input(
+            BenchmarkId::new("head_scan_batched", name),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    head.chunks(64)
+                        .flat_map(|w| store.try_get_many(w).unwrap())
+                        .map(|v| v.unwrap_or(0.0))
+                        .sum::<f64>()
+                })
+            },
+        );
+        drop(store);
+        std::fs::remove_file(&bpath).unwrap();
+    }
+    let by_name = |n: &str| reads.iter().find(|(name, _)| *name == n).unwrap().1;
+    assert!(
+        by_name("ImportanceOrder") < by_name("KeyOrder"),
+        "ImportanceOrder must do strictly fewer block reads than KeyOrder \
+         on the progressive head scan: {reads:?}"
+    );
 }
 
 criterion_group!(benches, bench_get_throughput);

@@ -116,10 +116,11 @@ fn main() {
             std::fs::remove_file(path).unwrap();
         };
         for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
-            let path = std::env::temp_dir()
-                .join(format!("batchbb-obs1-{layout:?}-{}", std::process::id()));
+            let name = format!("{layout:?}");
+            let path =
+                std::env::temp_dir().join(format!("batchbb-obs1-{name}-{}", std::process::id()));
             let store = BlockStore::create(&path, entries.clone(), block_size, 64, layout).unwrap();
-            run(&format!("{layout:?}"), store, &path);
+            run(&name, store, &path);
         }
         // §7 made concrete: lay coefficients out by this workload's own
         // importance ranking — the progressive scan becomes sequential.

@@ -26,8 +26,9 @@
 //!
 //! Flags: `--input trace.jsonl` (replay instead of demo), `--diff a b`
 //! (compare two traces), `--output trace.jsonl` (save the demo trace),
-//! `--limit N` (table head/tail rows, default 10), `--records N`,
-//! `--cells N`, `--seed N` (demo workload).
+//! `--curves true` (append single-trace ASCII penalty log-curves for both
+//! bound families to the table), `--limit N` (table head/tail rows,
+//! default 10), `--records N`, `--cells N`, `--seed N` (demo workload).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -92,6 +93,17 @@ fn main() -> ExitCode {
     let events = parse_events(&lines);
 
     print_table(&events, limit);
+    if args.flag("curves", false) {
+        // Single-trace penalty log-curves: the same renderer the diff
+        // mode uses, with one series per chart.
+        let summary = TraceSummary::from_events(&events);
+        for family in BoundFamily::ALL {
+            if let Some(chart) = render_curves(&[("trace", &summary)], family) {
+                println!();
+                print!("{chart}");
+            }
+        }
+    }
     match verify(&events) {
         Ok(summary) => {
             println!("{summary}");

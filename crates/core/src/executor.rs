@@ -141,6 +141,23 @@ pub struct ProgressiveExecutor<'a> {
     /// Σ ι_p over the coefficients still in the heap — Theorem 2's
     /// expected-penalty numerator, maintained incrementally.
     remaining_importance: f64,
+    /// Prefetch window W: how many heap entries one fallible step may
+    /// fetch through a single [`CoefficientStore::try_get_many`] call.
+    /// 1 (the default) takes exactly the singleton retrieval path.
+    prefetch_window: usize,
+    /// Values fetched by a batched prefetch but not yet applied, in
+    /// importance order (front = most important).  These count as
+    /// *pending*: their importance is still in `remaining_importance`,
+    /// they participate in [`ProgressiveExecutor::remaining`] /
+    /// [`ProgressiveExecutor::next_importance`], and each is folded into
+    /// the estimates by its own step — so per-step bounds and traces are
+    /// identical to the unbatched progression.
+    prefetched: VecDeque<(HeapEntry, f64)>,
+    /// After a whole-batch prefetch failure, how many singleton steps to
+    /// run before re-attempting a batched fetch.  The singleton fallback
+    /// is what attributes the failure: only the keys that individually
+    /// fail get deferred, the rest retrieve normally.
+    singleton_debt: usize,
     /// Coefficients whose retrieval exhausted its retry budget, awaiting
     /// re-attempts (FIFO so every deferred key gets its turn).
     deferred: VecDeque<HeapEntry>,
@@ -210,6 +227,9 @@ impl<'a> ProgressiveExecutor<'a> {
             retrieved: 0,
             seen: HashMap::new(),
             remaining_importance,
+            prefetch_window: 1,
+            prefetched: VecDeque::new(),
+            singleton_debt: 0,
             deferred: VecDeque::new(),
             deferred_importance: 0.0,
             fault: FaultStats::default(),
@@ -234,11 +254,46 @@ impl<'a> ProgressiveExecutor<'a> {
         self.observer.as_ref()
     }
 
+    /// Sets the prefetch window `w >= 1`: each fallible step may pop up to
+    /// `w` top-importance heap entries and fetch them through one
+    /// [`CoefficientStore::try_get_many`] call, then apply them one per
+    /// step in importance order.
+    ///
+    /// Step semantics are unchanged for every `w`: each `try_step` still
+    /// folds in exactly one coefficient, per-step penalty bounds are
+    /// computed over the same pending set, and (thanks to canonical
+    /// finalization) the final estimates are bit-identical across windows.
+    /// `w = 1` takes exactly the unbatched code path.  On a whole-batch
+    /// fetch failure the popped entries return to the heap and the next
+    /// `w` steps retrieve singleton-style, deferring only the keys that
+    /// individually fail.
+    pub fn with_prefetch_window(mut self, w: usize) -> Self {
+        assert!(w >= 1, "prefetch window must be at least 1");
+        self.prefetch_window = w;
+        self
+    }
+
+    /// The configured prefetch window.
+    pub fn prefetch_window(&self) -> usize {
+        self.prefetch_window
+    }
+
     /// Extracts the most important unretrieved coefficient, fetches its
     /// data value, and advances every query that needs it (Equation 2).
     /// Returns `None` once the heap is empty — at which point
     /// [`ProgressiveExecutor::estimates`] holds the exact results.
     pub fn step(&mut self) -> Option<StepInfo> {
+        // A value already prefetched by the fallible path is next in the
+        // progression order; fold it in without touching the store again.
+        if let Some((entry, value)) = self.prefetched.pop_front() {
+            let info = self.apply_value(&entry, value);
+            self.debit_remaining(entry.importance);
+            if self.is_exact() {
+                self.canonicalize_estimates();
+            }
+            self.observe_step("retrieved", &info, 0);
+            return Some(info);
+        }
         let entry = self.heap.pop()?;
         let timer = ExecObserver::maybe_timer(&self.observer);
         let value = self.store.get(&entry.key).unwrap_or(0.0);
@@ -250,6 +305,23 @@ impl<'a> ProgressiveExecutor<'a> {
         }
         self.observe_step("retrieved", &info, latency_ns);
         Some(info)
+    }
+
+    /// Applies one prefetched value as a full fallible step.  The store
+    /// attempt happened (and succeeded) at prefetch time; it is *recorded*
+    /// here, one per applied coefficient, so the per-step [`FaultStats`]
+    /// progression — and the `total_attempt_budget` it is reconciled
+    /// against — is identical to the unbatched path.
+    fn apply_prefetched(&mut self, entry: HeapEntry, value: f64) -> TryStepOutcome {
+        self.fault.attempts += 1;
+        self.fault.successes += 1;
+        let info = self.apply_value(&entry, value);
+        self.debit_remaining(entry.importance);
+        if self.is_exact() {
+            self.canonicalize_estimates();
+        }
+        self.observe_step("retrieved", &info, 0);
+        TryStepOutcome::Retrieved(info)
     }
 
     /// Folds a retrieved value into the estimates and bookkeeping shared by
@@ -304,7 +376,7 @@ impl<'a> ProgressiveExecutor<'a> {
     }
 
     fn debit_remaining(&mut self, importance: f64) {
-        self.remaining_importance = if self.heap.is_empty() {
+        self.remaining_importance = if self.heap.is_empty() && self.prefetched.is_empty() {
             0.0 // avoid leaving rounding residue after the final step
         } else {
             (self.remaining_importance - importance).max(0.0)
@@ -333,7 +405,7 @@ impl<'a> ProgressiveExecutor<'a> {
             obs.on_step(&StepObservation {
                 kind,
                 info,
-                pending: self.heap.len(),
+                pending: self.heap.len() + self.prefetched.len(),
                 deferred: self.deferred.len(),
                 remaining_importance: self.remaining_importance,
                 deferred_importance: self.deferred_importance,
@@ -372,16 +444,75 @@ impl<'a> ProgressiveExecutor<'a> {
     /// [`ProgressiveExecutor::degradation_report`] can bound the penalty of
     /// the current estimates under partial availability.
     pub fn try_step(&mut self, policy: &RetryPolicy) -> TryStepOutcome {
-        let attempts_allowed = match policy.total_attempt_budget {
+        let budget_left = match policy.total_attempt_budget {
             Some(budget) => {
                 let left = budget.saturating_sub(self.fault.attempts);
                 if left == 0 {
                     return TryStepOutcome::BudgetExhausted;
                 }
-                left.min(u64::from(policy.max_attempts.max(1))) as u32
+                Some(left)
             }
+            None => None,
+        };
+        let attempts_allowed = match budget_left {
+            Some(left) => left.min(u64::from(policy.max_attempts.max(1))) as u32,
             None => policy.max_attempts,
         };
+        // A previously prefetched value is next in progression order.
+        if let Some((entry, value)) = self.prefetched.pop_front() {
+            return self.apply_prefetched(entry, value);
+        }
+        // Batched prefetch of the top-W heap entries, worthwhile only when
+        // the clamped window exceeds one key (and no recent batch failure
+        // is still being attributed by singleton steps).
+        if self.prefetch_window > 1 && self.singleton_debt == 0 {
+            let w = self
+                .prefetch_window
+                .min(self.heap.len())
+                .min(budget_left.map_or(usize::MAX, |left| left.min(usize::MAX as u64) as usize));
+            if w > 1 {
+                let mut entries = Vec::with_capacity(w);
+                for _ in 0..w {
+                    entries.push(self.heap.pop().expect("window clamped to heap length"));
+                }
+                let keys: Vec<CoeffKey> = entries.iter().map(|e| e.key).collect();
+                let timer = ExecObserver::maybe_timer(&self.observer);
+                let fetched = self.store.try_get_many(&keys);
+                let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
+                match fetched {
+                    Ok(values) => {
+                        if let Some(obs) = &self.observer {
+                            obs.on_prefetch(w, true, latency_ns);
+                        }
+                        self.prefetched.extend(
+                            entries
+                                .into_iter()
+                                .zip(values.into_iter().map(|v| v.unwrap_or(0.0))),
+                        );
+                        let (entry, value) =
+                            self.prefetched.pop_front().expect("prefetch buffer filled");
+                        return self.apply_prefetched(entry, value);
+                    }
+                    Err(_) => {
+                        if let Some(obs) = &self.observer {
+                            obs.on_prefetch(w, false, latency_ns);
+                        }
+                        // Whole-batch failure carries no per-key verdicts:
+                        // restore the heap (order is recovered by the heap
+                        // itself) and let the next `w` steps retrieve
+                        // singleton-style — only keys that individually
+                        // fail there are deferred.
+                        for entry in entries {
+                            self.heap.push(entry);
+                        }
+                        self.singleton_debt = w;
+                    }
+                }
+            }
+        }
+        if self.singleton_debt > 0 {
+            self.singleton_debt -= 1;
+        }
         if let Some(entry) = self.heap.pop() {
             let timer = ExecObserver::maybe_timer(&self.observer);
             let out = get_with_retry(self.store, &entry.key, policy, attempts_allowed);
@@ -491,7 +622,7 @@ impl<'a> ProgressiveExecutor<'a> {
     fn drain_loop(&mut self, policy: &RetryPolicy, max_steps: usize) -> Option<DrainStatus> {
         let mut remaining = max_steps;
         loop {
-            if self.heap.is_empty() {
+            if self.heap.is_empty() && self.prefetched.is_empty() {
                 if self.deferred.is_empty() {
                     return Some(DrainStatus::Exact);
                 }
@@ -582,10 +713,11 @@ impl<'a> ProgressiveExecutor<'a> {
         entries
     }
 
-    /// Number of coefficients still pending in the heap (deferred
-    /// coefficients are counted by [`ProgressiveExecutor::deferred_count`]).
+    /// Number of coefficients still pending in normal progression order —
+    /// in the heap or prefetched-but-unapplied (deferred coefficients are
+    /// counted by [`ProgressiveExecutor::deferred_count`]).
     pub fn remaining(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.prefetched.len()
     }
 
     /// Number of coefficients parked in the deferral queue.
@@ -604,15 +736,21 @@ impl<'a> ProgressiveExecutor<'a> {
         self.fault
     }
 
-    /// True when evaluation is exact: nothing pending *and* nothing
-    /// deferred.
+    /// True when evaluation is exact: nothing pending (in the heap or the
+    /// prefetch buffer) *and* nothing deferred.
     pub fn is_exact(&self) -> bool {
-        self.heap.is_empty() && self.deferred.is_empty()
+        self.heap.is_empty() && self.prefetched.is_empty() && self.deferred.is_empty()
     }
 
-    /// The importance of the next coefficient to be retrieved.
+    /// The importance of the next coefficient to be applied.  The prefetch
+    /// buffer front, when present, *is* the progression maximum: it was
+    /// popped from the top of the heap, so every remaining heap entry
+    /// ranks at or below it.
     pub fn next_importance(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.importance)
+        self.prefetched
+            .front()
+            .map(|(e, _)| e.importance)
+            .or_else(|| self.heap.peek().map(|e| e.importance))
     }
 
     /// Repairs the progressive state after the underlying view changed:
@@ -638,6 +776,15 @@ impl<'a> ProgressiveExecutor<'a> {
                 .expect("seen keys come from the master list");
             for &(qi, c) in column {
                 self.estimates[qi as usize] += c * delta;
+            }
+        }
+        // A prefetched-but-unapplied value was read from the store *before*
+        // the update landed, so it needs the same repair as a seen key —
+        // applied to the buffered value, since it has not reached the
+        // estimates yet.
+        for (entry, value) in &mut self.prefetched {
+            if entry.key == *key {
+                *value += delta;
             }
         }
         // Unretrieved keys need no repair: their importance is query-side
@@ -1105,6 +1252,162 @@ mod tests {
             exec.drain_with_faults_budgeted(&policy, exec.deferred_count()),
             Some(DrainStatus::Degraded)
         );
+    }
+
+    #[test]
+    fn prefetch_windows_are_bit_exact_and_step_equivalent() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let policy = RetryPolicy::default();
+        let k = store.abs_sum();
+        let n_total = shape.len();
+
+        // Reference: W = 1 (today's path), recording the per-step bound
+        // trajectory and fault counters.
+        let mut reference = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let mut ref_trace = Vec::new();
+        let mut ref_penalties = Vec::new();
+        loop {
+            match reference.try_step(&policy) {
+                TryStepOutcome::Retrieved(info) => {
+                    ref_trace.push((info, reference.worst_case_bound(k), reference.fault_stats()));
+                    ref_penalties.push(reference.expected_penalty(n_total));
+                }
+                TryStepOutcome::Exhausted => break,
+                other => panic!("healthy store must not produce {other:?}"),
+            }
+        }
+
+        for w in [4usize, 16, 64] {
+            let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store).with_prefetch_window(w);
+            let mut trace = Vec::new();
+            let mut penalties = Vec::new();
+            loop {
+                match exec.try_step(&policy) {
+                    TryStepOutcome::Retrieved(info) => {
+                        trace.push((info, exec.worst_case_bound(k), exec.fault_stats()));
+                        penalties.push(exec.expected_penalty(n_total));
+                    }
+                    TryStepOutcome::Exhausted => break,
+                    other => panic!("healthy store must not produce {other:?}"),
+                }
+            }
+            // Same steps, same per-step Thm-1 bound, same fault counters
+            // at every step — not just the same finals.
+            assert_eq!(trace, ref_trace, "W={w} diverged from W=1");
+            // Thm-2's numerator is accumulated in map iteration order at
+            // construction, so it carries last-bit noise between *any* two
+            // executor instances; compare with a relative tolerance.
+            for (step, (a, b)) in penalties.iter().zip(&ref_penalties).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs() + 1e-12,
+                    "W={w} step {step}: expected penalty {a} vs {b}"
+                );
+            }
+            assert_eq!(
+                exec.estimates(),
+                reference.estimates(),
+                "finals must be bit-exact for W={w}"
+            );
+            assert_eq!(exec.retrieved_entries(), reference.retrieved_entries());
+            assert!(exec.is_exact());
+            assert!(exec.fault_stats().attempts_reconcile());
+        }
+    }
+
+    #[test]
+    fn prefetch_failure_defers_only_failing_keys() {
+        use batchbb_storage::{FaultInjectingStore, FaultPlan};
+
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let mut reference = ProgressiveExecutor::new(&batch, &Sse, &store);
+        reference.run_to_end();
+
+        // Break two keys from the head of the progression: a W=8 prefetch
+        // covering them fails as a whole, and the singleton fallback must
+        // defer exactly those two.
+        let mut probe = ProgressiveExecutor::new(&batch, &Sse, &store);
+        let broken: Vec<CoeffKey> = (0..2).map(|_| probe.step().unwrap().key).collect();
+        let faulty = FaultInjectingStore::new(
+            &store,
+            FaultPlan::new(7).with_permanent_keys(broken.iter().copied()),
+        );
+        let policy = RetryPolicy::default();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &faulty).with_prefetch_window(8);
+        assert_eq!(exec.drain_with_faults(&policy), DrainStatus::Degraded);
+        let mut deferred: Vec<CoeffKey> = exec
+            .degradation_report(shape.len(), store.abs_sum())
+            .deferred
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        deferred.sort_unstable();
+        let mut expected = broken.clone();
+        expected.sort_unstable();
+        assert_eq!(deferred, expected, "only the failing keys defer");
+        assert!(exec.fault_stats().attempts_reconcile());
+
+        faulty.heal();
+        assert_eq!(exec.drain_with_faults(&policy), DrainStatus::Exact);
+        assert_eq!(
+            exec.estimates(),
+            reference.estimates(),
+            "degraded-then-healed finals must match the fault-free run"
+        );
+    }
+
+    #[test]
+    fn prefetch_respects_attempt_budget() {
+        let (_, store, shape, strategy) = fixture();
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let policy = RetryPolicy {
+            total_attempt_budget: Some(5),
+            ..RetryPolicy::default()
+        };
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &store).with_prefetch_window(64);
+        assert_eq!(
+            exec.drain_with_faults(&policy),
+            DrainStatus::BudgetExhausted,
+            "a 5-attempt budget cannot finish the batch"
+        );
+        // The prefetch window is clamped to the budget: exactly 5 attempts
+        // were recorded, never fetched-but-unaffordable coefficients.
+        assert_eq!(exec.fault_stats().attempts, 5);
+        assert_eq!(exec.retrieved(), 5);
+        assert_eq!(exec.try_step(&policy), TryStepOutcome::BudgetExhausted);
+        let unlimited = RetryPolicy::default();
+        assert_eq!(exec.drain_with_faults(&unlimited), DrainStatus::Exact);
+    }
+
+    #[test]
+    fn prefetched_values_are_repaired_by_updates() {
+        use batchbb_relation::cube::point_entries;
+        use batchbb_storage::SharedStore;
+
+        let (mut dfd, _store, shape, strategy) = fixture();
+        let shared = SharedStore::from_entries(strategy.transform_data(dfd.tensor()));
+        let batch = BatchQueries::rewrite(&strategy, queries(), &shape).unwrap();
+        let policy = RetryPolicy::default();
+        let mut exec = ProgressiveExecutor::new(&batch, &Sse, &shared).with_prefetch_window(1024);
+        // One fallible step prefetches the whole master list; all but one
+        // coefficient now sit in the buffer, fetched pre-update.
+        let _ = exec.try_step(&policy);
+        assert!(exec.remaining() > 0);
+        // A tuple arrives: update the store, then repair the executor.
+        dfd.insert_binned(&[5, 5], 3.0);
+        for (k, d) in point_entries(&shape, &[5, 5], 3.0, batchbb_wavelet::Wavelet::Db4) {
+            shared.add_shared(k, d);
+            exec.apply_update(&k, d);
+        }
+        assert_eq!(exec.drain_with_faults(&policy), DrainStatus::Exact);
+        for (q, est) in batch.queries().iter().zip(exec.estimates()) {
+            let truth = q.eval_direct(dfd.tensor());
+            assert!(
+                (est - truth).abs() < 1e-6 * truth.abs().max(1.0),
+                "{est} vs {truth}"
+            );
+        }
     }
 
     #[test]

@@ -73,9 +73,12 @@ pub struct ExecObserver {
     steps: Counter,
     deferrals: Counter,
     recoveries: Counter,
+    prefetch_batches: Counter,
+    prefetch_keys: Counter,
     pending_depth: Gauge,
     deferred_depth: Gauge,
     step_ns: Histogram,
+    prefetch_ns: Histogram,
 }
 
 impl ExecObserver {
@@ -100,9 +103,12 @@ impl ExecObserver {
             steps: registry.counter(&metric("steps")),
             deferrals: registry.counter(&metric("deferrals")),
             recoveries: registry.counter(&metric("recoveries")),
+            prefetch_batches: registry.counter(&metric("prefetch.batches")),
+            prefetch_keys: registry.counter(&metric("prefetch.keys")),
             pending_depth: registry.gauge(&metric("pending")),
             deferred_depth: registry.gauge(&metric("deferred")),
             step_ns: registry.histogram(&metric("step_ns")),
+            prefetch_ns: registry.histogram(&metric("prefetch_ns")),
             sink,
             registry,
             engine,
@@ -215,6 +221,25 @@ impl ExecObserver {
                 .u64("retries", o.fault.retries)
                 .u64("backoff_ticks", o.fault.backoff_ticks)
                 .u64("latency_ns", o.latency_ns),
+        );
+    }
+
+    /// One batched prefetch of `batch` coefficients (`ok = false` when the
+    /// fetch failed as a whole and the executor fell back to singleton
+    /// retrievals).
+    pub(crate) fn on_prefetch(&self, batch: usize, ok: bool, latency_ns: u64) {
+        self.prefetch_batches.inc();
+        self.prefetch_keys.add(batch as u64);
+        self.prefetch_ns.record(latency_ns);
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.emit(
+            &Event::new("exec.prefetch")
+                .str("engine", self.engine)
+                .u64("batch", batch as u64)
+                .bool("ok", ok)
+                .u64("latency_ns", latency_ns),
         );
     }
 

@@ -7,12 +7,16 @@
 //! in-memory queue under a short-held lock and returns immediately, while
 //! a dedicated flusher thread drains the queue into the inner sink.
 //!
-//! The overflow policy is **drop-newest and count** — production
+//! The default overflow policy is **drop-newest and count** — production
 //! telemetry discipline: when the queue is full the incoming event is
 //! discarded and `obs.dropped_events` is incremented, so the emitting
 //! thread never waits for I/O and every missing trace line is accounted
 //! for (`emitted = written + dropped + sampled` holds exactly once the
-//! sink is closed).  Optional 1-in-N sampling per event name thins
+//! sink is closed).  [`OverflowPolicy::DropOldest`] keeps the *newest*
+//! events instead: a full queue evicts its head to admit the incoming
+//! event, so the tail of the stream — usually the interesting part of an
+//! incident trace — survives, under the same exact ledger (the evicted
+//! event is the one counted dropped).  Optional 1-in-N sampling per event name thins
 //! high-frequency streams (e.g. keep every 8th `exec.step`) before they
 //! reach the queue; sampled-out events are counted separately under
 //! `obs.sampled_events`, never silently lost.
@@ -50,6 +54,21 @@ pub struct BoundedSinkStats {
     pub sampled: u64,
 }
 
+/// What [`BoundedSink::emit`] does when the queue is at capacity.  Either
+/// way exactly one event is discarded and counted dropped, so the ledger
+/// `emitted == written + dropped + sampled` stays exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Discard the incoming event (the default): the queued prefix of the
+    /// stream is preserved intact.
+    #[default]
+    DropNewest,
+    /// Evict the oldest queued event to admit the incoming one: the tail
+    /// of the stream is preserved — what you want when the trace exists
+    /// to explain how a run *ended*.
+    DropOldest,
+}
+
 struct Queue {
     events: VecDeque<Event>,
     closed: bool,
@@ -59,6 +78,7 @@ struct Shared {
     queue: Mutex<Queue>,
     ready: Condvar,
     capacity: usize,
+    overflow: OverflowPolicy,
     emitted: Counter,
     written: Counter,
     dropped: Counter,
@@ -72,6 +92,7 @@ struct Shared {
 #[derive(Default)]
 pub struct BoundedSinkBuilder {
     capacity: Option<usize>,
+    overflow: OverflowPolicy,
     registry: Option<Arc<MetricsRegistry>>,
     sampling: BTreeMap<&'static str, u64>,
 }
@@ -81,6 +102,12 @@ impl BoundedSinkBuilder {
     /// [`DEFAULT_QUEUE_CAPACITY`]).
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Sets the overflow policy (default [`OverflowPolicy::DropNewest`]).
+    pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
         self
     }
 
@@ -115,6 +142,7 @@ impl BoundedSinkBuilder {
             }),
             ready: Condvar::new(),
             capacity: self.capacity.unwrap_or(DEFAULT_QUEUE_CAPACITY),
+            overflow: self.overflow,
             emitted: registry.counter("obs.emitted_events"),
             written: registry.counter("obs.written_events"),
             dropped: registry.counter("obs.dropped_events"),
@@ -194,6 +222,11 @@ impl BoundedSink {
         self.shared.capacity
     }
 
+    /// The policy applied when the queue is at capacity.
+    pub fn overflow(&self) -> OverflowPolicy {
+        self.shared.overflow
+    }
+
     /// The registry holding the `obs.*` accounting counters.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
@@ -247,10 +280,29 @@ impl EventSink for BoundedSink {
             .queue
             .lock()
             .expect("bounded sink lock poisoned");
-        if queue.closed || queue.events.len() >= self.shared.capacity {
+        if queue.closed {
             drop(queue);
             self.shared.dropped.inc();
             return;
+        }
+        if queue.events.len() >= self.shared.capacity {
+            match self.shared.overflow {
+                OverflowPolicy::DropNewest => {
+                    drop(queue);
+                    self.shared.dropped.inc();
+                    return;
+                }
+                OverflowPolicy::DropOldest => {
+                    // Evict the head to admit the incoming event; the
+                    // eviction is the counted drop.
+                    queue.events.pop_front();
+                    queue.events.push_back(event.clone());
+                    drop(queue);
+                    self.shared.dropped.inc();
+                    self.shared.ready.notify_one();
+                    return;
+                }
+            }
         }
         queue.events.push_back(event.clone());
         drop(queue);
@@ -381,6 +433,32 @@ mod tests {
             .filter(|l| l.contains("exec.step"))
             .count();
         assert_eq!(steps, 2, "events 0 and 4 survive 1-in-4 sampling");
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_tail() {
+        let slow = Arc::new(SlowSink {
+            inner: MemorySink::new(),
+            delay: Duration::from_millis(5),
+        });
+        let sink = BoundedSink::builder()
+            .capacity(4)
+            .overflow(OverflowPolicy::DropOldest)
+            .build(slow.clone());
+        assert_eq!(sink.overflow(), OverflowPolicy::DropOldest);
+        for i in 0..500u64 {
+            sink.emit(&Event::new("t").u64("i", i));
+        }
+        sink.close();
+        let stats = sink.stats();
+        assert!(stats.dropped > 0, "a 4-slot queue must overflow");
+        assert_eq!(stats.emitted, stats.written + stats.dropped);
+        assert_eq!(slow.inner.len() as u64, stats.written);
+        // Eviction preserves the tail: the final emit is never the drop,
+        // so the last written line is always the last emitted event.
+        let last = slow.inner.lines().pop().unwrap();
+        let parsed = crate::jsonl::parse_line(&last).unwrap();
+        assert_eq!(parsed.u64("i"), Some(499));
     }
 
     #[test]

@@ -62,7 +62,9 @@ mod label;
 mod metrics;
 mod span;
 
-pub use bounded::{BoundedSink, BoundedSinkBuilder, BoundedSinkStats, DEFAULT_QUEUE_CAPACITY};
+pub use bounded::{
+    BoundedSink, BoundedSinkBuilder, BoundedSinkStats, OverflowPolicy, DEFAULT_QUEUE_CAPACITY,
+};
 pub use event::{Event, EventSink, FieldValue, JsonlSink, MemorySink, NullSink};
 pub use label::LabeledSink;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};

@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use batchbb_obs::{jsonl, BoundedSink, Event, EventSink, Histogram, MemorySink, MetricsRegistry};
+use batchbb_obs::{
+    jsonl, BoundedSink, Event, EventSink, Histogram, MemorySink, MetricsRegistry, OverflowPolicy,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -148,18 +150,27 @@ proptest! {
         prop_assert_eq!(parsed.fields().len(), 2);
     }
 
-    /// The bounded sink's ledger is exact for any stream shape: after
-    /// close, `emitted == written + dropped + sampled`, and the inner sink
-    /// holds exactly `written` lines.
+    /// The bounded sink's ledger is exact for any stream shape and both
+    /// overflow policies: after close, `emitted == written + dropped +
+    /// sampled`, and the inner sink holds exactly `written` lines.  Under
+    /// drop-oldest with no sampling, the newest event is never the drop,
+    /// so the last written line is always the last emitted event.
     #[test]
     fn bounded_sink_accounting_is_exact(
         capacity in 1usize..64,
         names in prop::collection::vec(0u8..3, 1..128),
         sample_n in 0u64..6,
+        drop_oldest in any::<bool>(),
     ) {
+        let policy = if drop_oldest {
+            OverflowPolicy::DropOldest
+        } else {
+            OverflowPolicy::DropNewest
+        };
         let mem = Arc::new(MemorySink::new());
         let sink = BoundedSink::builder()
             .capacity(capacity)
+            .overflow(policy)
             .sample_one_in("exec.step", sample_n)
             .build(mem.clone());
         for (i, name) in names.iter().enumerate() {
@@ -177,6 +188,12 @@ proptest! {
         prop_assert_eq!(mem.len() as u64, stats.written);
         if sample_n < 2 {
             prop_assert_eq!(stats.sampled, 0, "n <= 1 keeps everything");
+            if drop_oldest {
+                let last = mem.lines().pop().unwrap();
+                let parsed = jsonl::parse_line(&last).unwrap();
+                prop_assert_eq!(parsed.u64("i"), Some(names.len() as u64 - 1),
+                    "drop-oldest preserves the stream tail");
+            }
         }
     }
 }

@@ -83,7 +83,8 @@ impl BatchServer {
             .iter()
             .enumerate()
             .map(|(i, req)| {
-                let mut exec = ProgressiveExecutor::new(req.batch, req.penalty, eff);
+                let mut exec = ProgressiveExecutor::new(req.batch, req.penalty, eff)
+                    .with_prefetch_window(config.prefetch_window);
                 if let Some(observer) = self.observer_for(i) {
                     exec = exec.with_observer(observer);
                 }

@@ -104,6 +104,56 @@ proptest! {
         }
     }
 
+    /// Prefetch windows change only fetch batching, never answers: a pool
+    /// run with W ∈ {4, 16} is bit-identical to the W = 1 singleton path,
+    /// batch for batch.
+    #[test]
+    fn prefetch_window_is_bit_identical((data, query_batches, shape) in arb_instance(),
+                                        workers in 1usize..5,
+                                        slice in 1usize..9,
+                                        share in any::<bool>()) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let n_total = shape.len().max(2);
+        let k = store.abs_sum();
+        let batches: Vec<BatchQueries> = query_batches
+            .iter()
+            .map(|qs| BatchQueries::rewrite(&strategy, qs.clone(), &shape).unwrap())
+            .collect();
+        let panel: Vec<Box<dyn Penalty>> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| penalty_family(i % FAMILIES, b.len()))
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = batches
+            .iter()
+            .zip(&panel)
+            .map(|(b, p)| BatchRequest::new(b, p.as_ref()))
+            .collect();
+        let serve = |w: usize| {
+            BatchServer::new(
+                ServeConfig::new(n_total, k)
+                    .workers(workers)
+                    .slice_steps(slice)
+                    .share_cache(share)
+                    .prefetch_window(w),
+            )
+            .serve(&store, &requests)
+        };
+        let baseline = serve(1);
+        for w in [4usize, 16] {
+            let results = serve(w);
+            prop_assert_eq!(results.len(), baseline.len());
+            for (got, want) in results.iter().zip(&baseline) {
+                prop_assert_eq!(got.status, want.status);
+                prop_assert_eq!(got.estimates(), want.estimates(),
+                    "prefetch window {} diverged under workers={} slice={} share={}",
+                    w, workers, slice, share);
+                prop_assert_eq!(&got.retrieved_entries, &want.retrieved_entries);
+            }
+        }
+    }
+
     /// Every served batch's per-slice worst-case bound trace is monotone
     /// non-increasing and terminates at zero on a fault-free store —
     /// Theorem 1 survives any scheduling interleaving.

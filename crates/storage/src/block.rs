@@ -14,6 +14,7 @@ use std::fs::File;
 use std::io::{self, Write};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::Arc;
 
 use batchbb_tensor::CoeffKey;
 use bytes::{Buf, BufMut, BytesMut};
@@ -23,7 +24,7 @@ use crate::stats::Counters;
 use crate::{CoefficientStore, IoStats, StorageError};
 
 /// How coefficients are ordered before being packed into blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, PartialEq)]
 pub enum BlockLayout {
     /// Lexicographic key order (a naive layout).
     KeyOrder,
@@ -32,6 +33,25 @@ pub enum BlockLayout {
     /// coarse) coefficients first, so this layout clusters them into the
     /// same blocks.
     LevelMajor,
+    /// Workload-driven: coefficients sorted by descending importance under
+    /// the supplied ranking, ties and absent keys falling back to key
+    /// order (absent keys sort last).  When the ranking matches the
+    /// progressive retrieval order of the batch, the head of the
+    /// progression becomes one sequential scan — the "importance functions
+    /// for disk blocks" layout §7 of the paper proposes.
+    ImportanceOrder(Arc<HashMap<CoeffKey, f64>>),
+}
+
+impl std::fmt::Debug for BlockLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockLayout::KeyOrder => write!(f, "KeyOrder"),
+            BlockLayout::LevelMajor => write!(f, "LevelMajor"),
+            // The ranking can hold millions of keys; print its size, not
+            // its contents.
+            BlockLayout::ImportanceOrder(r) => write!(f, "ImportanceOrder(n={})", r.len()),
+        }
+    }
 }
 
 /// Pyramid level of a 1-D coefficient index (0 for the scaling coefficient).
@@ -43,10 +63,34 @@ fn level_of(xi: u32) -> u32 {
     }
 }
 
-fn layout_rank(layout: BlockLayout, key: &CoeffKey) -> (u32, CoeffKey) {
+/// Maps an importance to a sort key that orders *descending* importance
+/// ascending: higher importance → smaller rank.  Uses the standard
+/// order-preserving f64→u64 bit trick (flip the sign bit for positives,
+/// all bits for negatives), then inverts.  Keys absent from the ranking
+/// get `u64::MAX` so they pack after every ranked key.
+fn importance_rank(importance: Option<f64>) -> u64 {
+    match importance {
+        None => u64::MAX,
+        Some(v) => {
+            let bits = v.to_bits();
+            let ascending = if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            };
+            !ascending
+        }
+    }
+}
+
+fn layout_rank(layout: &BlockLayout, key: &CoeffKey) -> (u64, CoeffKey) {
     match layout {
         BlockLayout::KeyOrder => (0, *key),
-        BlockLayout::LevelMajor => (key.coords().iter().map(|&c| level_of(c)).sum(), *key),
+        BlockLayout::LevelMajor => (
+            key.coords().iter().map(|&c| u64::from(level_of(c))).sum(),
+            *key,
+        ),
+        BlockLayout::ImportanceOrder(ranking) => (importance_rank(ranking.get(key).copied()), *key),
     }
 }
 
@@ -119,7 +163,7 @@ impl BlockStore {
         layout: BlockLayout,
     ) -> io::Result<Self> {
         BlockStore::create_ranked(path, entries, block_size, pool_blocks, |k| {
-            layout_rank(layout, k)
+            layout_rank(&layout, k)
         })
     }
 
@@ -235,6 +279,68 @@ impl CoefficientStore for BlockStore {
         }
     }
 
+    /// Batched retrieval that groups keys by block and reads each block at
+    /// most once per batch.  Accounting matches the equivalent singleton
+    /// sequence: one retrieval per key, one physical read per non-resident
+    /// block, a pool hit for every other key served from that block.  A
+    /// failed block read fails the whole batch ([`StorageError::Io`] names
+    /// the first key that wanted the block); the pool is not populated
+    /// from the failed read.
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        let mut out = vec![None; keys.len()];
+        // Present keys as (block, offset-in-block, output index), sorted so
+        // each block's wants are contiguous and slot order gives one
+        // forward pass over the file.
+        let mut wanted: Vec<(u64, usize, usize)> = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            self.counters.count_retrieval();
+            if let Some(&slot) = self.index.get(key) {
+                wanted.push((
+                    slot / self.block_size as u64,
+                    (slot % self.block_size as u64) as usize,
+                    i,
+                ));
+            }
+        }
+        wanted.sort_unstable();
+        let mut pool = self.pool.lock();
+        let mut run = 0;
+        while run < wanted.len() {
+            let block_id = wanted[run].0;
+            let end = wanted[run..]
+                .iter()
+                .position(|&(b, _, _)| b != block_id)
+                .map_or(wanted.len(), |p| run + p);
+            if let Some(data) = pool.0.get(block_id) {
+                for &(_, in_block, i) in &wanted[run..end] {
+                    self.counters.count_hit();
+                    out[i] = Some(data[in_block]);
+                }
+            } else {
+                self.counters.count_physical();
+                match self.read_block(block_id) {
+                    Ok(data) => {
+                        for (j, &(_, in_block, i)) in wanted[run..end].iter().enumerate() {
+                            if j > 0 {
+                                self.counters.count_hit();
+                            }
+                            out[i] = Some(data[in_block]);
+                        }
+                        pool.0.insert(block_id, data);
+                    }
+                    Err(e) => {
+                        return Err(StorageError::Io {
+                            key: keys[wanted[run].2],
+                            detail: e.to_string(),
+                        })
+                    }
+                }
+            }
+            run = end;
+        }
+        Ok(out)
+    }
+
     fn nnz(&self) -> usize {
         self.index.len()
     }
@@ -264,11 +370,16 @@ mod tests {
 
     #[test]
     fn values_roundtrip_both_layouts() {
-        for layout in [BlockLayout::KeyOrder, BlockLayout::LevelMajor] {
-            let path = tmpfile(&format!("rt-{layout:?}"));
+        let hot: HashMap<CoeffKey, f64> = (0..50).map(|i| (CoeffKey::one(i), i as f64)).collect();
+        for (name, layout) in [
+            ("key", BlockLayout::KeyOrder),
+            ("level", BlockLayout::LevelMajor),
+            ("imp", BlockLayout::ImportanceOrder(Arc::new(hot))),
+        ] {
+            let path = tmpfile(&format!("rt-{name}"));
             let store = BlockStore::create(&path, entries(100), 16, 4, layout).unwrap();
             for (k, v) in entries(100) {
-                assert_eq!(store.get(&k), Some(v), "{layout:?} {k}");
+                assert_eq!(store.get(&k), Some(v), "{name} {k}");
             }
             std::fs::remove_file(&path).unwrap();
         }
@@ -336,8 +447,66 @@ mod tests {
         let k_coarse = CoeffKey::new(&[0, 1]);
         let k_fine = CoeffKey::new(&[64, 64]);
         assert!(
-            layout_rank(BlockLayout::LevelMajor, &k_coarse)
-                < layout_rank(BlockLayout::LevelMajor, &k_fine)
+            layout_rank(&BlockLayout::LevelMajor, &k_coarse)
+                < layout_rank(&BlockLayout::LevelMajor, &k_fine)
         );
+    }
+
+    #[test]
+    fn importance_rank_orders_descending_with_absent_last() {
+        assert!(importance_rank(Some(9.0)) < importance_rank(Some(1.0)));
+        assert!(importance_rank(Some(1.0)) < importance_rank(Some(0.0)));
+        assert!(importance_rank(Some(0.0)) < importance_rank(Some(-3.0)));
+        assert!(importance_rank(Some(-3.0)) < importance_rank(None));
+        assert_eq!(importance_rank(Some(2.5)), importance_rank(Some(2.5)));
+    }
+
+    #[test]
+    fn importance_layout_packs_head_of_progression() {
+        let path = tmpfile("importance");
+        // Importance descends with the key index reversed, so the "head"
+        // of the progression is keys 99, 98, ... 90 — scattered across
+        // blocks under KeyOrder, but one block here.
+        let ranking: HashMap<CoeffKey, f64> =
+            (0..100).map(|i| (CoeffKey::one(i), i as f64)).collect();
+        let store = BlockStore::create(
+            &path,
+            entries(100),
+            10,
+            1,
+            BlockLayout::ImportanceOrder(Arc::new(ranking)),
+        )
+        .unwrap();
+        for i in (90..100).rev() {
+            assert_eq!(store.get(&CoeffKey::one(i)), Some(i as f64 + 0.5));
+        }
+        let st = store.stats();
+        assert_eq!(st.physical_reads, 1, "top-10 importance fits one block");
+        assert_eq!(st.cache_hits, 9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn try_get_many_reads_each_block_once() {
+        let path = tmpfile("many");
+        let store = BlockStore::create(&path, entries(64), 8, 4, BlockLayout::KeyOrder).unwrap();
+        // 16 keys spanning blocks 0 and 1, plus an absent key, in a
+        // deliberately shuffled order.
+        let mut keys: Vec<CoeffKey> = (0..16).map(CoeffKey::one).collect();
+        keys.reverse();
+        keys.push(CoeffKey::one(999));
+        let got = store.try_get_many(&keys).unwrap();
+        for (k, v) in keys.iter().zip(&got) {
+            if k.coord(0) < 64 {
+                assert_eq!(*v, Some(k.coord(0) as f64 + 0.5));
+            } else {
+                assert_eq!(*v, None);
+            }
+        }
+        let st = store.stats();
+        assert_eq!(st.retrievals, 17);
+        assert_eq!(st.physical_reads, 2, "two blocks, one read each");
+        assert_eq!(st.cache_hits, 14);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -79,6 +79,47 @@ impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
         Ok(v)
     }
 
+    /// Batched retrieval taking the memo lock once for the whole batch.
+    /// Misses are forwarded to the inner store as one `try_get_many`;
+    /// duplicate keys within a batch are fetched once and the repeats
+    /// counted as hits, exactly as the singleton sequence would memoize
+    /// them.  On a batch error nothing is memoized.
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        let mut out = vec![None; keys.len()];
+        let mut cache = self.cache.lock();
+        let mut miss_keys: Vec<CoeffKey> = Vec::new();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        // key → position in miss_keys, for within-batch duplicates.
+        let mut pending: HashMap<CoeffKey, usize> = HashMap::new();
+        let mut dup_fill: Vec<(usize, usize)> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            self.counters.count_retrieval();
+            if let Some(v) = cache.get(key) {
+                self.counters.count_hit();
+                out[i] = *v;
+            } else if let Some(&p) = pending.get(key) {
+                self.counters.count_hit();
+                dup_fill.push((i, p));
+            } else {
+                self.counters.count_physical();
+                pending.insert(*key, miss_keys.len());
+                miss_idx.push(i);
+                miss_keys.push(*key);
+            }
+        }
+        if !miss_keys.is_empty() {
+            let fetched = self.inner.try_get_many(&miss_keys)?;
+            for (p, v) in fetched.iter().enumerate() {
+                cache.insert(miss_keys[p], *v);
+                out[miss_idx[p]] = *v;
+            }
+            for (i, p) in dup_fill {
+                out[i] = fetched[p];
+            }
+        }
+        Ok(out)
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }

@@ -94,6 +94,46 @@ impl CoefficientStore for FileStore {
             })
     }
 
+    /// Batched retrieval in one forward pass over the file: present keys
+    /// are sorted by slot and contiguous slot runs are coalesced into a
+    /// single positioned read each, so `physical_reads` counts coalesced
+    /// reads (≤ the singleton sequence's one-per-key).  A failed read
+    /// fails the whole batch, naming the first key of the failing run.
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        let mut out = vec![None; keys.len()];
+        let mut wanted: Vec<(u64, usize)> = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            self.counters.count_retrieval();
+            if let Some(&slot) = self.index.get(key) {
+                wanted.push((slot, i));
+            }
+        }
+        wanted.sort_unstable();
+        let mut run = 0;
+        while run < wanted.len() {
+            let start = wanted[run].0;
+            let mut end = run + 1;
+            while end < wanted.len() && wanted[end].0 <= wanted[end - 1].0 + 1 {
+                end += 1;
+            }
+            let span = (wanted[end - 1].0 - start + 1) as usize;
+            self.counters.count_physical();
+            let mut raw = vec![0u8; span * 8];
+            self.file
+                .read_exact_at(&mut raw, start * 8)
+                .map_err(|e| StorageError::Io {
+                    key: keys[wanted[run].1],
+                    detail: e.to_string(),
+                })?;
+            for &(slot, i) in &wanted[run..end] {
+                let off = ((slot - start) * 8) as usize;
+                out[i] = Some((&raw[off..off + 8]).get_f64_le());
+            }
+            run = end;
+        }
+        Ok(out)
+    }
+
     fn nnz(&self) -> usize {
         self.index.len()
     }
@@ -134,6 +174,31 @@ mod tests {
         let st = store.stats();
         assert_eq!(st.retrievals, 4);
         assert_eq!(st.physical_reads, 3, "misses do not touch the file");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn try_get_many_coalesces_contiguous_slots() {
+        let path = tmpfile("coalesce");
+        let store =
+            FileStore::create(&path, (0..16).map(|i| (CoeffKey::one(i), i as f64))).unwrap();
+        // Keys 0..8 are slots 0..8 (key order == slot order here): one
+        // coalesced read.  Key 12 is a second, separate run.
+        let mut keys: Vec<CoeffKey> = (0..8).map(CoeffKey::one).collect();
+        keys.reverse();
+        keys.push(CoeffKey::one(12));
+        keys.push(CoeffKey::one(99)); // absent
+        let got = store.try_get_many(&keys).unwrap();
+        for (k, v) in keys.iter().zip(&got) {
+            if k.coord(0) < 16 {
+                assert_eq!(*v, Some(k.coord(0) as f64));
+            } else {
+                assert_eq!(*v, None);
+            }
+        }
+        let st = store.stats();
+        assert_eq!(st.retrievals, 10);
+        assert_eq!(st.physical_reads, 2, "two coalesced runs");
         std::fs::remove_file(&path).unwrap();
     }
 

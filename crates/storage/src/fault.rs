@@ -251,6 +251,18 @@ impl<S: CoefficientStore> CoefficientStore for FaultInjectingStore<S> {
         }
     }
 
+    /// Deliberately a key-by-key loop over [`Self::try_get`], *not* a
+    /// forward to the inner store's batched path: every key must pass
+    /// through its own deterministic per-`(key, attempt)` fault decision,
+    /// so the injected sequence each key sees is identical whether callers
+    /// batch or not.  Stops at the first injected (or real) failure, as
+    /// the trait's batch contract allows — keys after the failure keep
+    /// their attempt counters untouched, exactly like a singleton caller
+    /// that aborted its loop at the same point.
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        keys.iter().map(|k| self.try_get(k)).collect()
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }

@@ -122,6 +122,18 @@ impl<S: CoefficientStore> CoefficientStore for InstrumentedStore<S> {
         result
     }
 
+    /// Deliberately a key-by-key loop over [`Self::try_get`], *not* a
+    /// forward to the inner store's batched path: each key gets its own
+    /// `store.try_get_ns` sample and hit/miss/fault classification, so the
+    /// histograms and counters are byte-identical to the singleton
+    /// sequence.  Instrumentation trades away inner batching for
+    /// per-key observability — wrap the instrumented store *inside* a
+    /// batching wrapper if both are wanted.  Stops at the first error,
+    /// as the trait's batch contract allows.
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        keys.iter().map(|k| self.try_get(k)).collect()
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }

@@ -121,6 +121,60 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
         Ok(v)
     }
 
+    /// Batched retrieval taking each shard's lock once per batch instead
+    /// of once per key.  Keys are grouped by shard; each shard's misses go
+    /// to the inner store as one `try_get_many` *while that shard's lock
+    /// is held*, so the exactly-once fill guarantee is unchanged — racing
+    /// batches still fetch a coefficient at most once.  Within-batch
+    /// duplicate keys are fetched once and the repeats counted as hits,
+    /// matching the singleton sequence.  Only one shard lock is held at a
+    /// time.  On a batch error nothing from the failing shard is memoized
+    /// (earlier shards' fills stand, as the singleton sequence's would).
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        let mut out = vec![None; keys.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[fingerprint::shard_of(key, self.shards.len())].push(i);
+        }
+        for (shard_id, members) in by_shard.into_iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[shard_id].lock();
+            let mut miss_keys: Vec<CoeffKey> = Vec::new();
+            let mut miss_idx: Vec<usize> = Vec::new();
+            let mut pending: HashMap<CoeffKey, usize> = HashMap::new();
+            let mut dup_fill: Vec<(usize, usize)> = Vec::new();
+            for &i in &members {
+                let key = &keys[i];
+                self.counters.count_retrieval();
+                if let Some(v) = shard.get(key) {
+                    self.counters.count_hit();
+                    out[i] = *v;
+                } else if let Some(&p) = pending.get(key) {
+                    self.counters.count_hit();
+                    dup_fill.push((i, p));
+                } else {
+                    self.counters.count_physical();
+                    pending.insert(*key, miss_keys.len());
+                    miss_idx.push(i);
+                    miss_keys.push(*key);
+                }
+            }
+            if !miss_keys.is_empty() {
+                let fetched = self.inner.try_get_many(&miss_keys)?;
+                for (p, v) in fetched.iter().enumerate() {
+                    shard.insert(miss_keys[p], *v);
+                    out[miss_idx[p]] = *v;
+                }
+                for (i, p) in dup_fill {
+                    out[i] = fetched[p];
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }

@@ -91,6 +91,29 @@ impl CoefficientStore for SharedStore {
         self.shards[self.shard_of(key)].read().try_get(key)
     }
 
+    /// Batched retrieval taking each shard's read lock once per batch
+    /// instead of once per key: keys are grouped by shard and each group
+    /// is resolved under a single lock acquisition.  Values and retrieval
+    /// counts are identical to the singleton sequence (the inner
+    /// [`MemoryStore`] counts one retrieval per key either way).
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        let mut out = vec![None; keys.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[self.shard_of(key)].push(i);
+        }
+        for (shard_id, members) in by_shard.into_iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let shard = self.shards[shard_id].read();
+            for i in members {
+                out[i] = shard.try_get(&keys[i])?;
+            }
+        }
+        Ok(out)
+    }
+
     fn nnz(&self) -> usize {
         self.shards.iter().map(|s| s.read().nnz()).sum()
     }

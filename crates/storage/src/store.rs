@@ -32,6 +32,29 @@ pub trait CoefficientStore: Send + Sync {
         Ok(self.get(key))
     }
 
+    /// Batched fallible retrieval: the value (or absence) of every key in
+    /// `keys`, in input order.
+    ///
+    /// The default implementation is a loop over
+    /// [`CoefficientStore::try_get`], so every store has a correct batched
+    /// path with byte-identical accounting to the singleton path.  Stores
+    /// with real batching opportunities override it: [`crate::BlockStore`]
+    /// groups keys by block and reads each block at most once,
+    /// [`crate::FileStore`] coalesces sorted slots into single-pass reads,
+    /// and the caching/sharded wrappers take each internal lock once per
+    /// batch instead of once per key.
+    ///
+    /// Contract (see DESIGN.md §10): each key still counts as one logical
+    /// retrieval; `Err` means the batch as a whole failed and *no* result
+    /// ordering is implied beyond "nothing was returned" — callers that
+    /// need per-key failure attribution fall back to key-by-key `try_get`.
+    /// Overrides may perform *fewer* physical reads than the equivalent
+    /// singleton sequence (that is the point) but must never return
+    /// different values or absence verdicts.
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        keys.iter().map(|k| self.try_get(k)).collect()
+    }
+
     /// Number of stored (nonzero) coefficients.
     fn nnz(&self) -> usize;
 
@@ -58,6 +81,10 @@ impl<S: CoefficientStore + ?Sized> CoefficientStore for &S {
 
     fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
         (**self).try_get(key)
+    }
+
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        (**self).try_get_many(keys)
     }
 
     fn nnz(&self) -> usize {

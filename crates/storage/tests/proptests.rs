@@ -1,10 +1,16 @@
 //! Property-based tests: every store implementation returns exactly the
-//! values it was loaded with, for arbitrary entry sets, and the counters
-//! account for every retrieval.
+//! values it was loaded with, for arbitrary entry sets, the counters
+//! account for every retrieval, and the batched retrieval path
+//! (`try_get_many`) is observationally identical to the key-by-key
+//! singleton path — same values, same fault outcomes, same cache fills,
+//! same logical-retrieval counts — across every wrapper and layout.
 
 use proptest::prelude::*;
 
-use batchbb_storage::{ArrayStore, CachingStore, CoefficientStore, MemoryStore, SharedStore};
+use batchbb_storage::{
+    ArrayStore, CachingStore, CoefficientStore, FaultInjectingStore, FaultPlan, InstrumentedStore,
+    MemoryStore, ShardedCachingStore, SharedStore,
+};
 #[cfg(unix)]
 use batchbb_storage::{BlockLayout, BlockStore, FileStore};
 use batchbb_tensor::{CoeffKey, Shape, Tensor};
@@ -33,6 +39,38 @@ fn check_store(store: &dyn CoefficientStore, entries: &[(CoeffKey, f64)], dense:
     let st = store.stats();
     let expected = entries.len() as u64 + if dense { 0 } else { 1 };
     assert_eq!(st.retrievals, expected);
+}
+
+/// Asserts `a.try_get_many(queries)` on one store instance equals the
+/// key-by-key `try_get` loop on an identically constructed instance `b`:
+/// same values, and the same logical-retrieval count (physical reads MAY
+/// differ — doing fewer of them is the point of batching).
+fn assert_batch_matches_singletons(
+    a: &dyn CoefficientStore,
+    b: &dyn CoefficientStore,
+    queries: &[CoeffKey],
+) {
+    let batched = a.try_get_many(queries).unwrap();
+    let singles: Vec<Option<f64>> = queries.iter().map(|k| b.try_get(k).unwrap()).collect();
+    assert_eq!(batched, singles, "batched values diverge from singletons");
+    assert_eq!(
+        a.stats().retrievals,
+        b.stats().retrievals,
+        "each key must count as one logical retrieval on both paths"
+    );
+}
+
+/// A query mix guaranteed to exercise present keys, absent keys, and
+/// within-batch duplicates.
+fn query_mix(entries: &[(CoeffKey, f64)], extra: Vec<(usize, usize)>) -> Vec<CoeffKey> {
+    let mut queries: Vec<CoeffKey> = extra
+        .into_iter()
+        .map(|(x, y)| CoeffKey::new(&[x, y]))
+        .collect();
+    queries.extend(entries.iter().take(12).map(|(k, _)| *k));
+    let dups: Vec<CoeffKey> = queries.iter().take(4).copied().collect();
+    queries.extend(dups);
+    queries
 }
 
 proptest! {
@@ -80,6 +118,127 @@ proptest! {
                 std::fs::remove_file(&bpath).unwrap();
             }
         }
+    }
+
+    /// `try_get_many` ≡ key-by-key `try_get` on every wrapper: identical
+    /// values and logical-retrieval counts, identical cache fills (a
+    /// second pass over a warmed cache behaves the same on both paths),
+    /// and identical instrumentation counts.
+    #[test]
+    fn try_get_many_matches_singleton_path(
+        entries in arb_entries(),
+        extra in prop::collection::vec((0usize..40, 0usize..40), 0..24),
+    ) {
+        let queries = query_mix(&entries, extra);
+
+        // Default loop (memory) and the shard-grouped override.
+        assert_batch_matches_singletons(
+            &MemoryStore::from_entries(entries.clone()),
+            &MemoryStore::from_entries(entries.clone()),
+            &queries,
+        );
+        assert_batch_matches_singletons(
+            &SharedStore::from_entries(entries.clone()),
+            &SharedStore::from_entries(entries.clone()),
+            &queries,
+        );
+
+        // Caching wrappers: the batched path must leave the memo in the
+        // same state as singletons (duplicates within a batch count as
+        // hits, missed fills memoize), so a second pass agrees too, and
+        // the wrappers' full IoStats — hits included — match exactly.
+        let ca = CachingStore::new(MemoryStore::from_entries(entries.clone()));
+        let cb = CachingStore::new(MemoryStore::from_entries(entries.clone()));
+        for _pass in 0..2 {
+            assert_batch_matches_singletons(&ca, &cb, &queries);
+        }
+        assert_eq!(ca.stats(), cb.stats(), "caching stats diverge");
+        let sa = ShardedCachingStore::with_shards(MemoryStore::from_entries(entries.clone()), 4);
+        let sb = ShardedCachingStore::with_shards(MemoryStore::from_entries(entries.clone()), 4);
+        for _pass in 0..2 {
+            assert_batch_matches_singletons(&sa, &sb, &queries);
+        }
+        assert_eq!(sa.stats(), sb.stats(), "sharded caching stats diverge");
+
+        // Instrumentation: the pass-through deliberately loops key by key,
+        // so counters are byte-identical to the singleton path.
+        let ia = InstrumentedStore::new(MemoryStore::from_entries(entries.clone()));
+        let ib = InstrumentedStore::new(MemoryStore::from_entries(entries.clone()));
+        assert_batch_matches_singletons(&ia, &ib, &queries);
+        assert_eq!(ia.stats(), ib.stats(), "instrumented stats diverge");
+
+        #[cfg(unix)]
+        {
+            let tag = format!("{}-{}-{}", std::process::id(), entries.len(), queries.len());
+            let fa = std::env::temp_dir().join(format!("batchbb-prop-bfile-a-{tag}"));
+            let fb = std::env::temp_dir().join(format!("batchbb-prop-bfile-b-{tag}"));
+            assert_batch_matches_singletons(
+                &FileStore::create(&fa, entries.clone()).unwrap(),
+                &FileStore::create(&fb, entries.clone()).unwrap(),
+                &queries,
+            );
+            std::fs::remove_file(&fa).unwrap();
+            std::fs::remove_file(&fb).unwrap();
+
+            let ranking: std::collections::HashMap<CoeffKey, f64> =
+                entries.iter().map(|&(k, v)| (k, v.abs())).collect();
+            let layouts = [
+                BlockLayout::KeyOrder,
+                BlockLayout::LevelMajor,
+                BlockLayout::ImportanceOrder(std::sync::Arc::new(ranking)),
+            ];
+            for (li, layout) in layouts.into_iter().enumerate() {
+                let ba = std::env::temp_dir().join(format!("batchbb-prop-bblk-a{li}-{tag}"));
+                let bb = std::env::temp_dir().join(format!("batchbb-prop-bblk-b{li}-{tag}"));
+                assert_batch_matches_singletons(
+                    &BlockStore::create(&ba, entries.clone(), 7, 3, layout.clone()).unwrap(),
+                    &BlockStore::create(&bb, entries.clone(), 7, 3, layout).unwrap(),
+                    &queries,
+                );
+                std::fs::remove_file(&ba).unwrap();
+                std::fs::remove_file(&bb).unwrap();
+            }
+        }
+    }
+
+    /// Under injected faults the batched path takes the same per-key
+    /// decisions as singletons: same first failure (batch `Err` ≡ the
+    /// singleton loop's first `Err`), same values before it, and the same
+    /// injected fault accounting.
+    #[test]
+    fn try_get_many_matches_singleton_faults(
+        entries in arb_entries(),
+        extra in prop::collection::vec((0usize..40, 0usize..40), 0..24),
+        rate in 0.0f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let queries = query_mix(&entries, extra);
+        let make = || FaultInjectingStore::new(
+            MemoryStore::from_entries(entries.clone()),
+            FaultPlan::new(seed).with_transient_rate(rate),
+        );
+        let a = make();
+        let b = make();
+        let batched = a.try_get_many(&queries);
+        let mut singles: Vec<Option<f64>> = Vec::new();
+        let mut first_err = None;
+        for k in &queries {
+            match b.try_get(k) {
+                Ok(v) => singles.push(v),
+                Err(e) => { first_err = Some(e); break; }
+            }
+        }
+        match (batched, first_err) {
+            (Ok(values), None) => prop_assert_eq!(values, singles),
+            (Err(ea), Some(eb)) => prop_assert_eq!(format!("{ea:?}"), format!("{eb:?}")),
+            (batched, first_err) => {
+                prop_assert!(false,
+                    "paths disagree on failure: batched {:?} vs singleton {:?}",
+                    batched, first_err);
+            }
+        }
+        prop_assert_eq!(a.injected(), b.injected(), "fault accounting diverges");
+        prop_assert_eq!(a.stats().retrievals, b.stats().retrievals);
     }
 
     #[cfg(unix)]

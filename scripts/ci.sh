@@ -73,6 +73,17 @@ if [ "$quick" -eq 0 ]; then
     # mode (no --bench flag), so the harness code cannot silently rot.
     run cargo test -q -p batchbb-bench --benches
 
+    # Batched-retrieval gates: the storage bench's head-scan fixture
+    # asserts ImportanceOrder needs strictly fewer block reads than
+    # KeyOrder (the layout claim), and the prefetch-window proptest
+    # asserts executor finals are bit-identical at every W (the W=1
+    # equivalence claim). Both already ran above (--benches and the
+    # workspace tests) — these targeted reruns make the gate explicit
+    # so a selective test filter can never skip them.
+    run cargo test -q -p batchbb-bench --bench bench_storage
+    run cargo test -q -p batchbb-core --test proptests \
+        prefetch_windows_agree_bit_for_bit
+
     # Observability overhead smoke: the sink-comparison bench must run its
     # fixtures end to end (events/sec numbers come from `cargo bench`).
     run cargo test -q -p batchbb-bench --bench bench_obs

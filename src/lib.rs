@@ -83,7 +83,8 @@ pub mod prelude {
     };
     pub use batchbb_obs::{
         jsonl, BoundedSink, BoundedSinkBuilder, BoundedSinkStats, Event, EventSink, JsonlSink,
-        LabeledSink, MemorySink, MetricsRegistry, MetricsSnapshot, NullSink, SpanTimer,
+        LabeledSink, MemorySink, MetricsRegistry, MetricsSnapshot, NullSink, OverflowPolicy,
+        SpanTimer,
     };
     pub use batchbb_penalty::{
         Combination, CursorKernel, CursorPenalty, DiagonalQuadratic, LaplacianPenalty, LpPenalty,
