@@ -16,7 +16,7 @@ use batchbb_obs::MetricsRegistry;
 use batchbb_penalty::Sse;
 use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
 use batchbb_relation::synth;
-use batchbb_serve::{BatchRequest, BatchServer, ServeConfig};
+use batchbb_serve::{BatchRequest, BatchServer, ServeConfig, SloContract, SloOutcome};
 use batchbb_storage::MemoryStore;
 use batchbb_tensor::Shape;
 use batchbb_wavelet::Wavelet;
@@ -212,10 +212,126 @@ fn bench_prefetch_window(c: &mut Criterion) {
     );
 }
 
+/// ✦ The open-loop overload sweep: offered load at {0.5, 1, 2, 4}× the
+/// declared capacity. At each multiple the pool serves the same batch
+/// mix against a capacity sized to `total_cost / multiple`, and the
+/// sweep records what the SLO layer promises under overload: the
+/// rejection rate (admission, not queueing, absorbs the excess), the
+/// p50/p99 *certified* worst-case bound across completed batches, and
+/// the consumed-vs-declared attempt ticks. Every completed batch must
+/// carry a certified bound and a classified outcome — the sweep asserts
+/// it rather than trusting it.
+fn bench_overload_sweep(c: &mut Criterion) {
+    let f = fixture(8, 16);
+    let total_cost: u64 = f
+        .batches
+        .iter()
+        .map(|batch| {
+            let mut exec = ProgressiveExecutor::new(batch, &Sse, &f.store);
+            exec.run_to_end();
+            exec.retrieved() as u64
+        })
+        .sum();
+    let epsilon = f.k * 1e-3;
+    let mut g = c.benchmark_group("serve_overload");
+    g.sample_size(10);
+    let mut rows = Vec::new();
+    for multiple in [0.5f64, 1.0, 2.0, 4.0] {
+        let capacity = ((total_cost as f64 / multiple) as u64).max(1);
+        let requests: Vec<BatchRequest<'_>> = f
+            .batches
+            .iter()
+            .enumerate()
+            .map(|(i, batch)| {
+                BatchRequest::new(batch, &Sse).with_slo(
+                    SloContract::new()
+                        .with_target_bound(epsilon)
+                        .with_priority((i % 3) as u8),
+                )
+            })
+            .collect();
+        let config = ServeConfig::new(f.n_total, f.k)
+            .workers(4)
+            .slice_steps(64)
+            .capacity(capacity);
+        let server = BatchServer::new(config.clone());
+        g.bench_with_input(
+            BenchmarkId::new("offered_x", format!("{multiple}")),
+            &multiple,
+            |b, _| b.iter(|| server.serve(&f.store, &requests)),
+        );
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let measured = BatchServer::new(config.registry(registry.clone()));
+        let results = measured.serve(&f.store, &requests);
+        let mut bounds: Vec<f64> = Vec::new();
+        let mut rejected = 0u64;
+        let mut consumed = 0u64;
+        for result in &results {
+            match result.slo {
+                SloOutcome::Rejected { .. } => rejected += 1,
+                _ => {
+                    // The overload contract: every completed batch is
+                    // certified at or below ε, or explicitly degraded.
+                    let bound = result.report.worst_case_bound;
+                    assert!(
+                        bound <= epsilon || result.slo == SloOutcome::DegradedAtBound,
+                        "uncertified completion under overload x{multiple}"
+                    );
+                    bounds.push(bound);
+                    consumed += result.report.fault.attempts;
+                }
+            }
+        }
+        bounds.sort_by(f64::total_cmp);
+        let pct = |q: f64| -> f64 {
+            if bounds.is_empty() {
+                return 0.0;
+            }
+            bounds[((bounds.len() - 1) as f64 * q).round() as usize]
+        };
+        let rejection_rate = rejected as f64 / results.len() as f64;
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("slo.queue_depth"), Some(0), "queue must drain");
+        eprintln!(
+            "serve overload x{multiple}: capacity {capacity} ticks, {rejected}/{} rejected \
+             ({:.0}%), consumed {consumed} ticks, certified bound p50 {:.3e} p99 {:.3e}",
+            results.len(),
+            rejection_rate * 100.0,
+            pct(0.5),
+            pct(0.99),
+        );
+        rows.push(Json::obj([
+            ("offered_multiple", Json::F64(multiple)),
+            ("capacity_ticks", Json::U64(capacity)),
+            ("admitted", Json::U64(results.len() as u64 - rejected)),
+            ("rejected", Json::U64(rejected)),
+            ("rejection_rate", Json::F64(rejection_rate)),
+            ("consumed_ticks", Json::U64(consumed)),
+            ("certified_bound_p50", Json::F64(pct(0.5))),
+            ("certified_bound_p99", Json::F64(pct(0.99))),
+        ]));
+    }
+    g.finish();
+    write_section(
+        &results_dir().join("BENCH_exec.json"),
+        "bench_serve_overload",
+        &Json::obj([
+            ("batches", Json::U64(8)),
+            ("queries_per_batch", Json::U64(16)),
+            ("workers", Json::U64(4)),
+            ("target_bound", Json::F64(epsilon)),
+            ("total_cost_ticks", Json::U64(total_cost)),
+            ("sweep", Json::Arr(rows)),
+        ]),
+    );
+}
+
 criterion_group!(
     benches,
     bench_pool_vs_sequential,
     bench_cache_sharing,
-    bench_prefetch_window
+    bench_prefetch_window,
+    bench_overload_sweep
 );
 criterion_main!(benches);

@@ -93,6 +93,7 @@ fn main() -> ExitCode {
     let events = parse_events(&lines);
 
     print_table(&events, limit);
+    print_slo_summary(&events);
     if args.flag("curves", false) {
         // Single-trace penalty log-curves: the same renderer the diff
         // mode uses, with one series per chart.
@@ -266,6 +267,75 @@ fn print_table(events: &[ParsedEvent], limit: usize) {
             fmt_f64(e.num("worst_case_bound")),
             e.u64("attempts").unwrap_or(0),
             e.u64("retries").unwrap_or(0),
+        );
+    }
+}
+
+/// Summarizes `slo.*` events per priority class: admissions, rejections,
+/// outcomes, and the certified-bound range of finalized batches. Serve
+/// traces without an SLO layer (no `slo.*` events) print nothing.
+fn print_slo_summary(events: &[ParsedEvent]) {
+    let slo: Vec<&ParsedEvent> = events
+        .iter()
+        .filter(|e| e.name().starts_with("slo."))
+        .collect();
+    if slo.is_empty() {
+        return;
+    }
+    // Priority classes actually present, in ascending order.
+    let mut priorities: Vec<u64> = slo.iter().filter_map(|e| e.u64("priority")).collect();
+    priorities.sort_unstable();
+    priorities.dedup();
+    println!();
+    println!("# slo summary (per priority class)");
+    println!(
+        "{:>8} {:>9} {:>9} {:>6} {:>9} {:>9} {:>5} {:>13} {:>13}",
+        "priority",
+        "admitted",
+        "rejected",
+        "met",
+        "degraded",
+        "deadline",
+        "shed",
+        "bound min",
+        "bound max"
+    );
+    for p in priorities {
+        let of = |name: &str| {
+            slo.iter()
+                .filter(|e| e.name() == name && e.u64("priority") == Some(p))
+                .count()
+        };
+        let outcomes: Vec<&&ParsedEvent> = slo
+            .iter()
+            .filter(|e| e.name() == "slo.outcome" && e.u64("priority") == Some(p))
+            .collect();
+        let outcome = |label: &str| {
+            outcomes
+                .iter()
+                .filter(|e| e.str("outcome") == Some(label))
+                .count()
+        };
+        let cause = |label: &str| {
+            outcomes
+                .iter()
+                .filter(|e| e.str("cause") == Some(label))
+                .count()
+        };
+        let bounds: Vec<f64> = outcomes.iter().filter_map(|e| e.num("bound")).collect();
+        let bound_min = bounds.iter().copied().reduce(f64::min);
+        let bound_max = bounds.iter().copied().reduce(f64::max);
+        println!(
+            "{:>8} {:>9} {:>9} {:>6} {:>9} {:>9} {:>5} {:>13} {:>13}",
+            p,
+            of("slo.admitted"),
+            of("slo.rejected"),
+            outcome("met"),
+            outcome("degraded_at_bound"),
+            cause("deadline_expired"),
+            cause("shed"),
+            fmt_f64(bound_min),
+            fmt_f64(bound_max),
         );
     }
 }

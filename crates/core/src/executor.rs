@@ -90,6 +90,11 @@ pub enum DrainStatus {
     Degraded,
     /// The policy's total attempt budget ran out first.
     BudgetExhausted,
+    /// The certified worst-case bound dropped to the caller's target
+    /// before the heap drained (only from
+    /// [`ProgressiveExecutor::drain_with_faults_budgeted_to_bound`]): the
+    /// estimates are inexact but provably within the target penalty.
+    BoundReached,
 }
 
 /// Degraded-result contract under partial coefficient availability:
@@ -605,13 +610,47 @@ impl<'a> ProgressiveExecutor<'a> {
         policy: &RetryPolicy,
         max_steps: usize,
     ) -> Option<DrainStatus> {
-        let status = self.drain_loop(policy, max_steps);
+        self.drain_observed(policy, max_steps, None)
+    }
+
+    /// Bound-targeted variant of
+    /// [`ProgressiveExecutor::drain_with_faults_budgeted`]: additionally
+    /// stops — with [`DrainStatus::BoundReached`] — as soon as the
+    /// certified worst-case bound ([`DegradationReport::worst_case_bound`],
+    /// i.e. `K^α · max ι_p` over pending ∪ deferred mass) is `<= epsilon`.
+    ///
+    /// This is the paper's answer-at-certified-error contract: the caller
+    /// names a penalty target ε and gets back the cheapest prefix whose
+    /// Theorem-1 certificate meets it. The target is checked *before* each
+    /// step, so a batch admitted with an already-satisfied target performs
+    /// zero retrievals. An exact drain still reports
+    /// [`DrainStatus::Exact`] (exactness beats the weaker certificate);
+    /// `epsilon` below zero or `NaN` never triggers, making the call
+    /// equivalent to the untargeted drain.
+    pub fn drain_with_faults_budgeted_to_bound(
+        &mut self,
+        policy: &RetryPolicy,
+        max_steps: usize,
+        epsilon: f64,
+        k_abs_sum: f64,
+    ) -> Option<DrainStatus> {
+        self.drain_observed(policy, max_steps, Some((epsilon, k_abs_sum)))
+    }
+
+    fn drain_observed(
+        &mut self,
+        policy: &RetryPolicy,
+        max_steps: usize,
+        target: Option<(f64, f64)>,
+    ) -> Option<DrainStatus> {
+        let status = self.drain_loop(policy, max_steps, target);
         if let Some(status) = status {
             if let Some(obs) = &self.observer {
                 let label = match status {
                     DrainStatus::Exact => "exact",
                     DrainStatus::Degraded => "degraded",
                     DrainStatus::BudgetExhausted => "budget_exhausted",
+                    DrainStatus::BoundReached => "bound_reached",
                 };
                 obs.on_finish(label, self.retrieved, self.is_exact(), &self.fault);
             }
@@ -619,9 +658,22 @@ impl<'a> ProgressiveExecutor<'a> {
         status
     }
 
-    fn drain_loop(&mut self, policy: &RetryPolicy, max_steps: usize) -> Option<DrainStatus> {
+    fn drain_loop(
+        &mut self,
+        policy: &RetryPolicy,
+        max_steps: usize,
+        target: Option<(f64, f64)>,
+    ) -> Option<DrainStatus> {
         let mut remaining = max_steps;
         loop {
+            if let Some((epsilon, k_abs_sum)) = target {
+                if self.is_exact() {
+                    return Some(DrainStatus::Exact);
+                }
+                if self.certified_worst_case_bound(k_abs_sum) <= epsilon {
+                    return Some(DrainStatus::BoundReached);
+                }
+            }
             if self.heap.is_empty() && self.prefetched.is_empty() {
                 if self.deferred.is_empty() {
                     return Some(DrainStatus::Exact);
@@ -811,6 +863,37 @@ impl<'a> ProgressiveExecutor<'a> {
             Some(iota) => k_abs_sum.powf(self.homogeneity) * iota,
             None => 0.0,
         }
+    }
+
+    /// Theorem 1's bound extended to the fault-tolerant setting:
+    /// `K^α · max ι_p` over pending ∪ deferred coefficients — the same
+    /// value [`ProgressiveExecutor::degradation_report`] publishes as
+    /// `worst_case_bound`, without cloning the estimates. Zero once exact.
+    pub fn certified_worst_case_bound(&self, k_abs_sum: f64) -> f64 {
+        match self.max_unresolved_importance() {
+            Some(iota) => k_abs_sum.powf(self.homogeneity) * iota,
+            None => 0.0,
+        }
+    }
+
+    /// The penalty's homogeneity degree α (`ι_p(c·ξ) = c^α · ι_p(ξ)`),
+    /// Theorem 1's exponent on `K`.
+    pub fn homogeneity(&self) -> f64 {
+        self.homogeneity
+    }
+
+    /// The importances `ι_p` of every unresolved coefficient — pending (in
+    /// the heap or the prefetch buffer) and deferred — in no particular
+    /// order. Admission controllers sort this descending to price a batch:
+    /// entry `t` of the sorted list is the certified-bound driver after `t`
+    /// retrievals, so "steps until `K^α·ι ≤ ε`" falls out directly.
+    pub fn pending_importances(&self) -> Vec<f64> {
+        self.heap
+            .iter()
+            .map(|e| e.importance)
+            .chain(self.prefetched.iter().map(|(e, _)| e.importance))
+            .chain(self.deferred.iter().map(|e| e.importance))
+            .collect()
     }
 
     /// Snapshot of the degraded-result contract: current estimates, the

@@ -7,6 +7,9 @@ use batchbb_obs::{EventSink, MetricsRegistry};
 use batchbb_penalty::Penalty;
 use batchbb_storage::RetryPolicy;
 
+use crate::sched::SchedulerPolicy;
+use crate::slo::SloContract;
+
 /// How a [`BatchServer`](crate::BatchServer) runs its pool.
 ///
 /// The two required parameters are the bound inputs shared by every batch:
@@ -37,6 +40,15 @@ pub struct ServeConfig {
     pub(crate) registry: Option<Arc<MetricsRegistry>>,
     /// Shared trace sink; each batch's events get a `batch = <id>` label.
     pub(crate) sink: Option<Arc<dyn EventSink>>,
+    /// How the pool orders runnable batches between slices.
+    pub(crate) scheduler: SchedulerPolicy,
+    /// Declared serving capacity in store-attempt ticks; enables
+    /// admission control and load shedding when set.
+    pub(crate) capacity: Option<u64>,
+    /// Resident-set cap for the shared cache (`None` = unbounded).
+    pub(crate) cache_capacity: Option<usize>,
+    /// Scale retry attempts down under high observed fault rates.
+    pub(crate) adaptive_retry: bool,
 }
 
 impl ServeConfig {
@@ -59,7 +71,57 @@ impl ServeConfig {
             cache_shards: 16,
             registry: None,
             sink: None,
+            scheduler: SchedulerPolicy::default(),
+            capacity: None,
+            cache_capacity: None,
+            adaptive_retry: true,
         }
+    }
+
+    /// Picks the slice scheduling policy (default:
+    /// [`SchedulerPolicy::MarginalValue`]). Either policy leaves batch
+    /// *content* untouched — only interleaving changes.
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = policy;
+        self
+    }
+
+    /// Declares serving capacity in store-attempt ticks and turns on
+    /// admission control plus load shedding.
+    ///
+    /// At submission each batch's contract is priced
+    /// ([`crate::AdmissionEstimate`]) and the run rejects — with
+    /// [`crate::SloOutcome::Rejected`] — any batch whose estimate does
+    /// not fit the capacity left after earlier admissions, instead of
+    /// queueing it unboundedly. At runtime, once the pool's *actual*
+    /// consumed attempts exceed the declared capacity (possible only when
+    /// faults inflate costs past their estimates), still-running batches
+    /// are finalized early at their certified bounds
+    /// ([`crate::BatchStatus::Shed`]) rather than overrunning further.
+    /// `None` (the default) admits everything and never sheds.
+    pub fn capacity(mut self, capacity: u64) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Caps the shared cache's resident set (entries; see
+    /// [`batchbb_storage::ShardedCachingStore::with_capacity`]). The
+    /// default keeps the serving cache unbounded, which is safe for
+    /// one-shot runs over finite master lists.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = Some(entries.max(1));
+        self
+    }
+
+    /// Enables or disables adaptive retry budgets (default: enabled).
+    ///
+    /// When enabled, a batch that has observed a high store-fault rate
+    /// (over 25 % of at least 32 attempts) derives a slice policy with
+    /// proportionally fewer attempts per retrieval
+    /// ([`RetryPolicy::adapted`]), so retries cannot amplify an overload.
+    pub fn adaptive_retry(mut self, enabled: bool) -> Self {
+        self.adaptive_retry = enabled;
+        self
     }
 
     /// Sets the worker-pool size (values below 1 become 1).
@@ -137,11 +199,25 @@ pub struct BatchRequest<'a> {
     pub batch: &'a BatchQueries,
     /// The penalty function whose `ι_p` orders this batch's retrievals.
     pub penalty: &'a dyn Penalty,
+    /// The batch's service-level contract (defaults to non-binding:
+    /// ε = ∞, no deadline, priority 0).
+    pub slo: SloContract,
 }
 
 impl<'a> BatchRequest<'a> {
-    /// Pairs a rewritten batch with its penalty.
+    /// Pairs a rewritten batch with its penalty under the default
+    /// (non-binding) contract.
     pub fn new(batch: &'a BatchQueries, penalty: &'a dyn Penalty) -> Self {
-        BatchRequest { batch, penalty }
+        BatchRequest {
+            batch,
+            penalty,
+            slo: SloContract::default(),
+        }
+    }
+
+    /// Attaches a service-level contract to this request.
+    pub fn with_slo(mut self, slo: SloContract) -> Self {
+        self.slo = slo;
+        self
     }
 }

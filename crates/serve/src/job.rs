@@ -7,21 +7,57 @@ use batchbb_obs::MetricsSnapshot;
 use batchbb_tensor::CoeffKey;
 use parking_lot::Mutex;
 
+use crate::slo::{AdmissionEstimate, SloContract, SloOutcome};
 use crate::ServeConfig;
 
 /// How a served batch ended.
+///
+/// Every terminal state except [`BatchStatus::Rejected`] publishes the
+/// progressive estimates reached so far *with* their certified Theorem-1/2
+/// bounds ([`BatchResult::report`]); rejected batches publish the full
+/// initial certificate (zero retrievals). [`BatchResult::slo`] classifies
+/// each status against the batch's contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchStatus {
     /// Every master-list coefficient retrieved; estimates are exact.
     Exact,
+    /// The certified worst-case bound reached the contract's target ε;
+    /// the batch finalized early with that certificate.
+    BoundReached,
     /// Persistent faults left coefficients deferred; estimates carry the
     /// penalty bound of the final [`DegradationReport`].
     Degraded,
     /// The retry policy's total attempt budget ran out.
     BudgetExhausted,
+    /// The contract's deadline expired; the batch finalized at the
+    /// certified bound it had reached by then.
+    DeadlineExpired,
+    /// Load shedding: the pool's consumed attempts overran the declared
+    /// capacity (fault-inflated costs), so the batch finalized early at
+    /// its certified bound instead of overrunning further.
+    Shed,
     /// The batch was cancelled via [`BatchHandle::cancel`]; the result
     /// holds the progressive estimates reached by then.
     Cancelled,
+    /// Admission control refused the batch (see
+    /// [`SloOutcome::Rejected`]); it performed zero retrievals.
+    Rejected,
+}
+
+impl BatchStatus {
+    /// The status's trace/event label.
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            BatchStatus::Exact => "exact",
+            BatchStatus::BoundReached => "bound_reached",
+            BatchStatus::Degraded => "degraded",
+            BatchStatus::BudgetExhausted => "budget_exhausted",
+            BatchStatus::DeadlineExpired => "deadline_expired",
+            BatchStatus::Shed => "shed",
+            BatchStatus::Cancelled => "cancelled",
+            BatchStatus::Rejected => "rejected",
+        }
+    }
 }
 
 impl From<DrainStatus> for BatchStatus {
@@ -30,6 +66,7 @@ impl From<DrainStatus> for BatchStatus {
             DrainStatus::Exact => BatchStatus::Exact,
             DrainStatus::Degraded => BatchStatus::Degraded,
             DrainStatus::BudgetExhausted => BatchStatus::BudgetExhausted,
+            DrainStatus::BoundReached => BatchStatus::BoundReached,
         }
     }
 }
@@ -39,6 +76,12 @@ impl From<DrainStatus> for BatchStatus {
 pub struct BatchResult {
     /// Terminal state of the batch.
     pub status: BatchStatus,
+    /// How the batch fared against its [`SloContract`]: within target
+    /// ([`SloOutcome::Met`]), finalized above it
+    /// ([`SloOutcome::DegradedAtBound`]), or refused at admission
+    /// ([`SloOutcome::Rejected`]). Under the default non-binding contract
+    /// every completed batch reports `Met`.
+    pub slo: SloOutcome,
     /// The full degraded-result contract at finish (estimates, deferred
     /// population, Theorem 1/2 bounds, fault counters).
     pub report: DegradationReport,
@@ -99,9 +142,11 @@ pub(crate) struct JobState<'a> {
     pub(crate) result: Option<BatchResult>,
 }
 
-/// One admitted batch: its executor (behind the slice lock), its
-/// published snapshot, and the cancellation flag.
+/// One submitted batch: its executor (behind the slice lock), its
+/// published snapshot, its contract, and the cancellation flag.
 pub(crate) struct JobCell<'a> {
+    pub(crate) index: usize,
+    pub(crate) contract: SloContract,
     pub(crate) state: Mutex<JobState<'a>>,
     pub(crate) snapshot: Mutex<BatchSnapshot>,
     pub(crate) cancelled: AtomicBool,
@@ -109,9 +154,16 @@ pub(crate) struct JobCell<'a> {
 }
 
 impl<'a> JobCell<'a> {
-    pub(crate) fn new(exec: ProgressiveExecutor<'a>, config: &ServeConfig) -> Self {
+    pub(crate) fn new(
+        index: usize,
+        exec: ProgressiveExecutor<'a>,
+        config: &ServeConfig,
+        contract: SloContract,
+    ) -> Self {
         let snapshot = snapshot_of(&exec, 0, false, config);
         JobCell {
+            index,
+            contract,
             state: Mutex::new(JobState {
                 exec,
                 slices: 0,
@@ -121,6 +173,47 @@ impl<'a> JobCell<'a> {
             snapshot: Mutex::new(snapshot),
             cancelled: AtomicBool::new(false),
             finished: AtomicBool::new(false),
+        }
+    }
+
+    /// A cell for a batch admission refused: born finished, zero
+    /// retrievals, with the full *initial* Theorem-1/2 certificate as its
+    /// published contract. The rejection neither runs nor tears — the
+    /// result is as valid (and as wide) as an estimate can be.
+    pub(crate) fn rejected(
+        index: usize,
+        exec: ProgressiveExecutor<'a>,
+        config: &ServeConfig,
+        contract: SloContract,
+        estimate: &AdmissionEstimate,
+        capacity: u64,
+    ) -> Self {
+        let report = exec.degradation_report(config.n_total, config.k_abs_sum);
+        let snapshot = snapshot_of(&exec, 0, true, config);
+        let result = BatchResult {
+            status: BatchStatus::Rejected,
+            slo: SloOutcome::Rejected {
+                estimated_cost: estimate.steps_to_target,
+                capacity,
+            },
+            bound_history: vec![report.worst_case_bound],
+            report,
+            retrieved_entries: Vec::new(),
+            slices: 0,
+            metrics: Default::default(),
+        };
+        JobCell {
+            index,
+            contract,
+            state: Mutex::new(JobState {
+                exec,
+                slices: 0,
+                bound_history: Vec::new(),
+                result: Some(result),
+            }),
+            snapshot: Mutex::new(snapshot),
+            cancelled: AtomicBool::new(false),
+            finished: AtomicBool::new(true),
         }
     }
 }

@@ -6,8 +6,18 @@
 //!
 //! * [`BatchServer`] — a fixed worker pool that advances one
 //!   [`batchbb_core::ProgressiveExecutor`] per admitted batch in bounded
-//!   *slices*, work-stealing across per-worker run queues so a huge batch
-//!   cannot starve small ones;
+//!   *slices*; the default [`SchedulerPolicy::MarginalValue`] policy ranks
+//!   runnable batches by certified bound-shrink-per-retrieval × priority
+//!   (with [`SchedulerPolicy::RoundRobin`] as the fair, contract-blind
+//!   alternative), and either way a huge batch cannot starve small ones;
+//! * SLO contracts ([`SloContract`]) — per-batch target bound ε, deadline,
+//!   and priority, attached via [`BatchRequest::with_slo`]. With
+//!   [`ServeConfig::capacity`] declared, admission control prices each
+//!   contract against capacity ([`AdmissionEstimate`]) and rejects what
+//!   cannot fit; overload, deadlines, and faults degrade batches to their
+//!   *certified* Theorem-1/2 bounds, and every result carries an explicit
+//!   [`SloOutcome`] (Met / DegradedAtBound / Rejected) — never a torn or
+//!   uncertified answer;
 //! * [`BatchHandle`] — per-batch progressive snapshots
 //!   ([`BatchSnapshot`]) and cooperative cancellation while the pool
 //!   runs, reachable from the driver closure of
@@ -83,11 +93,15 @@
 
 mod config;
 mod job;
+mod sched;
 mod server;
+mod slo;
 
 pub use config::{BatchRequest, ServeConfig};
 pub use job::{BatchHandle, BatchResult, BatchSnapshot, BatchStatus};
+pub use sched::SchedulerPolicy;
 pub use server::{BatchServer, ServeSession};
+pub use slo::{AdmissionEstimate, SloContract, SloOutcome};
 
 #[cfg(test)]
 mod tests {
@@ -377,6 +391,179 @@ mod tests {
         let server = BatchServer::new(ServeConfig::new(n_total, k).registry(registry.clone()));
         server.serve(&store, &requests);
         assert!(registry.snapshot().counter("serve.steps").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn bound_target_finalizes_early_with_met_outcome() {
+        let (store, batches, n_total, k) = fixture();
+        // A loose-but-finite ε: the batch must stop at the certificate,
+        // well before exactness, and still classify as Met.
+        let mut probe = ProgressiveExecutor::new(&batches[0], &Sse, &store);
+        probe.run_to_end();
+        let epsilon = k * 1e-3;
+        let requests = vec![BatchRequest::new(&batches[0], &Sse)
+            .with_slo(SloContract::new().with_target_bound(epsilon))];
+        let server = BatchServer::new(ServeConfig::new(n_total, k).workers(1).slice_steps(4));
+        let results = server.serve(&store, &requests);
+        let result = &results[0];
+        assert!(matches!(
+            result.status,
+            BatchStatus::BoundReached | BatchStatus::Exact
+        ));
+        assert_eq!(result.slo, SloOutcome::Met);
+        assert!(result.report.worst_case_bound <= epsilon);
+        // The certificate still holds: the SSE penalty against the exact
+        // answers is within the published Theorem-1 bound.
+        let sse: f64 = result
+            .estimates()
+            .iter()
+            .zip(probe.estimates())
+            .map(|(e, x)| (e - x) * (e - x))
+            .sum();
+        assert!(sse <= result.report.worst_case_bound * (1.0 + 1e-9) + 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything_atomically() {
+        let (store, batches, n_total, k) = fixture();
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(ServeConfig::new(n_total, k).capacity(0));
+        let results = server.serve(&store, &requests);
+        assert_eq!(results.len(), requests.len(), "no batch is lost");
+        for result in &results {
+            assert_eq!(result.status, BatchStatus::Rejected);
+            match result.slo {
+                SloOutcome::Rejected {
+                    estimated_cost,
+                    capacity,
+                } => {
+                    assert!(estimated_cost > 0);
+                    assert_eq!(capacity, 0);
+                }
+                ref other => panic!("expected Rejected, got {other:?}"),
+            }
+            assert!(result.retrieved_entries.is_empty(), "zero retrievals");
+            // The rejected result still carries a full certificate.
+            assert!(result.report.worst_case_bound > 0.0);
+            assert!(!result.report.is_exact);
+        }
+    }
+
+    #[test]
+    fn admission_admits_within_capacity_and_rejects_overflow() {
+        let (store, batches, n_total, k) = fixture();
+        // Price batch 0 alone by running it to exact: its master-list
+        // length is its infinite-target cost estimate.
+        let mut probe = ProgressiveExecutor::new(&batches[0], &Sse, &store);
+        probe.run_to_end();
+        let cost0 = probe.retrieved() as u64;
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(ServeConfig::new(n_total, k).capacity(cost0));
+        let results = server.serve(&store, &requests);
+        assert_eq!(results[0].status, BatchStatus::Exact);
+        assert_eq!(results[0].slo, SloOutcome::Met);
+        // Later batches cannot fit behind batch 0's committed estimate.
+        for result in &results[1..] {
+            assert_eq!(result.status, BatchStatus::Rejected);
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_degrades_with_certified_bound() {
+        let (store, batches, n_total, k) = fixture();
+        let requests = vec![BatchRequest::new(&batches[0], &Sse).with_slo(
+            SloContract::new()
+                .with_target_bound(0.0)
+                .with_deadline_ticks(8),
+        )];
+        let server = BatchServer::new(ServeConfig::new(n_total, k).workers(1).slice_steps(4));
+        let results = server.serve(&store, &requests);
+        let result = &results[0];
+        assert_eq!(result.status, BatchStatus::DeadlineExpired);
+        assert_eq!(result.slo, SloOutcome::DegradedAtBound);
+        // The batch honored the deadline to within one bounded slice and
+        // published the certificate of the prefix it reached.
+        assert!(result.report.fault.attempts >= 8);
+        assert!(result.report.worst_case_bound > 0.0);
+        assert!(result.report.worst_case_bound.is_finite());
+        let history = &result.bound_history;
+        assert!(history.windows(2).all(|w| w[1] <= w[0]), "still monotone");
+    }
+
+    #[test]
+    fn non_binding_contracts_keep_scheduling_policies_bit_identical() {
+        let (store, batches, n_total, k) = fixture();
+        let requests: Vec<BatchRequest<'_>> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                BatchRequest::new(b, &Sse).with_slo(SloContract::new().with_priority(i as u8))
+            })
+            .collect();
+        let marginal = BatchServer::new(
+            ServeConfig::new(n_total, k)
+                .workers(3)
+                .slice_steps(5)
+                .scheduler(SchedulerPolicy::MarginalValue),
+        )
+        .serve(&store, &requests);
+        let round_robin = BatchServer::new(
+            ServeConfig::new(n_total, k)
+                .workers(3)
+                .slice_steps(5)
+                .scheduler(SchedulerPolicy::RoundRobin),
+        )
+        .serve(&store, &requests);
+        for (a, b) in marginal.iter().zip(&round_robin) {
+            assert_eq!(a.status, BatchStatus::Exact);
+            assert_eq!(b.status, BatchStatus::Exact);
+            assert_eq!(a.estimates(), b.estimates());
+            assert_eq!(a.retrieved_entries, b.retrieved_entries);
+            assert_eq!(a.slo, SloOutcome::Met);
+        }
+    }
+
+    #[test]
+    fn slo_events_and_metrics_cover_every_outcome() {
+        let (store, batches, n_total, k) = fixture();
+        let sink = Arc::new(MemorySink::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        // Capacity sized so batch 0 is admitted and the rest rejected.
+        let mut probe = ProgressiveExecutor::new(&batches[0], &Sse, &store);
+        probe.run_to_end();
+        let requests: Vec<BatchRequest<'_>> = batches
+            .iter()
+            .map(|b| BatchRequest::new(b, &Sse).with_slo(SloContract::new().with_priority(2)))
+            .collect();
+        let server = BatchServer::new(
+            ServeConfig::new(n_total, k)
+                .capacity(probe.retrieved() as u64)
+                .sink(sink.clone())
+                .registry(registry.clone()),
+        );
+        server.serve(&store, &requests);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("slo.admitted"), Some(1));
+        assert_eq!(
+            snapshot.counter("slo.rejected"),
+            Some(requests.len() as u64 - 1)
+        );
+        assert_eq!(snapshot.counter("slo.met"), Some(1));
+        assert_eq!(snapshot.gauge("slo.queue_depth"), Some(0));
+        assert!(
+            snapshot.histogram("slo.bound.p2").is_some(),
+            "per-priority bound histogram recorded"
+        );
+        let names: Vec<String> = sink
+            .lines()
+            .iter()
+            .map(|l| jsonl::parse_line(l).unwrap().name().to_string())
+            .collect();
+        assert!(names.iter().any(|n| n == "slo.admitted"));
+        assert!(names.iter().any(|n| n == "slo.rejected"));
+        assert!(names.iter().any(|n| n == "slo.outcome"));
     }
 
     #[test]

@@ -1,27 +1,37 @@
 //! The batch server: a fixed worker pool multiplexing many progressive
-//! executors over one coefficient store.
+//! executors over one coefficient store, under per-batch SLO contracts.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use batchbb_core::{DegradationReport, ExecObserver, ProgressiveExecutor};
 use batchbb_obs::LabeledSink;
-use batchbb_storage::{CoefficientStore, ShardedCachingStore};
+use batchbb_storage::{CoefficientStore, FaultStats, ShardedCachingStore};
 use batchbb_tensor::CoeffKey;
-use parking_lot::Mutex;
 
 use crate::job::{JobCell, JobState};
+use crate::sched::SliceQueue;
+use crate::slo::{estimate_cost, SloObserver, SloOutcome};
 use crate::{BatchHandle, BatchRequest, BatchResult, BatchSnapshot, BatchStatus, ServeConfig};
 
 /// A thread-pool batch server.
 ///
 /// Each admitted [`BatchRequest`] gets its own [`ProgressiveExecutor`];
 /// a fixed pool of workers advances them in bounded *slices*
-/// ([`ServeConfig::slice_steps`] retrievals at a time), work-stealing
-/// across per-worker run queues so a huge batch cannot starve small ones:
-/// after every slice the batch goes back to the end of a queue and the
-/// worker picks up whatever is runnable next.
+/// ([`ServeConfig::slice_steps`] retrievals at a time). Under the default
+/// [`crate::SchedulerPolicy::MarginalValue`] policy, runnable batches are
+/// ranked by certified bound-shrink-per-retrieval × priority, so the pool
+/// always spends its next slice where it buys the most contract value;
+/// [`crate::SchedulerPolicy::RoundRobin`] restores the earlier per-worker
+/// queues with work stealing. Either way a huge batch cannot starve small
+/// ones: after every slice the batch re-enters the queue and workers pick
+/// whatever ranks next.
+///
+/// With [`ServeConfig::capacity`] declared, submission prices every
+/// batch's [`crate::SloContract`] and rejects what does not fit
+/// ([`SloOutcome::Rejected`]) instead of queueing unboundedly; deadline
+/// expiry and load shedding finalize batches early *with their certified
+/// Theorem-1/2 bounds* — degraded, never torn.
 ///
 /// Determinism: scheduling decides only *interleaving*, never *content*.
 /// Every batch walks its own importance order, and final estimates are
@@ -30,6 +40,14 @@ use crate::{BatchHandle, BatchRequest, BatchResult, BatchSnapshot, BatchStatus, 
 /// against serial replays.
 pub struct BatchServer {
     config: ServeConfig,
+}
+
+/// Run-wide shared state the slice path consults: consumed attempt ticks
+/// (for shedding) and the `slo.*` observer.
+struct PoolShared {
+    consumed: AtomicU64,
+    capacity: Option<u64>,
+    slo: SloObserver,
 }
 
 impl BatchServer {
@@ -68,37 +86,69 @@ impl BatchServer {
         driver: impl FnOnce(&ServeSession<'_, '_>) -> R,
     ) -> (Vec<BatchResult>, R) {
         let config = &self.config;
-        let cache = config
-            .share_cache
-            .then(|| ShardedCachingStore::with_shards(store, config.cache_shards));
+        let cache = config.share_cache.then(|| {
+            let cache = ShardedCachingStore::with_shards(store, config.cache_shards);
+            match config.cache_capacity {
+                Some(cap) => cache.with_capacity(cap),
+                None => cache,
+            }
+        });
         let eff: &dyn CoefficientStore = match &cache {
             Some(cache) => cache,
             None => store,
         };
 
-        // Executors are built serially on the caller thread: importance
-        // scoring sees a quiescent store and needs no `Penalty` to cross
-        // a thread boundary.
+        let shared = PoolShared {
+            consumed: AtomicU64::new(0),
+            capacity: config.capacity,
+            slo: SloObserver::new(config.sink.clone(), config.registry.clone()),
+        };
+
+        // Executors are built — and contracts priced — serially on the
+        // caller thread: importance scoring sees a quiescent store,
+        // admission sees requests in submission order, and no `Penalty`
+        // crosses a thread boundary.
+        let mut committed: u64 = 0;
         let jobs: Vec<JobCell<'_>> = requests
             .iter()
             .enumerate()
             .map(|(i, req)| {
                 let mut exec = ProgressiveExecutor::new(req.batch, req.penalty, eff)
                     .with_prefetch_window(config.prefetch_window);
+                let estimate = estimate_cost(&exec, &req.slo, config.k_abs_sum);
+                if let Some(capacity) = config.capacity {
+                    if committed.saturating_add(estimate.steps_to_target) > capacity {
+                        shared.slo.on_rejected(i, &req.slo, &estimate, capacity);
+                        return JobCell::rejected(i, exec, config, req.slo, &estimate, capacity);
+                    }
+                }
+                committed += estimate.steps_to_target;
+                shared
+                    .slo
+                    .on_admitted(i, &req.slo, &estimate, config.capacity);
                 if let Some(observer) = self.observer_for(i) {
                     exec = exec.with_observer(observer);
                 }
-                JobCell::new(exec, config)
+                JobCell::new(i, exec, config, req.slo)
             })
             .collect();
 
-        let active = AtomicUsize::new(jobs.len());
-        let queues: Vec<Mutex<VecDeque<usize>>> = (0..config.workers)
-            .map(|_| Mutex::new(VecDeque::new()))
+        let admitted: Vec<&JobCell<'_>> = jobs
+            .iter()
+            .filter(|cell| !cell.finished.load(Ordering::Acquire))
             .collect();
-        for index in 0..jobs.len() {
-            queues[index % config.workers].lock().push_back(index);
-        }
+        let active = AtomicUsize::new(admitted.len());
+        shared.slo.set_queue_depth(admitted.len() as u64);
+        let queue = SliceQueue::new(
+            config.scheduler,
+            config.workers,
+            admitted.iter().map(|cell| {
+                let snapshot = cell.snapshot.lock();
+                let per_step = snapshot.worst_case_bound
+                    / (snapshot.remaining + snapshot.deferred).max(1) as f64;
+                (cell.index, cell.contract.priority_weight() * per_step)
+            }),
+        );
 
         let driver_out = {
             let session = ServeSession {
@@ -109,9 +159,10 @@ impl BatchServer {
             std::thread::scope(|scope| {
                 for me in 0..config.workers {
                     let jobs = &jobs;
-                    let queues = &queues;
+                    let queue = &queue;
                     let active = &active;
-                    scope.spawn(move || worker_loop(me, jobs, queues, active, config));
+                    let shared = &shared;
+                    scope.spawn(move || worker_loop(me, jobs, queue, active, config, shared));
                 }
                 driver(&session)
             })
@@ -177,7 +228,9 @@ pub struct ServeSession<'s, 'a> {
 }
 
 impl<'s, 'a> ServeSession<'s, 'a> {
-    /// Number of admitted batches.
+    /// Number of submitted batches (admitted and rejected alike — a
+    /// rejected batch has a handle whose snapshot is final from the
+    /// start).
     pub fn batches(&self) -> usize {
         self.jobs.len()
     }
@@ -190,7 +243,7 @@ impl<'s, 'a> ServeSession<'s, 'a> {
         }
     }
 
-    /// Handles for every admitted batch, in request order.
+    /// Handles for every submitted batch, in request order.
     pub fn handles(&self) -> Vec<BatchHandle<'s, 'a>> {
         (0..self.jobs.len()).map(|i| self.handle(i)).collect()
     }
@@ -240,24 +293,25 @@ impl<'s, 'a> ServeSession<'s, 'a> {
     }
 }
 
-/// One pool worker: drain the own queue front, steal from victims' backs,
-/// spin down once every job has published.
+/// One pool worker: pop the highest-ranked runnable batch, advance it one
+/// slice, re-queue it with a refreshed score if inconclusive, spin down
+/// once every job has published.
 fn worker_loop(
     me: usize,
     jobs: &[JobCell<'_>],
-    queues: &[Mutex<VecDeque<usize>>],
+    queue: &SliceQueue,
     active: &AtomicUsize,
     config: &ServeConfig,
+    shared: &PoolShared,
 ) {
     loop {
         if active.load(Ordering::Acquire) == 0 {
             return;
         }
-        match pop_job(me, queues) {
+        match queue.pop(me) {
             Some(index) => {
-                let finished = run_slice(&jobs[index], config, active);
-                if !finished {
-                    queues[me].lock().push_back(index);
+                if let Some((score, slices)) = run_slice(&jobs[index], config, active, shared) {
+                    queue.push(me, index, score, slices);
                 }
             }
             None => std::thread::yield_now(),
@@ -265,51 +319,125 @@ fn worker_loop(
     }
 }
 
-fn pop_job(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
-    if let Some(index) = queues[me].lock().pop_front() {
-        return Some(index);
-    }
-    for offset in 1..queues.len() {
-        let victim = (me + offset) % queues.len();
-        if let Some(index) = queues[victim].lock().pop_back() {
-            return Some(index);
-        }
-    }
-    None
+/// Simulated ticks a batch has consumed: one per store attempt plus the
+/// backoff its retries charged — the clock SLO deadlines run on.
+fn elapsed_ticks(fault: &FaultStats) -> u64 {
+    fault.attempts + fault.backoff_ticks
 }
 
-/// Advances one batch by one scheduling slice. Returns whether the batch
-/// has published its final result.
-fn run_slice(cell: &JobCell<'_>, config: &ServeConfig, active: &AtomicUsize) -> bool {
+/// Advances one batch by one scheduling slice. Returns `None` once the
+/// batch has published its final result, otherwise the `(score, slices)`
+/// pair to re-queue it with.
+fn run_slice(
+    cell: &JobCell<'_>,
+    config: &ServeConfig,
+    active: &AtomicUsize,
+    shared: &PoolShared,
+) -> Option<(f64, usize)> {
     let mut state = cell.state.lock();
     if state.result.is_some() {
-        return true;
+        return None;
     }
     if cell.cancelled.load(Ordering::Acquire) {
         let report = state
             .exec
             .degradation_report(config.n_total, config.k_abs_sum);
-        finalize(cell, &mut state, BatchStatus::Cancelled, report, active);
-        return true;
+        finalize(
+            cell,
+            &mut state,
+            BatchStatus::Cancelled,
+            report,
+            active,
+            shared,
+        );
+        return None;
+    }
+    let fault = state.exec.fault_stats();
+    let elapsed = elapsed_ticks(&fault);
+    // Contract checks come before the drain so an expired or shed batch
+    // never spends another attempt; both paths finalize with the current
+    // certified bounds.
+    if let Some(deadline) = cell.contract.deadline_ticks {
+        if elapsed >= deadline {
+            let report = state
+                .exec
+                .degradation_report(config.n_total, config.k_abs_sum);
+            state.bound_history.push(report.worst_case_bound);
+            finalize(
+                cell,
+                &mut state,
+                BatchStatus::DeadlineExpired,
+                report,
+                active,
+                shared,
+            );
+            return None;
+        }
+    }
+    if let Some(capacity) = shared.capacity {
+        // Strict ">": with fault-free stores actual consumption equals
+        // the admitted estimates, which fit the capacity by construction,
+        // so healthy runs never shed — shedding is the backstop for
+        // fault-inflated costs only.
+        if shared.consumed.load(Ordering::Relaxed) > capacity {
+            let report = state
+                .exec
+                .degradation_report(config.n_total, config.k_abs_sum);
+            state.bound_history.push(report.worst_case_bound);
+            finalize(cell, &mut state, BatchStatus::Shed, report, active, shared);
+            return None;
+        }
     }
     // The budget never drops below the deferral queue length, so a slice
     // that reaches the queue can always run one conclusive full pass —
-    // the fairness rule that keeps budgeted drains convergent.
-    let budget = config.slice_steps.max(state.exec.deferred_count());
-    let status = state.exec.drain_with_faults_budgeted(&config.retry, budget);
+    // the fairness rule that keeps budgeted drains convergent. A deadline
+    // additionally caps the slice (and, below, the per-retrieval retry
+    // policy) to the tick budget left, so one slice cannot overshoot the
+    // contract by more than a bounded deferral pass.
+    let deferred = state.exec.deferred_count();
+    let mut budget = config.slice_steps.max(deferred);
+    let mut policy = config.retry.clone();
+    if config.adaptive_retry {
+        let failures = fault.transient_failures + fault.permanent_failures;
+        if fault.attempts >= 32 {
+            policy = policy.adapted(failures as f64 / fault.attempts as f64);
+        }
+    }
+    if let Some(deadline) = cell.contract.deadline_ticks {
+        let remaining = deadline - elapsed; // > 0: the expiry check passed
+        policy = policy.with_tick_budget(remaining);
+        let remaining_steps = usize::try_from(remaining).unwrap_or(usize::MAX);
+        budget = budget.min(remaining_steps.max(deferred)).max(1);
+    }
+    let status = if cell.contract.target_bound.is_finite() {
+        state.exec.drain_with_faults_budgeted_to_bound(
+            &policy,
+            budget,
+            cell.contract.target_bound,
+            config.k_abs_sum,
+        )
+    } else {
+        state.exec.drain_with_faults_budgeted(&policy, budget)
+    };
     state.slices += 1;
+    let after = state.exec.fault_stats();
+    shared
+        .consumed
+        .fetch_add(after.attempts - fault.attempts, Ordering::Relaxed);
     let report = state
         .exec
         .degradation_report(config.n_total, config.k_abs_sum);
     state.bound_history.push(report.worst_case_bound);
     match status {
         Some(status) => {
-            finalize(cell, &mut state, status.into(), report, active);
-            true
+            finalize(cell, &mut state, status.into(), report, active, shared);
+            None
         }
         None => {
             publish_snapshot(cell, &state, &report, false);
-            false
+            let per_step = report.worst_case_bound
+                / (state.exec.remaining() + state.exec.deferred_count()).max(1) as f64;
+            Some((cell.contract.priority_weight() * per_step, state.slices))
         }
     }
 }
@@ -338,17 +466,37 @@ fn finalize(
     status: BatchStatus,
     report: DegradationReport,
     active: &AtomicUsize,
+    shared: &PoolShared,
 ) {
     publish_snapshot(cell, state, &report, true);
+    // The outcome is the certificate's verdict, not the status's: any
+    // terminal state whose final certified bound meets the target — exact
+    // or not, expired or not — honored the contract.
+    let slo = if report.worst_case_bound <= cell.contract.target_bound {
+        SloOutcome::Met
+    } else {
+        SloOutcome::DegradedAtBound
+    };
+    shared.slo.on_outcome(
+        cell.index,
+        &cell.contract,
+        &slo,
+        status.label(),
+        report.worst_case_bound,
+        elapsed_ticks(&report.fault),
+    );
     state.result = Some(BatchResult {
         status,
+        slo,
         retrieved_entries: state.exec.retrieved_entries(),
         slices: state.slices,
         bound_history: std::mem::take(&mut state.bound_history),
         report,
-        // Stamped with the run-wide final snapshot once the pool exits.
+        // Stamped with the run-wide final metrics snapshot once the pool
+        // exits.
         metrics: Default::default(),
     });
     cell.finished.store(true, Ordering::Release);
-    active.fetch_sub(1, Ordering::AcqRel);
+    let left = active.fetch_sub(1, Ordering::AcqRel) - 1;
+    shared.slo.set_queue_depth(left as u64);
 }

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use batchbb_core::{BatchQueries, ProgressiveExecutor};
 use batchbb_penalty::{Combination, DiagonalQuadratic, LaplacianPenalty, LpPenalty, Penalty, Sse};
 use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
-use batchbb_serve::{BatchRequest, BatchServer, BatchStatus, ServeConfig};
-use batchbb_storage::MemoryStore;
+use batchbb_serve::{BatchRequest, BatchServer, BatchStatus, ServeConfig, SloContract, SloOutcome};
+use batchbb_storage::{FaultInjectingStore, FaultPlan, MemoryStore};
 use batchbb_tensor::{Shape, Tensor};
 use batchbb_wavelet::Wavelet;
 
@@ -150,6 +150,137 @@ proptest! {
                     "prefetch window {} diverged under workers={} slice={} share={}",
                     w, workers, slice, share);
                 prop_assert_eq!(&got.retrieved_entries, &want.retrieved_entries);
+            }
+        }
+    }
+
+    /// Degraded results carry *reconciling* certificates: under seeded
+    /// faults (transient rates plus permanently broken keys) and every
+    /// pool shape, each batch — whatever its terminal status — publishes
+    /// a monotone non-increasing bound history ending at its final
+    /// certified bound, a fault ledger that balances exactly, and an
+    /// `SloOutcome` that agrees with the certificate (`Met` iff the final
+    /// bound meets the target).
+    #[test]
+    fn degraded_results_carry_reconciling_certificates(
+        (data, query_batches, shape) in arb_instance(),
+        workers in 1usize..5,
+        slice in 1usize..9,
+        seed in 0u64..1000,
+        rate in 0.0f64..0.5,
+        broken in 0usize..3,
+        eps_scale in 0.0f64..1.0,
+    ) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let n_total = shape.len().max(2);
+        let k = store.abs_sum();
+        let broken_keys: Vec<_> = store.iter().map(|(key, _)| *key).take(broken).collect();
+        let faulty = FaultInjectingStore::new(
+            store,
+            FaultPlan::new(seed)
+                .with_transient_rate(rate)
+                .with_permanent_keys(broken_keys),
+        );
+        let batches: Vec<BatchQueries> = query_batches
+            .iter()
+            .map(|qs| BatchQueries::rewrite(&strategy, qs.clone(), &shape).unwrap())
+            .collect();
+        let epsilon = k * eps_scale * 1e-2;
+        let requests: Vec<BatchRequest<'_>> = batches
+            .iter()
+            .map(|b| {
+                BatchRequest::new(b, &Sse)
+                    .with_slo(SloContract::new().with_target_bound(epsilon))
+            })
+            .collect();
+        let server = BatchServer::new(
+            ServeConfig::new(n_total, k).workers(workers).slice_steps(slice),
+        );
+        let results = server.serve(&faulty, &requests);
+        prop_assert_eq!(results.len(), batches.len(), "no batch lost");
+        for result in &results {
+            let history = &result.bound_history;
+            prop_assert!(!history.is_empty());
+            prop_assert!(history.windows(2).all(|w| w[1] <= w[0]),
+                "bound history not monotone under faults: {history:?}");
+            prop_assert_eq!(*history.last().unwrap(), result.report.worst_case_bound,
+                "history must end at the final certified bound");
+            let fault = &result.report.fault;
+            prop_assert!(fault.attempts_reconcile(), "torn ledger: {fault:?}");
+            prop_assert!(fault.deferrals_reconcile(result.report.deferred.len() as u64));
+            let met = result.report.worst_case_bound <= epsilon;
+            match result.slo {
+                SloOutcome::Met => prop_assert!(met,
+                    "Met with bound {} above target {epsilon}", result.report.worst_case_bound),
+                SloOutcome::DegradedAtBound => prop_assert!(!met,
+                    "DegradedAtBound with bound {} within target {epsilon}",
+                    result.report.worst_case_bound),
+                SloOutcome::Rejected { .. } =>
+                    prop_assert_eq!(result.status, BatchStatus::Rejected),
+            }
+            prop_assert!(result.report.worst_case_bound >= 0.0);
+            prop_assert!(result.report.worst_case_bound.is_finite());
+        }
+    }
+
+    /// Rejection never loses or tears a batch: under an arbitrary declared
+    /// capacity every submitted batch comes back exactly once, rejected
+    /// batches performed zero retrievals and carry their full initial
+    /// certificate, and admitted batches (fault-free store) finish exact,
+    /// bit-identical to sequential runs — admission decides *whether* a
+    /// batch runs, never *what* it computes.
+    #[test]
+    fn rejection_never_loses_or_tears_admitted_batches(
+        (data, query_batches, shape) in arb_instance(),
+        workers in 1usize..5,
+        slice in 1usize..9,
+        capacity in 0u64..400,
+    ) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let n_total = shape.len().max(2);
+        let k = store.abs_sum();
+        let batches: Vec<BatchQueries> = query_batches
+            .iter()
+            .map(|qs| BatchQueries::rewrite(&strategy, qs.clone(), &shape).unwrap())
+            .collect();
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(
+            ServeConfig::new(n_total, k)
+                .workers(workers)
+                .slice_steps(slice)
+                .capacity(capacity),
+        );
+        let results = server.serve(&store, &requests);
+        prop_assert_eq!(results.len(), batches.len(), "every batch returns exactly once");
+        let mut committed = 0u64;
+        for (batch, result) in batches.iter().zip(&results) {
+            let mut serial = ProgressiveExecutor::new(batch, &Sse, &store);
+            serial.run_to_end();
+            let cost = serial.retrieved() as u64;
+            match result.status {
+                BatchStatus::Rejected => {
+                    prop_assert!(result.retrieved_entries.is_empty(),
+                        "a rejected batch must not have touched the store");
+                    prop_assert!(
+                        matches!(result.slo, SloOutcome::Rejected { .. }),
+                        "rejected status without a Rejected outcome"
+                    );
+                    prop_assert!(committed + cost > capacity,
+                        "batch rejected although its cost fit the capacity left");
+                }
+                BatchStatus::Exact => {
+                    prop_assert!(committed + cost <= capacity,
+                        "batch admitted although its cost overflowed the capacity left");
+                    committed += cost;
+                    prop_assert_eq!(result.estimates(), serial.estimates(),
+                        "admitted batch diverged from its sequential run");
+                    prop_assert_eq!(&result.retrieved_entries, &serial.retrieved_entries());
+                    prop_assert_eq!(result.slo, SloOutcome::Met);
+                }
+                other => prop_assert!(false, "fault-free admitted batch ended {other:?}"),
             }
         }
     }

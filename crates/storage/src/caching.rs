@@ -19,6 +19,13 @@ use crate::{CoefficientStore, IoStats, StorageError};
 
 /// Wraps any store with an unbounded memo table.
 ///
+/// Unbounded is deliberate here: this wrapper exists for the round-robin
+/// ablation, whose working set is one batch's master list. For a
+/// long-lived serving cache use
+/// [`ShardedCachingStore`](crate::ShardedCachingStore), which bounds its
+/// resident set via `with_capacity` (importance-weighted eviction, LRU
+/// tie-break).
+///
 /// `retrievals` counts logical requests to this wrapper; `physical_reads`
 /// counts requests forwarded to the inner store; `cache_hits` the rest.
 #[derive(Debug)]

@@ -53,6 +53,53 @@ impl RetryPolicy {
         }
     }
 
+    /// Clamps the policy to a remaining simulated-tick budget: attempts
+    /// and every backoff interval are capped so one retrieval can never
+    /// charge more than `ticks` (each attempt costs at least one tick, so
+    /// at most `ticks` attempts fit; a single backoff interval may not
+    /// exceed the budget either). This is how a deadline-bearing caller
+    /// keeps a faulty store from blowing its contract: as the deadline
+    /// approaches, retries get cheaper and eventually stop.
+    ///
+    /// `ticks == 0` degenerates to a single immediate attempt (the caller
+    /// already owes the contract an answer; one attempt is the cheapest
+    /// way to still make progress).
+    pub fn with_tick_budget(&self, ticks: u64) -> RetryPolicy {
+        let attempts = ticks.clamp(1, u64::from(self.max_attempts.max(1))) as u32;
+        RetryPolicy {
+            max_attempts: attempts,
+            base_backoff_ticks: self.base_backoff_ticks.min(ticks),
+            max_backoff_ticks: self.max_backoff_ticks.min(ticks),
+            ..self.clone()
+        }
+    }
+
+    /// Scales the per-retrieval attempt budget down under observed store
+    /// stress, so retries cannot amplify an overload: at failure rates at
+    /// or below 25 % the policy is unchanged; above that, attempts shrink
+    /// proportionally to the success rate (never below one attempt — the
+    /// caller still needs an answer or a deferral). `observed_failure_rate`
+    /// is clamped into `[0, 1]`; `NaN` is treated as zero stress.
+    ///
+    /// The scaling is deterministic and monotone: a higher observed rate
+    /// never yields more attempts, so two runs observing the same fault
+    /// history back off identically.
+    pub fn adapted(&self, observed_failure_rate: f64) -> RetryPolicy {
+        let rate = if observed_failure_rate.is_nan() {
+            0.0
+        } else {
+            observed_failure_rate.clamp(0.0, 1.0)
+        };
+        if rate <= 0.25 {
+            return self.clone();
+        }
+        let scaled = (f64::from(self.max_attempts) * (1.0 - rate)).ceil();
+        RetryPolicy {
+            max_attempts: (scaled as u32).max(1),
+            ..self.clone()
+        }
+    }
+
     /// Backoff ticks before retry number `retry_index` (0-based) of `key`:
     /// exponential growth `base * 2^retry_index` capped at
     /// `max_backoff_ticks`, with the upper half of the interval replaced
@@ -233,6 +280,52 @@ mod tests {
             .map(|i| policy.backoff_ticks(&CoeffKey::one(21), i))
             .collect();
         assert_ne!(ticks, other);
+    }
+
+    #[test]
+    fn tick_budget_caps_attempts_and_backoff() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ticks: 4,
+            max_backoff_ticks: 64,
+            ..RetryPolicy::default()
+        };
+        let tight = policy.with_tick_budget(3);
+        assert_eq!(tight.max_attempts, 3);
+        assert_eq!(tight.base_backoff_ticks, 3);
+        assert_eq!(tight.max_backoff_ticks, 3);
+        // A generous budget leaves the policy unchanged.
+        let loose = policy.with_tick_budget(1_000);
+        assert_eq!(loose.max_attempts, 8);
+        assert_eq!(loose.max_backoff_ticks, 64);
+        // Zero budget still allows the single mandatory attempt.
+        let spent = policy.with_tick_budget(0);
+        assert_eq!(spent.max_attempts, 1);
+        assert_eq!(spent.max_backoff_ticks, 0);
+    }
+
+    #[test]
+    fn adaptive_budget_shrinks_monotonically_with_fault_rate() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.adapted(0.0).max_attempts, 8);
+        assert_eq!(
+            policy.adapted(0.25).max_attempts,
+            8,
+            "low stress: unchanged"
+        );
+        assert_eq!(policy.adapted(f64::NAN).max_attempts, 8);
+        let mut last = u32::MAX;
+        for pct in 0..=100 {
+            let attempts = policy.adapted(pct as f64 / 100.0).max_attempts;
+            assert!(attempts <= last, "rate up must never raise attempts");
+            assert!(attempts >= 1);
+            last = attempts;
+        }
+        assert_eq!(policy.adapted(1.0).max_attempts, 1);
+        assert_eq!(policy.adapted(2.0).max_attempts, 1, "rate clamps to 1");
     }
 
     #[test]

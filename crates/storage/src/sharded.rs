@@ -8,12 +8,26 @@
 //! coefficients in parallel, and a coefficient fetched for one batch is
 //! served from memory to every other in-flight batch.
 //!
-//! Each shard's lock is held across the inner fetch, so a coefficient is
-//! physically fetched **exactly once** no matter how many batches race on
-//! it — the property the `batchbb-serve` pool's fewer-fetches guarantee
-//! rests on.
+//! Each shard's lock is held across the inner fetch, so a resident
+//! coefficient is physically fetched **exactly once** no matter how many
+//! batches race on it — the property the `batchbb-serve` pool's
+//! fewer-fetches guarantee rests on.
+//!
+//! # Bounded capacity
+//!
+//! By default the memo table is unbounded, which is fine for one serving
+//! run over a finite master list but not for a long-lived server. With
+//! [`ShardedCachingStore::with_capacity`] the resident set is capped:
+//! when a shard overflows, the entry with the smallest
+//! importance weight (`|value|`, with memoized absences weighing zero) is
+//! evicted, ties broken least-recently-used. Eviction only weakens the
+//! fetch guarantee from *exactly once* to *at most once while resident* —
+//! an evicted key reads through again like an
+//! [`ShardedCachingStore::invalidate`]d one, and both paths share the same
+//! removal, so eviction can never corrupt invalidation accounting.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use batchbb_tensor::CoeffKey;
 use parking_lot::Mutex;
@@ -25,19 +39,92 @@ use crate::{CoefficientStore, IoStats, StorageError};
 /// Default shard count, matching [`crate::SharedStore`].
 const DEFAULT_SHARDS: usize = 16;
 
-/// One cache shard: `None` memoizes "absent" (a zero coefficient) just
-/// like a value — absence is a cacheable answer.
-type Shard = Mutex<HashMap<CoeffKey, Option<f64>>>;
+/// One memoized coefficient: `None` memoizes "absent" (a zero
+/// coefficient) just like a value — absence is a cacheable answer.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    value: Option<f64>,
+    /// Last-touch stamp from the shard's logical clock (LRU tie-break).
+    touch: u64,
+}
 
-/// Wraps any store with a sharded, unbounded read-through memo table.
+impl CacheEntry {
+    /// Eviction weight: the coefficient's magnitude. Importance `ι_p`
+    /// scales with `Δ̂[ξ]²` for quadratic penalties, so magnitude order is
+    /// importance order for every batch sharing the cache — small
+    /// coefficients are the cheapest to re-fetch *and* the least likely
+    /// to be on another batch's hot prefix. Memoized absences weigh zero.
+    fn weight(&self) -> f64 {
+        self.value.map_or(0.0, f64::abs)
+    }
+}
+
+/// One cache shard: the memo map plus a logical clock for LRU stamps.
+#[derive(Debug, Default)]
+struct ShardState {
+    map: HashMap<CoeffKey, CacheEntry>,
+    clock: u64,
+}
+
+impl ShardState {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks `key` up, refreshing its LRU stamp on a hit.
+    fn get(&mut self, key: &CoeffKey) -> Option<Option<f64>> {
+        let stamp = self.touch();
+        self.map.get_mut(key).map(|entry| {
+            entry.touch = stamp;
+            entry.value
+        })
+    }
+
+    fn insert(&mut self, key: CoeffKey, value: Option<f64>) {
+        let touch = self.touch();
+        self.map.insert(key, CacheEntry { value, touch });
+    }
+
+    /// Evicts minimum-weight (then least-recently-used) entries until at
+    /// most `cap` remain, counting each eviction.
+    fn evict_to(&mut self, cap: usize, evictions: &AtomicU64) {
+        while self.map.len() > cap {
+            let victim = self
+                .map
+                .iter()
+                .min_by(|(ka, a), (kb, b)| {
+                    a.weight()
+                        .total_cmp(&b.weight())
+                        .then(a.touch.cmp(&b.touch))
+                        .then(ka.cmp(kb))
+                })
+                .map(|(k, _)| *k)
+                .expect("a shard over capacity is non-empty");
+            self.map.remove(&victim);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+type Shard = Mutex<ShardState>;
+
+/// Wraps any store with a sharded read-through memo table, unbounded by
+/// default and capacity-capped via
+/// [`ShardedCachingStore::with_capacity`].
 ///
 /// `retrievals` counts logical requests to this wrapper; `physical_reads`
-/// counts requests forwarded to the inner store; `cache_hits` the rest.
+/// counts requests forwarded to the inner store (cache misses);
+/// `cache_hits` the rest. [`ShardedCachingStore::evictions`] counts
+/// capacity evictions separately.
 #[derive(Debug)]
 pub struct ShardedCachingStore<S> {
     inner: S,
     shards: Box<[Shard]>,
+    /// Per-shard resident cap; `None` keeps the table unbounded.
+    shard_capacity: Option<usize>,
     counters: Counters,
+    evictions: AtomicU64,
 }
 
 impl<S: CoefficientStore> ShardedCachingStore<S> {
@@ -51,9 +138,24 @@ impl<S: CoefficientStore> ShardedCachingStore<S> {
         assert!(shards >= 1, "need at least one shard");
         ShardedCachingStore {
             inner,
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(ShardState::default()))
+                .collect(),
+            shard_capacity: None,
             counters: Counters::default(),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Caps the resident set at `capacity` memoized keys (`>= 1`), spread
+    /// evenly across shards (each shard holds at most
+    /// `ceil(capacity / shards)`, so skewed key hashes cannot blow the
+    /// total past `capacity + shards - 1`). Overflow evicts the
+    /// smallest-magnitude entry, ties broken least-recently-used.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "need room for at least one entry");
+        self.shard_capacity = Some(capacity.div_ceil(self.shards.len()).max(1));
+        self
     }
 
     /// The wrapped store.
@@ -68,7 +170,14 @@ impl<S: CoefficientStore> ShardedCachingStore<S> {
 
     /// Number of memoized keys across all shards.
     pub fn cached(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Number of entries evicted to respect the capacity cap (zero for an
+    /// unbounded cache); explicit [`ShardedCachingStore::invalidate`]
+    /// removals are not counted here.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Drops the memoized value for `key`, so the next retrieval reads
@@ -78,16 +187,26 @@ impl<S: CoefficientStore> ShardedCachingStore<S> {
     /// This is the invalidation half of the live-update contract: callers
     /// that mutate the underlying store mid-serve (e.g.
     /// `SharedStore::add_shared`) must invalidate the touched keys, or
-    /// in-flight batches would keep reading the stale memo.
+    /// in-flight batches would keep reading the stale memo. Invalidating
+    /// a key the capacity cap already evicted is a no-op returning
+    /// `false` — eviction and invalidation share the same removal path,
+    /// so the two can interleave freely.
     pub fn invalidate(&self, key: &CoeffKey) -> bool {
         self.shards[fingerprint::shard_of(key, self.shards.len())]
             .lock()
+            .map
             .remove(key)
             .is_some()
     }
 
-    fn shard(&self, key: &CoeffKey) -> &Mutex<HashMap<CoeffKey, Option<f64>>> {
+    fn shard(&self, key: &CoeffKey) -> &Shard {
         &self.shards[fingerprint::shard_of(key, self.shards.len())]
+    }
+
+    fn trim(&self, shard: &mut ShardState) {
+        if let Some(cap) = self.shard_capacity {
+            shard.evict_to(cap, &self.evictions);
+        }
     }
 }
 
@@ -97,11 +216,12 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
         let mut shard = self.shard(key).lock();
         if let Some(v) = shard.get(key) {
             self.counters.count_hit();
-            return *v;
+            return v;
         }
         self.counters.count_physical();
         let v = self.inner.get(key);
         shard.insert(*key, v);
+        self.trim(&mut shard);
         v
     }
 
@@ -113,11 +233,12 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
         let mut shard = self.shard(key).lock();
         if let Some(v) = shard.get(key) {
             self.counters.count_hit();
-            return Ok(*v);
+            return Ok(v);
         }
         self.counters.count_physical();
         let v = self.inner.try_get(key)?;
         shard.insert(*key, v);
+        self.trim(&mut shard);
         Ok(v)
     }
 
@@ -125,11 +246,13 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
     /// of once per key.  Keys are grouped by shard; each shard's misses go
     /// to the inner store as one `try_get_many` *while that shard's lock
     /// is held*, so the exactly-once fill guarantee is unchanged — racing
-    /// batches still fetch a coefficient at most once.  Within-batch
-    /// duplicate keys are fetched once and the repeats counted as hits,
-    /// matching the singleton sequence.  Only one shard lock is held at a
-    /// time.  On a batch error nothing from the failing shard is memoized
-    /// (earlier shards' fills stand, as the singleton sequence's would).
+    /// batches still fetch a resident coefficient at most once.  Within-
+    /// batch duplicate keys are fetched once and the repeats counted as
+    /// hits, matching the singleton sequence.  Only one shard lock is held
+    /// at a time.  On a batch error nothing from the failing shard is
+    /// memoized (earlier shards' fills stand, as the singleton sequence's
+    /// would).  Capacity trimming runs after each shard's fills, so a
+    /// batch wider than the cap passes through rather than wedging.
     fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
         let mut out = vec![None; keys.len()];
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
@@ -150,7 +273,7 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
                 self.counters.count_retrieval();
                 if let Some(v) = shard.get(key) {
                     self.counters.count_hit();
-                    out[i] = *v;
+                    out[i] = v;
                 } else if let Some(&p) = pending.get(key) {
                     self.counters.count_hit();
                     dup_fill.push((i, p));
@@ -170,6 +293,7 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
                 for (i, p) in dup_fill {
                     out[i] = fetched[p];
                 }
+                self.trim(&mut shard);
             }
         }
         Ok(out)
@@ -207,6 +331,7 @@ mod tests {
         assert_eq!(st.physical_reads, 1);
         assert_eq!(st.cache_hits, 1);
         assert_eq!(s.cached(), 1);
+        assert_eq!(s.evictions(), 0);
     }
 
     #[test]
@@ -261,5 +386,86 @@ mod tests {
         assert!(!s.invalidate(&key), "second invalidation is a no-op");
         assert_eq!(s.get(&key), Some(2.0));
         assert_eq!(s.stats().physical_reads, 2, "re-fetched after invalidate");
+    }
+
+    #[test]
+    fn capacity_bounds_the_resident_set() {
+        // One shard makes the per-shard cap the total cap.
+        let s = ShardedCachingStore::with_shards(store(64), 1).with_capacity(8);
+        for i in 0..64 {
+            assert_eq!(s.get(&CoeffKey::one(i)), Some(i as f64 + 1.0));
+        }
+        assert!(s.cached() <= 8, "resident set exceeds cap: {}", s.cached());
+        assert_eq!(s.evictions(), 64 - s.cached() as u64);
+        // Answers stay correct through evictions: an evicted key simply
+        // reads through again.
+        for i in 0..64 {
+            assert_eq!(s.get(&CoeffKey::one(i)), Some(i as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn eviction_prefers_low_magnitude_entries() {
+        // Values grow with the key index, so the *small* early keys are
+        // the eviction victims and the heavy tail stays resident.
+        let s = ShardedCachingStore::with_shards(store(32), 1).with_capacity(4);
+        for i in 0..32 {
+            s.get(&CoeffKey::one(i));
+        }
+        s.reset_stats();
+        // The four heaviest keys (28..32) must all be hits.
+        for i in 28..32 {
+            assert_eq!(s.get(&CoeffKey::one(i)), Some(i as f64 + 1.0));
+        }
+        assert_eq!(s.stats().cache_hits, 4, "heavy keys were evicted");
+    }
+
+    #[test]
+    fn lru_breaks_weight_ties() {
+        // Equal-weight entries: the least recently touched one goes.
+        let inner = MemoryStore::from_entries((0..3).map(|i| (CoeffKey::one(i), 1.0)));
+        let s = ShardedCachingStore::with_shards(inner, 1).with_capacity(2);
+        s.get(&CoeffKey::one(0));
+        s.get(&CoeffKey::one(1));
+        s.get(&CoeffKey::one(0)); // refresh key 0: key 1 is now the LRU
+        s.get(&CoeffKey::one(2)); // overflow: evicts key 1
+        s.reset_stats();
+        s.get(&CoeffKey::one(0));
+        s.get(&CoeffKey::one(2));
+        assert_eq!(s.stats().cache_hits, 2, "recently touched keys stay");
+        s.get(&CoeffKey::one(1));
+        assert_eq!(s.stats().physical_reads, 1, "the LRU key was evicted");
+    }
+
+    #[test]
+    fn invalidate_after_eviction_is_safe() {
+        let s = ShardedCachingStore::with_shards(store(16), 1).with_capacity(2);
+        for i in 0..16 {
+            s.get(&CoeffKey::one(i));
+        }
+        let before = s.evictions();
+        let resident = s.cached();
+        assert!(resident <= 2);
+        // Most keys are already evicted; invalidating them is a clean
+        // no-op that neither panics nor double-counts evictions.
+        let mut invalidated = 0;
+        for i in 0..16 {
+            invalidated += usize::from(s.invalidate(&CoeffKey::one(i)));
+        }
+        assert_eq!(invalidated, resident, "only resident keys invalidate");
+        assert_eq!(s.cached(), 0);
+        assert_eq!(s.evictions(), before, "invalidation is not an eviction");
+    }
+
+    #[test]
+    fn batched_fills_respect_capacity() {
+        let s = ShardedCachingStore::with_shards(store(32), 1).with_capacity(4);
+        let keys: Vec<CoeffKey> = (0..32).map(CoeffKey::one).collect();
+        let values = s.try_get_many(&keys).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, Some(i as f64 + 1.0), "pass-through value intact");
+        }
+        assert!(s.cached() <= 4);
+        assert!(s.evictions() >= 28);
     }
 }

@@ -36,9 +36,9 @@ run() {
 # (maximum contention on the shared stores).
 threads_matrix() {
     run env RUST_TEST_THREADS=1 cargo test -q -p batchbb \
-        --test concurrency --test serve_faults
+        --test concurrency --test serve_faults --test serve_slo
     run env RUST_TEST_THREADS=1 cargo test -q -p batchbb-serve
-    run cargo test -q -p batchbb --test concurrency --test serve_faults
+    run cargo test -q -p batchbb --test concurrency --test serve_faults --test serve_slo
     run cargo test -q -p batchbb-serve
 }
 
@@ -87,6 +87,20 @@ if [ "$quick" -eq 0 ]; then
     # Observability overhead smoke: the sink-comparison bench must run its
     # fixtures end to end (events/sec numbers come from `cargo bench`).
     run cargo test -q -p batchbb-bench --bench bench_obs
+
+    # SLO gates: the degradation-certificate proptest (every finalized
+    # batch's bound history is monotone, its fault ledger reconciles, and
+    # its SloOutcome agrees with the certificate under seeded faults and
+    # arbitrary pool shapes) and the overload smoke (2x offered load:
+    # bounded queue, certified completions, explicit rejections). Both
+    # already ran in the workspace pass — the targeted reruns make the
+    # gate explicit so a selective test filter can never skip them.
+    run cargo test -q -p batchbb-serve --test proptests \
+        degraded_results_carry_reconciling_certificates
+    run cargo test -q -p batchbb-serve --test proptests \
+        rejection_never_loses_or_tears_admitted_batches
+    run cargo test -q -p batchbb --test serve_slo \
+        overload_at_twice_capacity_stays_bounded_and_certified
 
     # Trace-replay gate: progress_report runs a fault-injected evaluation,
     # replays its own JSONL trace, and exits nonzero if the penalty-bound

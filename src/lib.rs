@@ -98,8 +98,8 @@ pub mod prelude {
         cube, synth, Attribute, Dataset, FrequencyDistribution, Schema, SchemaError,
     };
     pub use batchbb_serve::{
-        BatchHandle, BatchRequest, BatchResult, BatchServer, BatchSnapshot, BatchStatus,
-        ServeConfig, ServeSession,
+        AdmissionEstimate, BatchHandle, BatchRequest, BatchResult, BatchServer, BatchSnapshot,
+        BatchStatus, SchedulerPolicy, ServeConfig, ServeSession, SloContract, SloOutcome,
     };
     pub use batchbb_storage::{
         retry::get_with_retry, ArrayStore, CachingStore, CoefficientStore, FaultInjectingStore,

@@ -1,0 +1,213 @@
+//! SLO contracts end to end: admission control, certified degradation,
+//! and overload behaviour of the batch server.
+//!
+//! The overload smoke test drives the pool at twice its declared
+//! capacity and checks the contract the SLO layer makes: queue depth
+//! stays bounded by the admitted count (rejection, not queueing, absorbs
+//! the excess), every completed batch carries a certified bound within
+//! its target or an explicit `DegradedAtBound`/`Rejected` outcome, and
+//! nothing is lost or torn.
+
+use std::sync::Arc;
+
+use batchbb::prelude::*;
+
+fn fixture(batches_n: u64) -> (MemoryStore, Vec<BatchQueries>, Shape) {
+    let schema = Schema::new(vec![
+        Attribute::new("x", 0.0, 16.0, 4),
+        Attribute::new("y", 0.0, 16.0, 4),
+    ])
+    .unwrap();
+    let mut dfd = FrequencyDistribution::new(schema);
+    for i in 0..16 {
+        for j in 0..16 {
+            let w = ((i * 5 + j * 11) % 7) as f64;
+            if w != 0.0 {
+                dfd.insert_binned(&[i, j], w);
+            }
+        }
+    }
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(dfd.tensor()));
+    let shape = dfd.schema().domain();
+    let mut batches = Vec::new();
+    for b in 0..batches_n {
+        let queries: Vec<RangeSum> = partition::random_partition(&shape, 3, 400 + b)
+            .into_iter()
+            .map(RangeSum::count)
+            .collect();
+        batches.push(BatchQueries::rewrite(&strategy, queries, &shape).unwrap());
+    }
+    (store, batches, shape)
+}
+
+/// The cost the admission controller will price an uncontracted batch at:
+/// its full master-list length.
+fn serial_cost(batch: &BatchQueries, store: &dyn CoefficientStore) -> u64 {
+    let mut exec = ProgressiveExecutor::new(batch, &Sse, store);
+    exec.run_to_end();
+    exec.retrieved() as u64
+}
+
+#[test]
+fn overload_at_twice_capacity_stays_bounded_and_certified() {
+    let (store, batches, shape) = fixture(8);
+    let k = store.abs_sum();
+    // Declare capacity at half the offered load: ~2× overload.
+    let total: u64 = batches.iter().map(|b| serial_cost(b, &store)).sum();
+    let capacity = total / 2;
+    let registry = Arc::new(MetricsRegistry::new());
+    let requests: Vec<BatchRequest<'_>> = batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            BatchRequest::new(b, &Sse).with_slo(SloContract::new().with_priority((i % 3) as u8))
+        })
+        .collect();
+    let server = BatchServer::new(
+        ServeConfig::new(shape.len(), k)
+            .workers(4)
+            .slice_steps(8)
+            .capacity(capacity)
+            .registry(registry.clone()),
+    );
+    let results = server.serve(&store, &requests);
+
+    // Nothing lost: one result per submitted batch, in order.
+    assert_eq!(results.len(), requests.len());
+
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    let mut consumed = 0u64;
+    for result in &results {
+        match result.status {
+            BatchStatus::Rejected => {
+                rejected += 1;
+                assert!(result.retrieved_entries.is_empty());
+                match result.slo {
+                    SloOutcome::Rejected {
+                        estimated_cost,
+                        capacity: cap,
+                    } => {
+                        assert_eq!(cap, capacity);
+                        assert!(estimated_cost > 0);
+                    }
+                    ref other => panic!("rejected status with outcome {other:?}"),
+                }
+            }
+            _ => {
+                admitted += 1;
+                consumed += result.report.fault.attempts;
+                // Every completed batch is certified: under the infinite
+                // default target it classifies Met with a valid ledger,
+                // never a torn or unclassified answer.
+                assert_eq!(result.slo, SloOutcome::Met);
+                assert!(result.report.fault.attempts_reconcile());
+                assert!(result.bound_history.windows(2).all(|w| w[1] <= w[0]));
+            }
+        }
+    }
+    assert!(rejected > 0, "2x overload must reject something");
+    assert!(admitted > 0, "capacity > 0 must admit something");
+    // Queue depth stayed bounded by admissions and drained to zero.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.gauge("slo.queue_depth"), Some(0));
+    assert_eq!(snapshot.counter("slo.admitted"), Some(admitted));
+    assert_eq!(snapshot.counter("slo.rejected"), Some(rejected));
+    // Fault-free admissions consume exactly their priced estimates, so
+    // actual work respects the declared capacity.
+    assert!(
+        consumed <= capacity,
+        "consumed {consumed} overran declared capacity {capacity}"
+    );
+}
+
+#[test]
+fn deadline_and_bound_targets_compose_under_load() {
+    let (store, batches, shape) = fixture(4);
+    let k = store.abs_sum();
+    let requests: Vec<BatchRequest<'_>> = batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            // Alternate tight deadlines and loose bound targets.
+            let slo = if i % 2 == 0 {
+                SloContract::new().with_deadline_ticks(6).with_priority(1)
+            } else {
+                SloContract::new().with_target_bound(k * 1e-3)
+            };
+            BatchRequest::new(b, &Sse).with_slo(slo)
+        })
+        .collect();
+    let server = BatchServer::new(ServeConfig::new(shape.len(), k).workers(2).slice_steps(3));
+    let results = server.serve(&store, &requests);
+    for (i, result) in results.iter().enumerate() {
+        // Every terminal state is certified and classified.
+        assert!(result.report.fault.attempts_reconcile());
+        assert!(result.report.worst_case_bound >= 0.0);
+        match result.slo {
+            SloOutcome::Met => {
+                assert!(result.report.worst_case_bound <= requests[i].slo.target_bound);
+            }
+            SloOutcome::DegradedAtBound => {
+                assert!(result.report.worst_case_bound > requests[i].slo.target_bound);
+                assert!(matches!(
+                    result.status,
+                    BatchStatus::DeadlineExpired | BatchStatus::Shed | BatchStatus::Degraded
+                ));
+            }
+            SloOutcome::Rejected { .. } => panic!("no capacity declared, nothing rejects"),
+        }
+        if i % 2 == 0 {
+            // Deadline batches stop within one slice of the budget: the
+            // elapsed clock at finalization cannot exceed deadline plus
+            // one bounded slice worth of ticks and retry backoff.
+            let elapsed = result.report.fault.attempts + result.report.fault.backoff_ticks;
+            assert!(
+                result.status == BatchStatus::Exact || elapsed >= 6,
+                "batch {i} finalized early without meeting its deadline"
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_under_faults_still_reports_slo_outcome() {
+    let (store, batches, shape) = fixture(3);
+    let k = store.abs_sum();
+    // Break a handful of keys permanently: admitted batches touching them
+    // degrade, and their outcome must reflect the certificate honestly.
+    let broken: Vec<CoeffKey> = store.iter().map(|(key, _)| *key).take(3).collect();
+    let faulty = FaultInjectingStore::new(
+        store,
+        FaultPlan::new(17).with_permanent_keys(broken.iter().copied()),
+    );
+    let requests: Vec<BatchRequest<'_>> = batches
+        .iter()
+        .map(|b| BatchRequest::new(b, &Sse).with_slo(SloContract::new().with_target_bound(0.0)))
+        .collect();
+    let server = BatchServer::new(
+        ServeConfig::new(shape.len(), k)
+            .workers(3)
+            .slice_steps(4)
+            .retry(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            }),
+    );
+    let results = server.serve(&faulty, &requests);
+    for result in &results {
+        let met = result.report.worst_case_bound <= 0.0;
+        match result.slo {
+            SloOutcome::Met => assert!(met),
+            SloOutcome::DegradedAtBound => {
+                assert!(!met);
+                assert!(
+                    !result.report.deferred.is_empty(),
+                    "degradation without deferred coefficients"
+                );
+            }
+            SloOutcome::Rejected { .. } => panic!("no capacity declared"),
+        }
+    }
+}
