@@ -24,15 +24,25 @@
 //! either exits nonzero; mere differences do not, and identical traces
 //! diff to zero and exit 0.
 //!
+//! With `--check-bench results/BENCH_exec.json`, the binary instead acts
+//! as the ✦ bench-regression guard: it reads the recorded benchmark
+//! sections and fails (nonzero exit) if prefetch round-trip counts,
+//! head-scan block reads, or the slow-store overlap speedup regress past
+//! the recorded thresholds. Sections not present in the file are noted
+//! and skipped — partial bench runs stay usable — but a file with *no*
+//! recognized section fails, so the gate cannot pass vacuously.
+//!
 //! Flags: `--input trace.jsonl` (replay instead of demo), `--diff a b`
-//! (compare two traces), `--output trace.jsonl` (save the demo trace),
-//! `--curves true` (append single-trace ASCII penalty log-curves for both
-//! bound families to the table), `--limit N` (table head/tail rows,
-//! default 10), `--records N`, `--cells N`, `--seed N` (demo workload).
+//! (compare two traces), `--check-bench report.json` (bench-regression
+//! guard), `--output trace.jsonl` (save the demo trace), `--curves true`
+//! (append single-trace ASCII penalty log-curves for both bound families
+//! to the table), `--limit N` (table head/tail rows, default 10),
+//! `--records N`, `--cells N`, `--seed N` (demo workload).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use batchbb_bench::report::{number_field, read_sections, window_field};
 use batchbb_bench::trace::{
     format_diff_table, format_summary_diff, render_curves, BoundFamily, TraceDiff, TraceSummary,
 };
@@ -63,6 +73,9 @@ fn main() -> ExitCode {
     let args = Args::parse_from(argv);
     let limit = args.usize("limit", 10);
 
+    if let Some(path) = args.get("check-bench") {
+        return check_bench(path);
+    }
     if let Some((path_a, path_b)) = diff_paths {
         return diff_mode(&path_a, &path_b, limit);
     }
@@ -128,6 +141,130 @@ fn parse_events(lines: &[String]) -> Vec<ParsedEvent> {
             jsonl::parse_line(l).unwrap_or_else(|e| panic!("line {}: bad JSONL: {e}", i + 1))
         })
         .collect()
+}
+
+/// Looks up `field` inside the layout row `{"layout":"Name",...}` of the
+/// head-scan section body.
+fn layout_field(body: &str, layout: &str, field: &str) -> Option<f64> {
+    let needle = format!("{{\"layout\":\"{layout}\",");
+    let at = body.find(&needle)?;
+    let row = &body[at..];
+    let end = row.find('}').unwrap_or(row.len());
+    number_field(&row[..end], field)
+}
+
+/// The `--check-bench` mode: the bench-regression guard over the recorded
+/// `BENCH_exec.json` sections.  Thresholds are absolute ceilings set well
+/// above the recorded numbers (roughly 1.5×), so ordinary run-to-run noise
+/// passes but losing a prefetch batching path, an importance-ordered
+/// layout, or the latency-hiding overlap trips the gate.
+fn check_bench(path: &str) -> ExitCode {
+    let sections = read_sections(std::path::Path::new(path));
+    let body = |name: &str| {
+        sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_str())
+    };
+    println!("# bench-regression guard over {path}");
+
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    // (section, metric label, measured value, ceiling) — pass when
+    // `value <= ceiling`.
+    let mut ceiling = |section: &str, label: &str, value: Option<f64>, max: f64| {
+        let Some(value) = value else {
+            println!("  SKIP {section}: {label} not recorded");
+            return;
+        };
+        checked += 1;
+        if value <= max {
+            println!("  ok   {section}: {label} = {value} <= {max}");
+        } else {
+            println!("  FAIL {section}: {label} = {value} > {max}");
+            failures += 1;
+        }
+    };
+
+    match body("bench_executor_prefetch") {
+        Some(b) => {
+            // Recorded: 103 round-trips at W=64, 412 at W=16 (6 590 keys).
+            ceiling(
+                "bench_executor_prefetch",
+                "store_calls at window 64",
+                window_field(b, 64, "store_calls"),
+                150.0,
+            );
+            ceiling(
+                "bench_executor_prefetch",
+                "store_calls at window 16",
+                window_field(b, 16, "store_calls"),
+                600.0,
+            );
+        }
+        None => println!("  SKIP bench_executor_prefetch: section absent"),
+    }
+    match body("bench_serve_prefetch") {
+        // Recorded: 820 round-trips at W=64 across the 8-batch pool.
+        Some(b) => ceiling(
+            "bench_serve_prefetch",
+            "store_calls at window 64",
+            window_field(b, 64, "store_calls"),
+            1200.0,
+        ),
+        None => println!("  SKIP bench_serve_prefetch: section absent"),
+    }
+    match body("bench_async_overlap") {
+        // Recorded: 8.0× on the reference box; the CI smoke itself gates
+        // at 3× too, so the guard and the smoke agree on the floor.
+        Some(b) => match number_field(b, "speedup") {
+            Some(speedup) => {
+                checked += 1;
+                if speedup >= 3.0 {
+                    println!("  ok   bench_async_overlap: speedup = {speedup} >= 3");
+                } else {
+                    println!("  FAIL bench_async_overlap: speedup = {speedup} < 3");
+                    failures += 1;
+                }
+            }
+            None => println!("  SKIP bench_async_overlap: speedup not recorded"),
+        },
+        None => println!("  SKIP bench_async_overlap: section absent"),
+    }
+    match body("bench_storage_head_scan") {
+        Some(b) => {
+            let imp = layout_field(b, "ImportanceOrder", "block_reads");
+            let key = layout_field(b, "KeyOrder", "block_reads");
+            match (imp, key) {
+                (Some(imp), Some(key)) => {
+                    checked += 1;
+                    if imp < key {
+                        println!(
+                            "  ok   bench_storage_head_scan: ImportanceOrder {imp} < KeyOrder {key} block reads"
+                        );
+                    } else {
+                        println!(
+                            "  FAIL bench_storage_head_scan: ImportanceOrder {imp} >= KeyOrder {key} block reads"
+                        );
+                        failures += 1;
+                    }
+                }
+                _ => println!("  SKIP bench_storage_head_scan: layout rows incomplete"),
+            }
+        }
+        None => println!("  SKIP bench_storage_head_scan: section absent"),
+    }
+
+    if checked == 0 {
+        eprintln!("BENCH GUARD: no recognized section in {path} — nothing was checked");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!("BENCH GUARD: {failures} of {checked} checks regressed past threshold");
+        return ExitCode::FAILURE;
+    }
+    println!("bench guard OK: {checked} checks within thresholds");
+    ExitCode::SUCCESS
 }
 
 /// The `--diff a b` mode: summary diff, per-step penalty delta tables,

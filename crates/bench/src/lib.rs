@@ -10,6 +10,7 @@ use batchbb_relation::{synth, FrequencyDistribution};
 use batchbb_tensor::Shape;
 
 pub mod report;
+pub mod slow;
 pub mod trace;
 
 /// Minimal `--flag value` parser for harness binaries.

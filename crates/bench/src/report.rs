@@ -151,6 +151,48 @@ fn parse_section_line(line: &str) -> Option<(String, String)> {
     Some((name, body.to_string()))
 }
 
+/// Reads a section-per-line report (as written by [`write_section`]) back
+/// into `(name, single-line JSON body)` pairs. Missing file reads as
+/// empty.
+pub fn read_sections(path: &Path) -> Vec<(String, String)> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if line == "{" || line == "}" || line.is_empty() {
+                return None;
+            }
+            parse_section_line(line)
+        })
+        .collect()
+}
+
+/// Extracts the number following `"key":` in a machine-written section
+/// body (the `Json::render` format: no whitespace inside objects). The
+/// first occurrence wins; `None` when the key is absent or non-numeric.
+pub fn number_field(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = &body[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Looks up `field` inside the window row `{"window":w,...}` of a
+/// prefetch-sweep section body (`"windows":[...]` as the sweeps write
+/// it).
+pub fn window_field(body: &str, window: u64, field: &str) -> Option<f64> {
+    let needle = format!("{{\"window\":{window},");
+    let at = body.find(&needle)?;
+    let row = &body[at..];
+    let end = row.find('}').unwrap_or(row.len());
+    number_field(&row[..end], field)
+}
+
 /// A pass-through store that counts *calls* (store round-trips), not
 /// logical retrievals: `singleton_calls` counts `get`/`try_get`,
 /// `batch_calls` counts `try_get_many` invocations and `batch_keys` the
@@ -214,6 +256,12 @@ impl<S: CoefficientStore> CoefficientStore for FetchCounter<S> {
         self.inner.try_get_many(keys)
     }
 
+    // `submit` keeps the trait default so the adapter's fetch lands in the
+    // counted `try_get_many` above; the quiesce barrier still forwards.
+    fn quiesce(&self) {
+        self.inner.quiesce()
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }
@@ -251,6 +299,37 @@ mod tests {
         write_section(&path, "zeta", &Json::obj([("v", Json::U64(3))]));
         let text = fs::read_to_string(&path).unwrap();
         assert_eq!(text, "{\n\"alpha\": {\"v\":2},\n\"zeta\": {\"v\":3}\n}\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sections_read_back_and_fields_extract() {
+        let dir = std::env::temp_dir().join(format!("batchbb-readback-{}", std::process::id()));
+        let path = dir.join("report.json");
+        write_section(
+            &path,
+            "sweep",
+            &Json::obj([
+                ("speedup", Json::F64(3.5)),
+                (
+                    "windows",
+                    Json::Arr(vec![
+                        Json::obj([("window", Json::U64(1)), ("store_calls", Json::U64(6590))]),
+                        Json::obj([("window", Json::U64(64)), ("store_calls", Json::U64(103))]),
+                    ]),
+                ),
+            ]),
+        );
+        let sections = read_sections(&path);
+        assert_eq!(sections.len(), 1);
+        let (name, body) = &sections[0];
+        assert_eq!(name, "sweep");
+        assert_eq!(number_field(body, "speedup"), Some(3.5));
+        assert_eq!(number_field(body, "absent"), None);
+        assert_eq!(window_field(body, 64, "store_calls"), Some(103.0));
+        assert_eq!(window_field(body, 1, "store_calls"), Some(6590.0));
+        assert_eq!(window_field(body, 16, "store_calls"), None);
+        assert!(read_sections(&dir.join("missing.json")).is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,277 @@
+//! The slow-store latency-hiding fixture.
+//!
+//! [`SlowStore`] charges a fixed wall-clock latency per *physical* store
+//! round-trip — one sleep per `get`/`try_get`/`try_get_many` call, the way
+//! a disk seek or an object-store GET charges per request, not per key.
+//! [`OverlapFixture`] runs the same serve workload against that store two
+//! ways — workers blocking on every round-trip vs. the asynchronous
+//! completion engine parking batches over in-flight fetches — and reports
+//! the throughput ratio. The CI `--slow-store` gate and `bench_async`
+//! both run this measurement; DESIGN.md §12 and EXPERIMENTS.md describe
+//! the workflow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use batchbb_core::BatchQueries;
+use batchbb_penalty::Sse;
+use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
+use batchbb_relation::synth;
+use batchbb_serve::{BatchRequest, BatchServer, ServeConfig};
+use batchbb_storage::{AsyncFetchStore, CoefficientStore, IoStats, MemoryStore, StorageError};
+use batchbb_tensor::CoeffKey;
+use batchbb_wavelet::Wavelet;
+
+/// A store wrapper charging `latency` of wall-clock sleep per physical
+/// round-trip (per *call*, not per key — batching round-trips is exactly
+/// the saving the prefetch window buys).
+pub struct SlowStore<S> {
+    inner: S,
+    latency: Duration,
+    calls: AtomicU64,
+}
+
+impl<S: CoefficientStore> SlowStore<S> {
+    /// Wraps `inner`, charging `latency` per round-trip.
+    pub fn new(inner: S, latency: Duration) -> Self {
+        SlowStore {
+            inner,
+            latency,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Physical round-trips charged so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    fn charge(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(self.latency);
+    }
+}
+
+impl<S: CoefficientStore> CoefficientStore for SlowStore<S> {
+    fn get(&self, key: &CoeffKey) -> Option<f64> {
+        self.charge();
+        self.inner.get(key)
+    }
+
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        self.charge();
+        self.inner.try_get(key)
+    }
+
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        self.charge();
+        self.inner.try_get_many(keys)
+    }
+
+    // `submit` keeps the trait default so the latency lands in the charged
+    // `try_get_many` above: to hide it, wrap this store in
+    // `AsyncFetchStore` (the sleep then runs on its I/O threads).
+    fn quiesce(&self) {
+        self.inner.quiesce()
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+/// Shape of the blocking-vs-overlapped measurement.
+#[derive(Debug, Clone)]
+pub struct OverlapConfig {
+    /// Concurrent batches offered to the pool.
+    pub batches: usize,
+    /// Range-sum queries per batch.
+    pub queries_per_batch: usize,
+    /// Records in the synthetic clustered dataset.
+    pub records: usize,
+    /// Worker threads — *equal* on both sides of the comparison; only the
+    /// storage engine differs.
+    pub workers: usize,
+    /// Scheduling slice budget.
+    pub slice_steps: usize,
+    /// Prefetch window (keys per round-trip). Must be > 1 or the executor
+    /// never batches and nothing can overlap.
+    pub window: usize,
+    /// Simulated latency per physical round-trip.
+    pub latency: Duration,
+    /// I/O threads backing the overlapped side's [`AsyncFetchStore`].
+    pub io_threads: usize,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        OverlapConfig {
+            batches: 12,
+            queries_per_batch: 16,
+            records: 30_000,
+            workers: 1,
+            slice_steps: 64,
+            window: 32,
+            latency: Duration::from_millis(2),
+            io_threads: 12,
+        }
+    }
+}
+
+/// One side of the comparison, measured.
+#[derive(Debug, Clone)]
+pub struct OverlapRun {
+    /// Wall-clock seconds for the whole pool run.
+    pub elapsed_secs: f64,
+    /// Coefficients retrieved across all batches.
+    pub retrieved: u64,
+    /// Physical round-trips charged by the [`SlowStore`].
+    pub store_calls: u64,
+    /// Retrievals per second.
+    pub throughput: f64,
+    /// Final estimates per batch, for the bit-identity check.
+    pub estimates: Vec<Vec<f64>>,
+}
+
+/// Both sides plus the headline ratio.
+#[derive(Debug, Clone)]
+pub struct OverlapReport {
+    /// Workers stalling on every round-trip.
+    pub blocking: OverlapRun,
+    /// Same pool, batches parked over in-flight fetches.
+    pub overlapped: OverlapRun,
+    /// `overlapped.throughput / blocking.throughput`.
+    pub speedup: f64,
+}
+
+/// The prepared workload: coefficients, query batches, serve config.
+pub struct OverlapFixture {
+    cfg: OverlapConfig,
+    entries: Vec<(CoeffKey, f64)>,
+    store: MemoryStore,
+    batches: Vec<BatchQueries>,
+    n_total: usize,
+    k: f64,
+}
+
+impl OverlapFixture {
+    /// Builds the workload once; the serve runs reuse it.
+    pub fn build(cfg: OverlapConfig) -> Self {
+        let dataset = synth::clustered(2, 7, cfg.records, 4, 11);
+        let dfd = dataset.to_frequency_distribution();
+        let domain = dfd.schema().domain();
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let entries = strategy.transform_data(dfd.tensor());
+        let store = MemoryStore::from_entries(entries.clone());
+        let batches = (0..cfg.batches)
+            .map(|b| {
+                let queries: Vec<RangeSum> =
+                    partition::random_partition(&domain, cfg.queries_per_batch, b as u64)
+                        .into_iter()
+                        .map(RangeSum::count)
+                        .collect();
+                BatchQueries::rewrite(&strategy, queries, &domain).unwrap()
+            })
+            .collect();
+        let n_total = domain.len();
+        let k = store.abs_sum();
+        OverlapFixture {
+            cfg,
+            entries,
+            store,
+            batches,
+            n_total,
+            k,
+        }
+    }
+
+    /// The serve config both sides run under. `share_cache(false)` is
+    /// load-bearing: the pool's own cache layer sits *outside* the user
+    /// store and keeps the trait-default synchronous `submit`, which would
+    /// route every fetch around the async engine — when serving over an
+    /// [`AsyncFetchStore`], stack any cache *inside* it instead
+    /// (DESIGN.md §12).
+    fn serve_config(&self) -> ServeConfig {
+        ServeConfig::new(self.n_total, self.k)
+            .workers(self.cfg.workers)
+            .slice_steps(self.cfg.slice_steps)
+            .share_cache(false)
+            .prefetch_window(self.cfg.window)
+    }
+
+    fn run(&self, eff: &dyn CoefficientStore, calls: impl Fn() -> u64) -> OverlapRun {
+        let requests: Vec<BatchRequest<'_>> = self
+            .batches
+            .iter()
+            .map(|batch| BatchRequest::new(batch, &Sse))
+            .collect();
+        let server = BatchServer::new(self.serve_config());
+        let started = Instant::now();
+        let results = server.serve(eff, &requests);
+        let elapsed_secs = started.elapsed().as_secs_f64();
+        let retrieved: u64 = results
+            .iter()
+            .map(|r| r.retrieved_entries.len() as u64)
+            .sum();
+        OverlapRun {
+            elapsed_secs,
+            retrieved,
+            store_calls: calls(),
+            throughput: retrieved as f64 / elapsed_secs.max(1e-9),
+            estimates: results.iter().map(|r| r.report.estimates.clone()).collect(),
+        }
+    }
+
+    /// Baseline: every round-trip stalls the worker that issued it.
+    pub fn serve_blocking(&self) -> OverlapRun {
+        let slow = SlowStore::new(&self.store, self.cfg.latency);
+        self.run(&slow, || slow.calls())
+    }
+
+    /// Latency-hiding: the same pool over `AsyncFetchStore(SlowStore)` —
+    /// a worker that submits a fetch parks the batch and advances another
+    /// while the I/O threads absorb the sleep.
+    pub fn serve_overlapped(&self) -> OverlapRun {
+        let slow = SlowStore::new(
+            MemoryStore::from_entries(self.entries.clone()),
+            self.cfg.latency,
+        );
+        let engine = AsyncFetchStore::new(slow, self.cfg.io_threads);
+        self.run(&engine, || engine.inner().calls())
+    }
+
+    /// Runs both sides and reports the throughput ratio.
+    pub fn measure(&self) -> OverlapReport {
+        let blocking = self.serve_blocking();
+        let overlapped = self.serve_overlapped();
+        let speedup = overlapped.throughput / blocking.throughput.max(1e-9);
+        OverlapReport {
+            blocking,
+            overlapped,
+            speedup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_store_charges_per_call() {
+        let inner = MemoryStore::from_entries(vec![(CoeffKey::new(&[0]), 1.0)]);
+        let slow = SlowStore::new(inner, Duration::from_micros(10));
+        let key = CoeffKey::new(&[0]);
+        assert_eq!(slow.get(&key), Some(1.0));
+        assert_eq!(slow.try_get_many(&[key, key]).unwrap().len(), 2);
+        assert_eq!(slow.calls(), 2, "one charge per round-trip, not per key");
+    }
+}

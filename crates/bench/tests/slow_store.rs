@@ -1,0 +1,56 @@
+//! The slow-store latency-hiding smoke: the CI `--slow-store` gate.
+//!
+//! Over a store charging ≥1 ms per physical round-trip, the serve pool
+//! backed by the asynchronous completion engine must sustain at least 3×
+//! the throughput of the blocking baseline *at equal worker count* —
+//! that is the whole point of parking batches over in-flight fetches.
+//! The smoke also holds the engine to the determinism contract: both
+//! sides must produce bit-identical final estimates, and overlapping must
+//! not inflate the physical round-trip count.
+
+use std::time::Duration;
+
+use batchbb_bench::slow::{OverlapConfig, OverlapFixture};
+
+#[test]
+fn overlapped_pool_beats_blocking_threefold() {
+    let fixture = OverlapFixture::build(OverlapConfig {
+        latency: Duration::from_millis(2),
+        ..OverlapConfig::default()
+    });
+    let report = fixture.measure();
+    eprintln!(
+        "slow-store smoke: blocking {:.1} retrievals/s ({} round-trips, {:.3}s), \
+         overlapped {:.1} retrievals/s ({} round-trips, {:.3}s), speedup {:.2}x",
+        report.blocking.throughput,
+        report.blocking.store_calls,
+        report.blocking.elapsed_secs,
+        report.overlapped.throughput,
+        report.overlapped.store_calls,
+        report.overlapped.elapsed_secs,
+        report.speedup,
+    );
+
+    assert_eq!(
+        report.blocking.estimates, report.overlapped.estimates,
+        "parking must not change any final estimate (bit-identity contract)"
+    );
+    assert_eq!(
+        report.blocking.retrieved, report.overlapped.retrieved,
+        "both engines walk the same importance order end to end"
+    );
+    assert!(
+        report.overlapped.store_calls <= report.blocking.store_calls,
+        "overlap hides latency, it must not add round-trips: {} > {}",
+        report.overlapped.store_calls,
+        report.blocking.store_calls,
+    );
+    assert!(
+        report.speedup >= 3.0,
+        "latency hiding regressed: overlapped/blocking throughput {:.2}x < 3x \
+         (blocking {:.3}s vs overlapped {:.3}s)",
+        report.speedup,
+        report.blocking.elapsed_secs,
+        report.overlapped.elapsed_secs,
+    );
+}

@@ -7,7 +7,7 @@ use std::collections::VecDeque;
 
 use batchbb_penalty::Penalty;
 use batchbb_storage::{
-    retry::get_with_retry, CoefficientStore, FaultStats, RetryPolicy, StorageError,
+    retry::get_with_retry, CoefficientStore, Completion, FaultStats, RetryPolicy, StorageError,
 };
 use batchbb_tensor::CoeffKey;
 
@@ -39,6 +39,19 @@ impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// A batched prefetch submitted to the store but not yet resolved.
+///
+/// The popped heap entries ride along (in importance order — they came off
+/// the top of the heap) so resolution can refill the prefetch buffer, or
+/// push them back on a batch failure, exactly like the synchronous path.
+struct PendingFetch {
+    entries: Vec<HeapEntry>,
+    completion: Completion,
+    /// Armed when an observer is attached: measures submit→resolve latency
+    /// for the `exec.prefetch` record, mirroring the blocking fetch timer.
+    timer: Option<batchbb_obs::SpanTimer>,
 }
 
 /// What one [`ProgressiveExecutor::step`] did.
@@ -76,6 +89,14 @@ pub enum TryStepOutcome {
     },
     /// The policy's `total_attempt_budget` is spent; nothing was attempted.
     BudgetExhausted,
+    /// A batched prefetch submitted to an asynchronous store is still in
+    /// flight: no coefficient was applied and no attempt was charged.  The
+    /// caller may do other work (a serve worker parks this batch and picks
+    /// up another) and re-invoke `try_step` later; the step resolves the
+    /// fetch as soon as it lands.  Never returned over a synchronous store
+    /// — the default [`CoefficientStore::submit`] adapter resolves at
+    /// submit time, keeping the blocking path bit-identical.
+    Pending,
     /// Heap and deferral queue are both empty — the estimates are exact.
     Exhausted,
 }
@@ -163,6 +184,12 @@ pub struct ProgressiveExecutor<'a> {
     /// is what attributes the failure: only the keys that individually
     /// fail get deferred, the rest retrieve normally.
     singleton_debt: usize,
+    /// A batched prefetch submitted to an asynchronous store and not yet
+    /// resolved.  Its entries still count as *pending* (importance stays in
+    /// `remaining_importance`); at most one of `prefetched`/`pending_fetch`
+    /// is ever populated — a resolved fetch empties into `prefetched`.
+    /// Always `None` over a synchronous store.
+    pending_fetch: Option<PendingFetch>,
     /// Coefficients whose retrieval exhausted its retry budget, awaiting
     /// re-attempts (FIFO so every deferred key gets its turn).
     deferred: VecDeque<HeapEntry>,
@@ -235,6 +262,7 @@ impl<'a> ProgressiveExecutor<'a> {
             prefetch_window: 1,
             prefetched: VecDeque::new(),
             singleton_debt: 0,
+            pending_fetch: None,
             deferred: VecDeque::new(),
             deferred_importance: 0.0,
             fault: FaultStats::default(),
@@ -288,6 +316,9 @@ impl<'a> ProgressiveExecutor<'a> {
     /// Returns `None` once the heap is empty — at which point
     /// [`ProgressiveExecutor::estimates`] holds the exact results.
     pub fn step(&mut self) -> Option<StepInfo> {
+        // A parked asynchronous prefetch owns the next entries in
+        // progression order; the infallible path simply blocks on it.
+        self.resolve_pending_blocking();
         // A value already prefetched by the fallible path is next in the
         // progression order; fold it in without touching the store again.
         if let Some((entry, value)) = self.prefetched.pop_front() {
@@ -327,6 +358,59 @@ impl<'a> ProgressiveExecutor<'a> {
         }
         self.observe_step("retrieved", &info, 0);
         TryStepOutcome::Retrieved(info)
+    }
+
+    /// Resolves a ready (or waited-on) batched prefetch: a successful batch
+    /// fills the prefetch buffer in importance order; a failed one restores
+    /// its entries to the heap and arms the singleton-fallback debt, so
+    /// only the keys that individually fail get deferred — the exact
+    /// semantics of the synchronous `try_get_many` branch.
+    fn finish_pending(&mut self, pending: PendingFetch) {
+        let PendingFetch {
+            entries,
+            completion,
+            timer,
+        } = pending;
+        let w = entries.len();
+        let fetched = completion.wait();
+        let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
+        match fetched {
+            Ok(values) => {
+                if let Some(obs) = &self.observer {
+                    obs.on_prefetch(w, true, latency_ns);
+                }
+                self.prefetched.extend(
+                    entries
+                        .into_iter()
+                        .zip(values.into_iter().map(|v| v.unwrap_or(0.0))),
+                );
+            }
+            Err(_) => {
+                if let Some(obs) = &self.observer {
+                    obs.on_prefetch(w, false, latency_ns);
+                }
+                // Whole-batch failure carries no per-key verdicts: restore
+                // the heap (order is recovered by the heap itself) and let
+                // the next `w` steps retrieve singleton-style.
+                for entry in entries {
+                    self.heap.push(entry);
+                }
+                self.singleton_debt = w;
+            }
+        }
+    }
+
+    /// Blocks until a parked asynchronous prefetch resolves and folds it
+    /// in (no-op when nothing is parked).  Used by the callers that cannot
+    /// usefully yield: the infallible [`ProgressiveExecutor::step`] and the
+    /// unbounded [`ProgressiveExecutor::drain_with_faults`].
+    fn resolve_pending_blocking(&mut self) {
+        if let Some(pending) = self.pending_fetch.take() {
+            if let Some(obs) = &self.observer {
+                obs.on_resume(pending.entries.len());
+            }
+            self.finish_pending(pending);
+        }
     }
 
     /// Folds a retrieved value into the estimates and bookkeeping shared by
@@ -381,7 +465,9 @@ impl<'a> ProgressiveExecutor<'a> {
     }
 
     fn debit_remaining(&mut self, importance: f64) {
-        self.remaining_importance = if self.heap.is_empty() && self.prefetched.is_empty() {
+        let none_pending =
+            self.heap.is_empty() && self.prefetched.is_empty() && self.pending_fetch.is_none();
+        self.remaining_importance = if none_pending {
             0.0 // avoid leaving rounding residue after the final step
         } else {
             (self.remaining_importance - importance).max(0.0)
@@ -410,7 +496,7 @@ impl<'a> ProgressiveExecutor<'a> {
             obs.on_step(&StepObservation {
                 kind,
                 info,
-                pending: self.heap.len() + self.prefetched.len(),
+                pending: self.heap.len() + self.prefetched.len() + self.pending_len(),
                 deferred: self.deferred.len(),
                 remaining_importance: self.remaining_importance,
                 deferred_importance: self.deferred_importance,
@@ -463,6 +549,22 @@ impl<'a> ProgressiveExecutor<'a> {
             Some(left) => left.min(u64::from(policy.max_attempts.max(1))) as u32,
             None => policy.max_attempts,
         };
+        // A parked asynchronous prefetch owns the next entries in
+        // progression order: resolve it if it landed, park otherwise.
+        if let Some(pending) = &self.pending_fetch {
+            if !pending.completion.is_ready() {
+                return TryStepOutcome::Pending;
+            }
+            let pending = self.pending_fetch.take().expect("readiness just checked");
+            if let Some(obs) = &self.observer {
+                obs.on_resume(pending.entries.len());
+            }
+            self.finish_pending(pending);
+            // Fall through: a successful fetch filled the prefetch buffer;
+            // a failed one restored the heap and set the singleton debt —
+            // either way the paths below behave exactly as after a
+            // synchronous fetch.
+        }
         // A previously prefetched value is next in progression order.
         if let Some((entry, value)) = self.prefetched.pop_front() {
             return self.apply_prefetched(entry, value);
@@ -482,36 +584,27 @@ impl<'a> ProgressiveExecutor<'a> {
                 }
                 let keys: Vec<CoeffKey> = entries.iter().map(|e| e.key).collect();
                 let timer = ExecObserver::maybe_timer(&self.observer);
-                let fetched = self.store.try_get_many(&keys);
-                let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
-                match fetched {
-                    Ok(values) => {
-                        if let Some(obs) = &self.observer {
-                            obs.on_prefetch(w, true, latency_ns);
-                        }
-                        self.prefetched.extend(
-                            entries
-                                .into_iter()
-                                .zip(values.into_iter().map(|v| v.unwrap_or(0.0))),
-                        );
-                        let (entry, value) =
-                            self.prefetched.pop_front().expect("prefetch buffer filled");
+                let completion = self.store.submit(&keys);
+                let pending = PendingFetch {
+                    entries,
+                    completion,
+                    timer,
+                };
+                if pending.completion.is_ready() {
+                    // Synchronous store (or an asynchronous one that beat
+                    // us): resolve inline, byte-identical to the blocking
+                    // `try_get_many` path.
+                    self.finish_pending(pending);
+                    if let Some((entry, value)) = self.prefetched.pop_front() {
                         return self.apply_prefetched(entry, value);
                     }
-                    Err(_) => {
-                        if let Some(obs) = &self.observer {
-                            obs.on_prefetch(w, false, latency_ns);
-                        }
-                        // Whole-batch failure carries no per-key verdicts:
-                        // restore the heap (order is recovered by the heap
-                        // itself) and let the next `w` steps retrieve
-                        // singleton-style — only keys that individually
-                        // fail there are deferred.
-                        for entry in entries {
-                            self.heap.push(entry);
-                        }
-                        self.singleton_debt = w;
+                    // Batch failure: fall through to the singleton path.
+                } else {
+                    if let Some(obs) = &self.observer {
+                        obs.on_park(w, self.heap.len());
                     }
+                    self.pending_fetch = Some(pending);
+                    return TryStepOutcome::Pending;
                 }
             }
         }
@@ -587,8 +680,21 @@ impl<'a> ProgressiveExecutor<'a> {
     /// external change, e.g. `FaultInjectingStore::heal`, would loop
     /// forever).
     pub fn drain_with_faults(&mut self, policy: &RetryPolicy) -> DrainStatus {
-        self.drain_with_faults_budgeted(policy, usize::MAX)
-            .expect("an unbounded step budget always reaches a terminal state")
+        loop {
+            match self.drain_with_faults_budgeted(policy, usize::MAX) {
+                Some(status) => return status,
+                // An unbounded budget only yields when an asynchronous
+                // prefetch is in flight; with nothing better to do, block
+                // on it and continue.
+                None => {
+                    debug_assert!(
+                        self.fetch_pending(),
+                        "an unbounded drain yields only on a parked fetch"
+                    );
+                    self.resolve_pending_blocking();
+                }
+            }
+        }
     }
 
     /// Step-budgeted variant of [`ProgressiveExecutor::drain_with_faults`]:
@@ -674,7 +780,7 @@ impl<'a> ProgressiveExecutor<'a> {
                     return Some(DrainStatus::BoundReached);
                 }
             }
-            if self.heap.is_empty() && self.prefetched.is_empty() {
+            if self.heap.is_empty() && self.prefetched.is_empty() && self.pending_fetch.is_none() {
                 if self.deferred.is_empty() {
                     return Some(DrainStatus::Exact);
                 }
@@ -696,6 +802,10 @@ impl<'a> ProgressiveExecutor<'a> {
                         TryStepOutcome::BudgetExhausted => {
                             return Some(DrainStatus::BudgetExhausted)
                         }
+                        // Unreachable in the deferral phase (prefetches
+                        // only start from the heap), but yielding is the
+                        // safe answer.
+                        TryStepOutcome::Pending => return None,
                         TryStepOutcome::Exhausted => return Some(DrainStatus::Exact),
                     }
                 }
@@ -710,6 +820,11 @@ impl<'a> ProgressiveExecutor<'a> {
                 match self.try_step(policy) {
                     TryStepOutcome::BudgetExhausted => return Some(DrainStatus::BudgetExhausted),
                     TryStepOutcome::Exhausted => return Some(DrainStatus::Exact),
+                    // The fetch is in flight: yield instead of spinning.
+                    // No step ran, so the caller is owed no progress; it
+                    // re-enters (or parks the batch) once the completion
+                    // lands — see `fetch_pending`/`fetch_ready`.
+                    TryStepOutcome::Pending => return None,
                     _ => {}
                 }
             }
@@ -765,11 +880,34 @@ impl<'a> ProgressiveExecutor<'a> {
         entries
     }
 
+    /// Entries owned by a parked asynchronous prefetch (0 when none).
+    fn pending_len(&self) -> usize {
+        self.pending_fetch.as_ref().map_or(0, |p| p.entries.len())
+    }
+
     /// Number of coefficients still pending in normal progression order —
-    /// in the heap or prefetched-but-unapplied (deferred coefficients are
-    /// counted by [`ProgressiveExecutor::deferred_count`]).
+    /// in the heap, prefetched-but-unapplied, or owned by a parked
+    /// asynchronous prefetch (deferred coefficients are counted by
+    /// [`ProgressiveExecutor::deferred_count`]).
     pub fn remaining(&self) -> usize {
-        self.heap.len() + self.prefetched.len()
+        self.heap.len() + self.prefetched.len() + self.pending_len()
+    }
+
+    /// True while a batched prefetch submitted to an asynchronous store is
+    /// outstanding.  A budgeted drain that yielded with work still pending
+    /// and this flag set is *parked*, not out of budget: the serve pool
+    /// shelves such a batch and advances another instead of busy-waiting.
+    pub fn fetch_pending(&self) -> bool {
+        self.pending_fetch.is_some()
+    }
+
+    /// True when the parked prefetch (if any) has landed, i.e. the next
+    /// `try_step` will make progress without blocking. `None`-like `false`
+    /// when nothing is parked.
+    pub fn fetch_ready(&self) -> bool {
+        self.pending_fetch
+            .as_ref()
+            .is_some_and(|p| p.completion.is_ready())
     }
 
     /// Number of coefficients parked in the deferral queue.
@@ -788,20 +926,30 @@ impl<'a> ProgressiveExecutor<'a> {
         self.fault
     }
 
-    /// True when evaluation is exact: nothing pending (in the heap or the
-    /// prefetch buffer) *and* nothing deferred.
+    /// True when evaluation is exact: nothing pending (in the heap, the
+    /// prefetch buffer, or a parked asynchronous prefetch) *and* nothing
+    /// deferred.
     pub fn is_exact(&self) -> bool {
-        self.heap.is_empty() && self.prefetched.is_empty() && self.deferred.is_empty()
+        self.heap.is_empty()
+            && self.prefetched.is_empty()
+            && self.pending_fetch.is_none()
+            && self.deferred.is_empty()
     }
 
     /// The importance of the next coefficient to be applied.  The prefetch
-    /// buffer front, when present, *is* the progression maximum: it was
-    /// popped from the top of the heap, so every remaining heap entry
-    /// ranks at or below it.
+    /// buffer front — or the first entry of a parked asynchronous prefetch
+    /// — when present, *is* the progression maximum: it was popped from
+    /// the top of the heap, so every remaining heap entry ranks at or
+    /// below it.
     pub fn next_importance(&self) -> Option<f64> {
         self.prefetched
             .front()
             .map(|(e, _)| e.importance)
+            .or_else(|| {
+                self.pending_fetch
+                    .as_ref()
+                    .and_then(|p| p.entries.first().map(|e| e.importance))
+            })
             .or_else(|| self.heap.peek().map(|e| e.importance))
     }
 
@@ -837,6 +985,23 @@ impl<'a> ProgressiveExecutor<'a> {
         for (entry, value) in &mut self.prefetched {
             if entry.key == *key {
                 *value += delta;
+            }
+        }
+        // A parked asynchronous prefetch that includes the updated key is
+        // abandoned wholesale: its read raced the write, so the buffered
+        // verdicts cannot be trusted.  The entries return to the heap (their
+        // importance was never debited) and are re-fetched from the updated
+        // store; the dropped completion's read finishes harmlessly in the
+        // background.  Fetches not touching the key keep flying — their
+        // pre- and post-update values are identical.
+        if self
+            .pending_fetch
+            .as_ref()
+            .is_some_and(|p| p.entries.iter().any(|e| e.key == *key))
+        {
+            let pending = self.pending_fetch.take().expect("presence just checked");
+            for entry in pending.entries {
+                self.heap.push(entry);
             }
         }
         // Unretrieved keys need no repair: their importance is query-side
@@ -883,8 +1048,8 @@ impl<'a> ProgressiveExecutor<'a> {
     }
 
     /// The importances `ι_p` of every unresolved coefficient — pending (in
-    /// the heap or the prefetch buffer) and deferred — in no particular
-    /// order. Admission controllers sort this descending to price a batch:
+    /// the heap, the prefetch buffer, or a parked asynchronous prefetch)
+    /// and deferred — in no particular order. Admission controllers sort this descending to price a batch:
     /// entry `t` of the sorted list is the certified-bound driver after `t`
     /// retrievals, so "steps until `K^α·ι ≤ ε`" falls out directly.
     pub fn pending_importances(&self) -> Vec<f64> {
@@ -892,6 +1057,11 @@ impl<'a> ProgressiveExecutor<'a> {
             .iter()
             .map(|e| e.importance)
             .chain(self.prefetched.iter().map(|(e, _)| e.importance))
+            .chain(
+                self.pending_fetch
+                    .iter()
+                    .flat_map(|p| p.entries.iter().map(|e| e.importance)),
+            )
             .chain(self.deferred.iter().map(|e| e.importance))
             .collect()
     }

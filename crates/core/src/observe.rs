@@ -75,6 +75,7 @@ pub struct ExecObserver {
     recoveries: Counter,
     prefetch_batches: Counter,
     prefetch_keys: Counter,
+    parks: Counter,
     pending_depth: Gauge,
     deferred_depth: Gauge,
     step_ns: Histogram,
@@ -105,6 +106,7 @@ impl ExecObserver {
             recoveries: registry.counter(&metric("recoveries")),
             prefetch_batches: registry.counter(&metric("prefetch.batches")),
             prefetch_keys: registry.counter(&metric("prefetch.keys")),
+            parks: registry.counter(&metric("parks")),
             pending_depth: registry.gauge(&metric("pending")),
             deferred_depth: registry.gauge(&metric("deferred")),
             step_ns: registry.histogram(&metric("step_ns")),
@@ -240,6 +242,38 @@ impl ExecObserver {
                 .u64("batch", batch as u64)
                 .bool("ok", ok)
                 .u64("latency_ns", latency_ns),
+        );
+    }
+
+    /// A batched prefetch of `batch` coefficients was submitted to an
+    /// asynchronous store and is still in flight: the executor parked
+    /// instead of blocking.  `heap` is what remains in normal progression
+    /// order behind the parked entries.  Only genuinely asynchronous
+    /// stores produce these — synchronous runs emit no `exec.park`.
+    pub(crate) fn on_park(&self, batch: usize, heap: usize) {
+        self.parks.inc();
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.emit(
+            &Event::new("exec.park")
+                .str("engine", self.engine)
+                .u64("batch", batch as u64)
+                .u64("heap", heap as u64),
+        );
+    }
+
+    /// The parked prefetch of `batch` coefficients landed and the executor
+    /// resumed; the matching `exec.prefetch` record (with the overlap
+    /// latency and the batch verdict) follows immediately.
+    pub(crate) fn on_resume(&self, batch: usize) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.emit(
+            &Event::new("exec.resume")
+                .str("engine", self.engine)
+                .u64("batch", batch as u64),
         );
     }
 

@@ -103,6 +103,9 @@ fn transient_faults_converge_bit_for_bit() {
             TryStepOutcome::BudgetExhausted => {
                 panic!("no budget configured, must never exhaust")
             }
+            TryStepOutcome::Pending => {
+                panic!("synchronous store never parks a fetch")
+            }
         }
         // Invariants hold at EVERY snapshot, not just at the end.
         assert_reconciled(&exec);

@@ -13,7 +13,7 @@ use batchbb_core::{
 };
 use batchbb_penalty::{DiagonalQuadratic, Penalty, Sse};
 use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
-use batchbb_storage::{FaultInjectingStore, FaultPlan, MemoryStore, RetryPolicy};
+use batchbb_storage::{AsyncFetchStore, FaultInjectingStore, FaultPlan, MemoryStore, RetryPolicy};
 use batchbb_tensor::{CoeffKey, Shape, Tensor};
 use batchbb_wavelet::Wavelet;
 
@@ -183,6 +183,65 @@ proptest! {
             prop_assert_eq!(&entries, &base_entries,
                 "retrieved entries diverge at window {}", w);
         }
+    }
+
+    /// ✦ The asynchronous completion engine is a transparent storage-engine
+    /// swap for the executor: across pool shapes (I/O thread counts),
+    /// prefetch windows, and seeded transient faults, the parked-completion
+    /// path produces bit-identical final estimates, the same
+    /// retrieved-entry witness, and the *exact same* fault ledger as the
+    /// blocking `try_get_many` path (fault draws are per `(key, attempt)`,
+    /// so thread interleaving cannot change them).
+    #[test]
+    fn async_completion_agrees_with_sync_bit_for_bit(
+        (data, queries, shape) in arb_instance(),
+        window in 2usize..64,
+        io_threads in 1usize..5,
+        rate in 0.0f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let entries = strategy.transform_data(&data);
+        let batch = BatchQueries::rewrite(&strategy, queries, &shape).unwrap();
+        let policy = RetryPolicy::default();
+        let plan = || FaultPlan::new(seed).with_transient_rate(rate);
+
+        // Blocking reference: every prefetch window crosses the store
+        // boundary through `try_get_many` and stalls the caller.
+        let sync_store =
+            FaultInjectingStore::new(MemoryStore::from_entries(entries.clone()), plan());
+        let mut sync_exec = ProgressiveExecutor::new(&batch, &Sse, &sync_store)
+            .with_prefetch_window(window);
+        if sync_exec.drain_with_faults(&policy) != DrainStatus::Exact {
+            // Unlucky transient streak exhausted the retry budget: heal
+            // and finish — canonical finalization still applies.
+            sync_store.heal();
+            assert_eq!(sync_exec.drain_with_faults(&policy), DrainStatus::Exact);
+        }
+
+        // Completion path: the same windows submitted to the async engine;
+        // the executor parks on the Completion and the drain resolves it.
+        let engine = AsyncFetchStore::new(
+            FaultInjectingStore::new(MemoryStore::from_entries(entries), plan()),
+            io_threads,
+        );
+        let mut async_exec = ProgressiveExecutor::new(&batch, &Sse, &engine)
+            .with_prefetch_window(window);
+        if async_exec.drain_with_faults(&policy) != DrainStatus::Exact {
+            engine.inner().heal();
+            assert_eq!(async_exec.drain_with_faults(&policy), DrainStatus::Exact);
+        }
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(async_exec.estimates()), bits(sync_exec.estimates()),
+            "completion path diverged from blocking finals");
+        prop_assert_eq!(async_exec.retrieved_entries(), sync_exec.retrieved_entries(),
+            "completion path retrieved a different witness");
+        let (sync_stats, async_stats) = (sync_exec.fault_stats(), async_exec.fault_stats());
+        prop_assert!(sync_stats.attempts_reconcile(), "sync ledger: {:?}", sync_stats);
+        prop_assert!(async_stats.attempts_reconcile(), "async ledger: {:?}", async_stats);
+        prop_assert_eq!(async_stats, sync_stats,
+            "the storage engine must not change the fault ledger");
     }
 
     /// Bounded-workspace evaluation with an unlimited budget is exact.

@@ -8,6 +8,7 @@ use batchbb_core::{DegradationReport, ExecObserver, ProgressiveExecutor};
 use batchbb_obs::LabeledSink;
 use batchbb_storage::{CoefficientStore, FaultStats, ShardedCachingStore};
 use batchbb_tensor::CoeffKey;
+use parking_lot::Mutex;
 
 use crate::job::{JobCell, JobState};
 use crate::sched::SliceQueue;
@@ -43,11 +44,29 @@ pub struct BatchServer {
 }
 
 /// Run-wide shared state the slice path consults: consumed attempt ticks
-/// (for shedding) and the `slo.*` observer.
+/// (for shedding), the `slo.*` observer, and the parked-batch shelf.
 struct PoolShared {
     consumed: AtomicU64,
     capacity: Option<u64>,
     slo: SloObserver,
+    /// Batches shelved on a still-in-flight asynchronous prefetch. They
+    /// are in neither the runnable queue nor any worker's hands; every
+    /// worker sweeps this list and re-queues batches whose fetch landed
+    /// (or that were cancelled, or whose fetch an update abandoned).
+    parked: Mutex<Vec<usize>>,
+}
+
+/// What one scheduling slice concluded about a batch.
+enum SliceOutcome {
+    /// The batch published its final result.
+    Finished,
+    /// Inconclusive slice: re-enter the runnable queue with this refreshed
+    /// marginal-value score.
+    Requeue { score: f64, slices: usize },
+    /// The batch is waiting on an in-flight asynchronous prefetch: shelve
+    /// it instead of burning queue turns polling — the pool advances other
+    /// batches over the fetch latency.
+    Parked,
 }
 
 impl BatchServer {
@@ -102,6 +121,7 @@ impl BatchServer {
             consumed: AtomicU64::new(0),
             capacity: config.capacity,
             slo: SloObserver::new(config.sink.clone(), config.registry.clone()),
+            parked: Mutex::new(Vec::new()),
         };
 
         // Executors are built — and contracts priced — serially on the
@@ -154,6 +174,7 @@ impl BatchServer {
             let session = ServeSession {
                 jobs: &jobs,
                 cache: cache.as_ref(),
+                store,
                 config,
             };
             std::thread::scope(|scope| {
@@ -224,6 +245,7 @@ impl BatchServer {
 pub struct ServeSession<'s, 'a> {
     jobs: &'s [JobCell<'a>],
     cache: Option<&'s ShardedCachingStore<&'a dyn CoefficientStore>>,
+    store: &'a dyn CoefficientStore,
     config: &'s ServeConfig,
 }
 
@@ -272,6 +294,18 @@ impl<'s, 'a> ServeSession<'s, 'a> {
     /// from `batchbb_relation::cube::point_entries`.
     pub fn update(&self, entries: &[(CoeffKey, f64)], write_store: impl FnOnce()) {
         let mut guards: Vec<_> = self.jobs.iter().map(|cell| cell.state.lock()).collect();
+        // Quiesce the asynchronous fetch path before mutating: with every
+        // slice lock held no executor can submit a new fetch, and the
+        // barrier waits out reads already in flight — so no pre-update
+        // read races `write_store`. Parked executors may now hold *ready*
+        // completions carrying pre-update values; `apply_update` below
+        // abandons any pending fetch that covers an updated key, so stale
+        // values for touched keys are re-fetched, and untouched keys'
+        // pre-update values are still correct.
+        match self.cache {
+            Some(cache) => cache.quiesce(),
+            None => self.store.quiesce(),
+        }
         write_store();
         if let Some(cache) = self.cache {
             for (key, _) in entries {
@@ -293,9 +327,10 @@ impl<'s, 'a> ServeSession<'s, 'a> {
     }
 }
 
-/// One pool worker: pop the highest-ranked runnable batch, advance it one
-/// slice, re-queue it with a refreshed score if inconclusive, spin down
-/// once every job has published.
+/// One pool worker: sweep the parked shelf for landed fetches, pop the
+/// highest-ranked runnable batch, advance it one slice, re-queue it with a
+/// refreshed score if inconclusive (or shelve it if it parked on an
+/// in-flight fetch), spin down once every job has published.
 fn worker_loop(
     me: usize,
     jobs: &[JobCell<'_>],
@@ -308,15 +343,64 @@ fn worker_loop(
         if active.load(Ordering::Acquire) == 0 {
             return;
         }
+        let resumed = resume_parked(me, jobs, queue, shared);
         match queue.pop(me) {
-            Some(index) => {
-                if let Some((score, slices)) = run_slice(&jobs[index], config, active, shared) {
-                    queue.push(me, index, score, slices);
+            Some(index) => match run_slice(&jobs[index], config, active, shared) {
+                SliceOutcome::Finished => {}
+                SliceOutcome::Requeue { score, slices } => queue.push(me, index, score, slices),
+                SliceOutcome::Parked => shared.parked.lock().push(index),
+            },
+            None if resumed => {}
+            None => {
+                // Nothing runnable. If batches are parked the pool is
+                // I/O-bound: sleep a beat instead of spinning the sweep.
+                if shared.parked.lock().is_empty() {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
                 }
             }
-            None => std::thread::yield_now(),
         }
     }
+}
+
+/// Re-queues every parked batch whose wait is over: its in-flight fetch
+/// landed, an update abandoned the fetch, or it was cancelled. Returns
+/// whether anything was resumed.
+///
+/// Lock discipline: slice locks are only `try_lock`ed — a held lock means
+/// another worker or the update barrier owns the batch right now, and the
+/// next sweep will catch up; blocking here could deadlock against the
+/// barrier (which takes *all* slice locks while a sweep holds the shelf).
+fn resume_parked(me: usize, jobs: &[JobCell<'_>], queue: &SliceQueue, shared: &PoolShared) -> bool {
+    let mut parked = shared.parked.lock();
+    if parked.is_empty() {
+        return false;
+    }
+    let mut resumed = false;
+    let mut i = 0;
+    while i < parked.len() {
+        let cell = &jobs[parked[i]];
+        let wake = cell.cancelled.load(Ordering::Acquire)
+            || match cell.state.try_lock() {
+                Some(state) => !state.exec.fetch_pending() || state.exec.fetch_ready(),
+                None => false,
+            };
+        if !wake {
+            i += 1;
+            continue;
+        }
+        let index = parked.swap_remove(i);
+        let snapshot = cell.snapshot.lock();
+        let per_step =
+            snapshot.worst_case_bound / (snapshot.remaining + snapshot.deferred).max(1) as f64;
+        let score = cell.contract.priority_weight() * per_step;
+        let slices = snapshot.slices;
+        drop(snapshot);
+        queue.push(me, index, score, slices);
+        resumed = true;
+    }
+    resumed
 }
 
 /// Simulated ticks a batch has consumed: one per store attempt plus the
@@ -325,18 +409,18 @@ fn elapsed_ticks(fault: &FaultStats) -> u64 {
     fault.attempts + fault.backoff_ticks
 }
 
-/// Advances one batch by one scheduling slice. Returns `None` once the
-/// batch has published its final result, otherwise the `(score, slices)`
-/// pair to re-queue it with.
+/// Advances one batch by one scheduling slice and says what to do with it
+/// next: drop it (final result published), re-queue it, or shelve it on a
+/// still-in-flight asynchronous prefetch.
 fn run_slice(
     cell: &JobCell<'_>,
     config: &ServeConfig,
     active: &AtomicUsize,
     shared: &PoolShared,
-) -> Option<(f64, usize)> {
+) -> SliceOutcome {
     let mut state = cell.state.lock();
     if state.result.is_some() {
-        return None;
+        return SliceOutcome::Finished;
     }
     if cell.cancelled.load(Ordering::Acquire) {
         let report = state
@@ -350,7 +434,7 @@ fn run_slice(
             active,
             shared,
         );
-        return None;
+        return SliceOutcome::Finished;
     }
     let fault = state.exec.fault_stats();
     let elapsed = elapsed_ticks(&fault);
@@ -371,7 +455,7 @@ fn run_slice(
                 active,
                 shared,
             );
-            return None;
+            return SliceOutcome::Finished;
         }
     }
     if let Some(capacity) = shared.capacity {
@@ -385,7 +469,7 @@ fn run_slice(
                 .degradation_report(config.n_total, config.k_abs_sum);
             state.bound_history.push(report.worst_case_bound);
             finalize(cell, &mut state, BatchStatus::Shed, report, active, shared);
-            return None;
+            return SliceOutcome::Finished;
         }
     }
     // The budget never drops below the deferral queue length, so a slice
@@ -431,13 +515,24 @@ fn run_slice(
     match status {
         Some(status) => {
             finalize(cell, &mut state, status.into(), report, active, shared);
-            None
+            SliceOutcome::Finished
         }
         None => {
             publish_snapshot(cell, &state, &report, false);
+            // An inconclusive drain either ran out of slice budget
+            // (re-queue and compete on marginal value) or parked on an
+            // asynchronous prefetch still in flight (shelve it — unless
+            // the fetch landed while we were reporting, in which case it
+            // is runnable right now).
+            if state.exec.fetch_pending() && !state.exec.fetch_ready() {
+                return SliceOutcome::Parked;
+            }
             let per_step = report.worst_case_bound
                 / (state.exec.remaining() + state.exec.deferred_count()).max(1) as f64;
-            Some((cell.contract.priority_weight() * per_step, state.slices))
+            SliceOutcome::Requeue {
+                score: cell.contract.priority_weight() * per_step,
+                slices: state.slices,
+            }
         }
     }
 }

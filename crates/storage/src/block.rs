@@ -231,6 +231,16 @@ impl BlockStore {
         let mut slice = &raw[..];
         Ok((0..self.block_size).map(|_| slice.get_f64_le()).collect())
     }
+
+    /// Moves the store behind `threads` I/O threads, making
+    /// [`CoefficientStore::submit`] genuinely asynchronous: each queued
+    /// batch still runs through this store's block-grouping
+    /// `try_get_many` (each block read at most once per batch), but
+    /// submitters no longer block on the read.  See
+    /// [`crate::AsyncFetchStore`].
+    pub fn into_async(self, threads: usize) -> crate::AsyncFetchStore<Self> {
+        crate::AsyncFetchStore::new(self, threads)
+    }
 }
 
 impl CoefficientStore for BlockStore {

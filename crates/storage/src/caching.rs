@@ -127,6 +127,12 @@ impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
         Ok(out)
     }
 
+    // `submit` keeps the trait default so the adapter routes through this
+    // wrapper's memoizing `try_get_many`; the barrier still forwards.
+    fn quiesce(&self) {
+        self.inner.quiesce()
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }

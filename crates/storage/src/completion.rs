@@ -1,0 +1,250 @@
+//! Completion handles for asynchronous batched retrieval.
+//!
+//! [`CoefficientStore::submit`](crate::CoefficientStore::submit) returns a
+//! [`Completion`]: a handle to a batched fetch that may still be in flight.
+//! Synchronous stores answer with [`Completion::ready`] (the default
+//! adapter over `try_get_many`), so callers written against the completion
+//! API pay nothing extra on in-memory stores; genuinely asynchronous
+//! backends ([`crate::AsyncFetchStore`]) hand back per-key
+//! [`InflightSlot`]s that an I/O thread fills later.  The handle is
+//! intentionally backend-agnostic — an io_uring submission queue can sit
+//! behind the same `submit`/`Completion` shape behind a `cfg` without
+//! touching any caller.
+//!
+//! Semantics match the batched blocking path (DESIGN.md §10/§12): a
+//! completion resolves to the same `Result<Vec<Option<f64>>, StorageError>`
+//! a `try_get_many` call would return, with per-key failures collapsed to
+//! the earliest-index error so that "`Err` means the whole batch failed and
+//! carries no per-key verdicts" stays true.  Callers that need attribution
+//! fall back to singleton `try_get`, exactly as they do today.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use batchbb_obs::Histogram;
+
+use crate::StorageError;
+
+/// Resolution state of one key's in-flight read.
+#[derive(Debug)]
+enum SlotState {
+    /// The read has been queued or is running on an I/O thread.
+    Pending,
+    /// The read finished with this per-key verdict.
+    Done(Result<Option<f64>, StorageError>),
+}
+
+/// One key's outstanding read, shared between every completion that wants
+/// the key (the cross-batch dedup unit) and the I/O thread that fills it.
+///
+/// Built on `std::sync::{Mutex, Condvar}` so waiters can block without
+/// spinning; the slot is written exactly once by [`InflightSlot::complete`]
+/// and read by any number of waiters.
+#[derive(Debug)]
+pub struct InflightSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl InflightSlot {
+    /// A fresh pending slot.
+    pub(crate) fn new() -> Self {
+        InflightSlot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the read's verdict and wakes every waiter. Must be called
+    /// exactly once per slot.
+    pub(crate) fn complete(&self, result: Result<Option<f64>, StorageError>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(
+            matches!(*state, SlotState::Pending),
+            "an in-flight slot completes exactly once"
+        );
+        *state = SlotState::Done(result);
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// True once the verdict has been published.
+    fn is_done(&self) -> bool {
+        matches!(
+            *self.state.lock().unwrap_or_else(|e| e.into_inner()),
+            SlotState::Done(_)
+        )
+    }
+
+    /// Blocks until the verdict is published, then returns a copy of it.
+    fn wait_done(&self) -> Result<Option<f64>, StorageError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let SlotState::Done(result) = &*state {
+                return result.clone();
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// How the batch is (or will be) answered.
+#[derive(Debug)]
+enum CompletionState {
+    /// Resolved at submit time (the synchronous adapter path).
+    Ready(Result<Vec<Option<f64>>, StorageError>),
+    /// One in-flight slot per requested key, in key order. Slots may be
+    /// shared with other completions that asked for the same key.
+    Pending(Vec<std::sync::Arc<InflightSlot>>),
+}
+
+/// Optional submit→complete latency probe, armed by
+/// [`crate::InstrumentedStore`] and recorded when the completion resolves.
+#[derive(Debug)]
+struct Probe {
+    start: Instant,
+    hist: Histogram,
+}
+
+/// A batched fetch that may still be in flight.
+///
+/// Obtained from [`CoefficientStore::submit`](crate::CoefficientStore::submit).
+/// Poll with [`Completion::is_ready`] (e.g. to park the batch and advance
+/// another), then take the result with [`Completion::wait`], which blocks
+/// only if the fetch is still outstanding.
+#[derive(Debug)]
+pub struct Completion {
+    state: CompletionState,
+    probe: Option<Probe>,
+}
+
+impl Completion {
+    /// A completion resolved at submit time — the synchronous adapter every
+    /// blocking store gets for free.
+    pub fn ready(result: Result<Vec<Option<f64>>, StorageError>) -> Self {
+        Completion {
+            state: CompletionState::Ready(result),
+            probe: None,
+        }
+    }
+
+    /// A completion backed by per-key in-flight slots, in key order.
+    pub(crate) fn pending(slots: Vec<std::sync::Arc<InflightSlot>>) -> Self {
+        Completion {
+            state: CompletionState::Pending(slots),
+            probe: None,
+        }
+    }
+
+    /// Arms a submit→complete latency probe recording into `hist` when the
+    /// completion resolves; `start` is the submit entry timestamp.
+    pub(crate) fn with_probe(mut self, start: Instant, hist: Histogram) -> Self {
+        self.probe = Some(Probe { start, hist });
+        self
+    }
+
+    /// True when [`Completion::wait`] would return without blocking.
+    ///
+    /// Ready completions stay ready; a pending completion becomes ready
+    /// once every slot's I/O thread has published its verdict.
+    pub fn is_ready(&self) -> bool {
+        match &self.state {
+            CompletionState::Ready(_) => true,
+            CompletionState::Pending(slots) => slots.iter().all(|s| s.is_done()),
+        }
+    }
+
+    /// Resolves the batch, blocking until every in-flight key lands.
+    ///
+    /// Per-key failures are collapsed to the earliest-index error, so the
+    /// caller-visible contract is identical to `try_get_many`: `Err` means
+    /// the batch as a whole failed and no partial results are returned.
+    /// Deterministic by construction — the collapse depends only on the
+    /// per-key verdicts, not on which I/O thread finished first.
+    pub fn wait(self) -> Result<Vec<Option<f64>>, StorageError> {
+        let result = match self.state {
+            CompletionState::Ready(result) => result,
+            CompletionState::Pending(slots) => {
+                let mut values = Vec::with_capacity(slots.len());
+                let mut first_err: Option<StorageError> = None;
+                for slot in &slots {
+                    match slot.wait_done() {
+                        Ok(v) => values.push(v),
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(values),
+                }
+            }
+        };
+        if let Some(probe) = self.probe {
+            let elapsed = probe.start.elapsed().as_nanos();
+            probe.hist.record(elapsed.min(u128::from(u64::MAX)) as u64);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use batchbb_tensor::CoeffKey;
+
+    use super::*;
+
+    #[test]
+    fn ready_completion_resolves_immediately() {
+        let c = Completion::ready(Ok(vec![Some(1.0), None]));
+        assert!(c.is_ready());
+        assert_eq!(c.wait(), Ok(vec![Some(1.0), None]));
+    }
+
+    #[test]
+    fn pending_completion_waits_for_slots() {
+        let slots: Vec<Arc<InflightSlot>> = (0..2).map(|_| Arc::new(InflightSlot::new())).collect();
+        let c = Completion::pending(slots.clone());
+        assert!(!c.is_ready());
+        slots[0].complete(Ok(Some(2.5)));
+        assert!(!c.is_ready());
+        slots[1].complete(Ok(None));
+        assert!(c.is_ready());
+        assert_eq!(c.wait(), Ok(vec![Some(2.5), None]));
+    }
+
+    #[test]
+    fn earliest_index_error_wins() {
+        let slots: Vec<Arc<InflightSlot>> = (0..3).map(|_| Arc::new(InflightSlot::new())).collect();
+        let c = Completion::pending(slots.clone());
+        let key_a = CoeffKey::new(&[1, 1]);
+        let key_b = CoeffKey::new(&[2, 2]);
+        // Completion order scrambles the indexes; the collapse must not.
+        slots[2].complete(Err(StorageError::Permanent { key: key_b }));
+        slots[0].complete(Ok(Some(1.0)));
+        slots[1].complete(Err(StorageError::Transient {
+            key: key_a,
+            attempt: 0,
+        }));
+        assert_eq!(
+            c.wait(),
+            Err(StorageError::Transient {
+                key: key_a,
+                attempt: 0
+            })
+        );
+    }
+
+    #[test]
+    fn shared_slot_feeds_two_completions() {
+        let shared = Arc::new(InflightSlot::new());
+        let a = Completion::pending(vec![shared.clone()]);
+        let b = Completion::pending(vec![shared.clone()]);
+        shared.complete(Ok(Some(7.0)));
+        assert_eq!(a.wait(), Ok(vec![Some(7.0)]));
+        assert_eq!(b.wait(), Ok(vec![Some(7.0)]));
+    }
+}

@@ -68,6 +68,15 @@ impl FileStore {
         self.file.read_exact_at(&mut raw, slot * 8)?;
         Ok((&raw[..]).get_f64_le())
     }
+
+    /// Moves the store behind `threads` I/O threads, making
+    /// [`CoefficientStore::submit`] genuinely asynchronous: each queued
+    /// batch still runs through this store's coalescing `try_get_many`
+    /// (sorted contiguous slots become single preads), but submitters no
+    /// longer block on the read.  See [`crate::AsyncFetchStore`].
+    pub fn into_async(self, threads: usize) -> crate::AsyncFetchStore<Self> {
+        crate::AsyncFetchStore::new(self, threads)
+    }
 }
 
 impl CoefficientStore for FileStore {

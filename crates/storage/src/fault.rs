@@ -263,6 +263,14 @@ impl<S: CoefficientStore> CoefficientStore for FaultInjectingStore<S> {
         keys.iter().map(|k| self.try_get(k)).collect()
     }
 
+    // `submit` keeps the trait default so injected faults stay on the
+    // completion path (the adapter routes through this wrapper's
+    // `try_get_many`); to exercise faults on genuinely in-flight reads,
+    // stack `AsyncFetchStore<FaultInjectingStore<S>>`.
+    fn quiesce(&self) {
+        self.inner.quiesce()
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use batchbb_obs::{Counter, Event, EventSink, Histogram, MetricsRegistry, NullSink, SpanTimer};
 use batchbb_tensor::CoeffKey;
 
-use crate::{CoefficientStore, IoStats, StorageError};
+use crate::{CoefficientStore, Completion, IoStats, StorageError};
 
 /// Wraps a [`CoefficientStore`] with latency histograms, hit/miss/fault
 /// counters, and optional `store.fault` trace events.
@@ -28,6 +28,7 @@ pub struct InstrumentedStore<S> {
     registry: Arc<MetricsRegistry>,
     get_ns: Histogram,
     try_get_ns: Histogram,
+    submit_ns: Histogram,
     hits: Counter,
     misses: Counter,
     transient: Counter,
@@ -45,6 +46,7 @@ impl<S: CoefficientStore> InstrumentedStore<S> {
         InstrumentedStore {
             get_ns: registry.histogram("store.get_ns"),
             try_get_ns: registry.histogram("store.try_get_ns"),
+            submit_ns: registry.histogram("store.submit_ns"),
             hits: registry.counter("store.hits"),
             misses: registry.counter("store.misses"),
             transient: registry.counter("store.fault.transient"),
@@ -132,6 +134,24 @@ impl<S: CoefficientStore> CoefficientStore for InstrumentedStore<S> {
     /// as the trait's batch contract allows.
     fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
         keys.iter().map(|k| self.try_get(k)).collect()
+    }
+
+    /// Forwards to the inner store (preserving a genuinely asynchronous
+    /// backend's pending completion) and arms a probe that records the
+    /// *submit→complete* latency into the `store.submit_ns` histogram when
+    /// the completion resolves — a separate distribution from the blocking
+    /// `store.get_ns`/`store.try_get_ns` call latencies, so overlap is
+    /// visible: with latency hiding working, `submit_ns` stays at physical
+    /// I/O scale while the worker's blocking histograms stay flat.
+    fn submit(&self, keys: &[CoeffKey]) -> Completion {
+        let start = std::time::Instant::now();
+        self.inner
+            .submit(keys)
+            .with_probe(start, self.submit_ns.clone())
+    }
+
+    fn quiesce(&self) {
+        self.inner.quiesce()
     }
 
     fn nnz(&self) -> usize {

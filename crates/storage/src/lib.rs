@@ -24,7 +24,11 @@
 //!   pool) share each physical fetch without serializing on one lock;
 //! * [`InstrumentedStore`] — an observability wrapper recording per-call
 //!   latency histograms, hit/miss counters, and per-class fault counters
-//!   into a `batchbb_obs` registry (plus `store.fault` trace events).
+//!   into a `batchbb_obs` registry (plus `store.fault` trace events);
+//! * [`AsyncFetchStore`] — the completion-based asynchronous engine: a
+//!   pool of I/O threads behind [`CoefficientStore::submit`], with an
+//!   in-flight table that dedups reads *across* concurrent batches (see
+//!   [`Completion`] and DESIGN.md §12).
 //!
 //! All stores are safe to share across threads (`&self` reads, atomic
 //! counters).
@@ -86,9 +90,11 @@
 
 #![warn(missing_docs)]
 
+mod async_fetch;
 #[cfg(unix)]
 mod block;
 mod caching;
+mod completion;
 #[cfg(unix)]
 mod disk;
 mod error;
@@ -102,9 +108,11 @@ mod shared;
 mod stats;
 mod store;
 
+pub use async_fetch::AsyncFetchStore;
 #[cfg(unix)]
 pub use block::{BlockLayout, BlockStore};
 pub use caching::CachingStore;
+pub use completion::Completion;
 #[cfg(unix)]
 pub use disk::FileStore;
 pub use error::StorageError;

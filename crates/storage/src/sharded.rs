@@ -299,6 +299,14 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
         Ok(out)
     }
 
+    // `submit` keeps the trait default: the adapter routes through this
+    // wrapper's exactly-once-filling `try_get_many`.  For latency hiding
+    // *and* memoization, wrap this store in [`crate::AsyncFetchStore`]
+    // (dedup outside, memo inside — DESIGN.md §12).
+    fn quiesce(&self) {
+        self.inner.quiesce()
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }

@@ -2,7 +2,7 @@
 
 use batchbb_tensor::CoeffKey;
 
-use crate::{IoStats, StorageError};
+use crate::{Completion, IoStats, StorageError};
 
 /// Read access to a materialized view of transform coefficients.
 ///
@@ -55,6 +55,34 @@ pub trait CoefficientStore: Send + Sync {
         keys.iter().map(|k| self.try_get(k)).collect()
     }
 
+    /// Submits a batched fetch and returns a [`Completion`] that resolves
+    /// to the same `Result` [`CoefficientStore::try_get_many`] would return
+    /// for `keys`.
+    ///
+    /// The default implementation fetches synchronously and returns an
+    /// already-resolved completion, so every blocking store supports the
+    /// completion API with byte-identical values and accounting.  Genuinely
+    /// asynchronous backends ([`crate::AsyncFetchStore`]) return a pending
+    /// completion instead: the caller may poll [`Completion::is_ready`],
+    /// park the work that needs the values, and [`Completion::wait`] later
+    /// — the latency-hiding primitive of DESIGN.md §12.  Wrappers that
+    /// account per call (fault injection, instrumentation, caching) keep
+    /// this default so the adapter routes through *their* `try_get_many`;
+    /// pass-through wrappers forward it to preserve asynchrony.
+    fn submit(&self, keys: &[CoeffKey]) -> Completion {
+        Completion::ready(self.try_get_many(keys))
+    }
+
+    /// Blocks until every asynchronous fetch submitted to this store has
+    /// completed and its in-flight bookkeeping is retired.
+    ///
+    /// A no-op for synchronous stores (the default).  Writers use it as a
+    /// barrier before mutating the underlying view: after `quiesce`, no
+    /// later [`CoefficientStore::submit`] can share a read that started
+    /// before the write and observe a stale value.  Wrappers must forward
+    /// it to their inner store.
+    fn quiesce(&self) {}
+
     /// Number of stored (nonzero) coefficients.
     fn nnz(&self) -> usize;
 
@@ -85,6 +113,14 @@ impl<S: CoefficientStore + ?Sized> CoefficientStore for &S {
 
     fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
         (**self).try_get_many(keys)
+    }
+
+    fn submit(&self, keys: &[CoeffKey]) -> Completion {
+        (**self).submit(keys)
+    }
+
+    fn quiesce(&self) {
+        (**self).quiesce()
     }
 
     fn nnz(&self) -> usize {

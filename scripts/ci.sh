@@ -3,21 +3,28 @@
 # docs, example smoke-runs, and bench bitrot checks.
 # Runs entirely offline — all dependencies are in-tree (see shims/).
 #
-# Usage: scripts/ci.sh [--quick] [--threads]
-#   --quick   skip the release build, docs gate, example smoke-runs, and
-#             bench bitrot checks (fmt + clippy + tests only)
-#   --threads run ONLY the concurrency test matrix (the serve-layer tests
-#             under RUST_TEST_THREADS=1 and at default parallelism)
+# Usage: scripts/ci.sh [--quick] [--threads] [--slow-store]
+#   --quick      skip the release build, docs gate, example smoke-runs, and
+#                bench bitrot checks (fmt + clippy + tests only)
+#   --threads    run ONLY the concurrency test matrix (the serve-layer tests
+#                under RUST_TEST_THREADS=1 and at default parallelism)
+#   --slow-store run ONLY the slow-store gate: the latency-hiding smoke
+#                (overlapped pool must beat the blocking baseline 3x over a
+#                2ms-per-round-trip store), the async-vs-sync bit-identity
+#                proptests, and the bench-regression guard over the
+#                recorded results/BENCH_exec.json thresholds
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
 threads_only=0
+slow_store_only=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --threads) threads_only=1 ;;
+        --slow-store) slow_store_only=1 ;;
         *)
             echo "unknown argument: $arg" >&2
             exit 2
@@ -42,9 +49,32 @@ threads_matrix() {
     run cargo test -q -p batchbb-serve
 }
 
+# Slow-store gate: over a store charging 2ms per physical round-trip, the
+# serve pool backed by the asynchronous completion engine must sustain >=
+# 3x the blocking baseline's throughput at equal worker count, with
+# bit-identical finals (crates/bench/tests/slow_store.rs).  The async-vs-
+# sync proptest holds the executor to the same bit-identity and fault-
+# ledger contract across pool shapes and seeded faults, and the bench-
+# regression guard re-checks the recorded round-trip counts, head-scan
+# block reads, and overlap speedup in results/BENCH_exec.json.
+slow_store_gate() {
+    run cargo test -q -p batchbb-bench --test slow_store
+    run cargo test -q -p batchbb-core --test proptests \
+        async_completion_agrees_with_sync_bit_for_bit
+    run cargo test -q -p batchbb-core --test slicing
+    run cargo run -q --release -p batchbb-bench --bin progress_report -- \
+        --check-bench results/BENCH_exec.json
+}
+
 if [ "$threads_only" -eq 1 ]; then
     threads_matrix
     echo "==> ci green (threads matrix)"
+    exit 0
+fi
+
+if [ "$slow_store_only" -eq 1 ]; then
+    slow_store_gate
+    echo "==> ci green (slow-store gate)"
     exit 0
 fi
 
@@ -114,6 +144,8 @@ if [ "$quick" -eq 0 ]; then
     # on both penalty families and exit 0 (and both copies still pass the
     # invariant checks above).
     run cargo run -q --release -p batchbb-bench --bin progress_report -- --diff "$trace" "$trace" > /dev/null
+
+    slow_store_gate
 fi
 
 echo "==> ci green"

@@ -102,9 +102,9 @@ pub mod prelude {
         BatchStatus, SchedulerPolicy, ServeConfig, ServeSession, SloContract, SloOutcome,
     };
     pub use batchbb_storage::{
-        retry::get_with_retry, ArrayStore, CachingStore, CoefficientStore, FaultInjectingStore,
-        FaultPlan, FaultStats, InstrumentedStore, IoStats, MemoryStore, MutableStore, RetryPolicy,
-        ShardedCachingStore, SharedStore, StorageError,
+        retry::get_with_retry, ArrayStore, AsyncFetchStore, CachingStore, CoefficientStore,
+        Completion, FaultInjectingStore, FaultPlan, FaultStats, InstrumentedStore, IoStats,
+        MemoryStore, MutableStore, RetryPolicy, ShardedCachingStore, SharedStore, StorageError,
     };
     #[cfg(unix)]
     pub use batchbb_storage::{BlockLayout, BlockStore, FileStore};
