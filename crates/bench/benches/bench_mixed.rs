@@ -1,0 +1,79 @@
+//! ✦ Criterion benchmark for the mixed update+query workload: the same
+//! serve pool with a driver streaming point-update batches, run with
+//! stop-the-world barrier updates (`SharedStore`) vs zero-coordination
+//! versioned publishes (`VersionedStore`). Writes the update-latency
+//! numbers and the headline `publish_speedup` ratio to
+//! `results/BENCH_exec.json` under `bench_mixed_update` — the thresholds
+//! `progress_report --mode check_bench` and the CI `--mixed` gate
+//! enforce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use batchbb_bench::mixed::{MixedConfig, MixedFixture};
+use batchbb_bench::report::{results_dir, write_section, Json};
+
+fn bench_mixed_update(c: &mut Criterion) {
+    let cfg = MixedConfig::default();
+    let fixture = MixedFixture::build(cfg.clone());
+
+    let mut g = c.benchmark_group("mixed_workload");
+    g.sample_size(10);
+    g.bench_function("barrier", |b| b.iter(|| fixture.serve_barrier()));
+    g.bench_function("versioned", |b| b.iter(|| fixture.serve_versioned()));
+    g.finish();
+
+    let report = fixture.measure();
+    eprintln!(
+        "mixed workload: barrier update {:.1}us mean / {:.1}us max vs versioned \
+         publish {:.1}us mean / {:.1}us max: mean speedup {:.2}x, tail speedup {:.2}x \
+         at {} workers, {} batches, {} updates x {} points",
+        report.barrier.update_mean_s * 1e6,
+        report.barrier.update_max_s * 1e6,
+        report.versioned.update_mean_s * 1e6,
+        report.versioned.update_max_s * 1e6,
+        report.publish_speedup,
+        report.tail_speedup,
+        cfg.workers,
+        cfg.batches,
+        cfg.updates,
+        cfg.points_per_update,
+    );
+    write_section(
+        &results_dir().join("BENCH_exec.json"),
+        "bench_mixed_update",
+        &Json::obj([
+            ("batches", Json::U64(cfg.batches as u64)),
+            ("queries_per_batch", Json::U64(cfg.queries_per_batch as u64)),
+            ("workers", Json::U64(cfg.workers as u64)),
+            ("slice_steps", Json::U64(cfg.slice_steps as u64)),
+            ("updates", Json::U64(cfg.updates as u64)),
+            ("points_per_update", Json::U64(cfg.points_per_update as u64)),
+            (
+                "barrier_update_mean_s",
+                Json::F64(report.barrier.update_mean_s),
+            ),
+            (
+                "barrier_update_max_s",
+                Json::F64(report.barrier.update_max_s),
+            ),
+            ("barrier_elapsed_s", Json::F64(report.barrier.elapsed_secs)),
+            (
+                "versioned_update_mean_s",
+                Json::F64(report.versioned.update_mean_s),
+            ),
+            (
+                "versioned_update_max_s",
+                Json::F64(report.versioned.update_max_s),
+            ),
+            (
+                "versioned_elapsed_s",
+                Json::F64(report.versioned.elapsed_secs),
+            ),
+            ("publish_speedup", Json::F64(report.publish_speedup)),
+            ("tail_speedup", Json::F64(report.tail_speedup)),
+        ]),
+    );
+}
+
+criterion_group!(benches, bench_mixed_update);
+criterion_main!(benches);

@@ -214,6 +214,22 @@ fn check_bench(path: &str) -> ExitCode {
         ),
         None => println!("  SKIP bench_serve_prefetch: section absent"),
     }
+    match body("bench_mixed_update") {
+        // Recorded: ~0.1ms worst versioned publish across 24 updates on
+        // the reference box. The ceiling is generous (latency benches on
+        // shared runners are noisy) but still two orders below the
+        // barrier's reader-drain timescale: an update path that waits on
+        // slice drains again blows straight through it. Lock-freedom
+        // itself is gated structurally by the in-crate serve test that
+        // holds every slice lock across `update`.
+        Some(b) => ceiling(
+            "bench_mixed_update",
+            "versioned update max seconds",
+            number_field(b, "versioned_update_max_s"),
+            0.01,
+        ),
+        None => println!("  SKIP bench_mixed_update: section absent"),
+    }
     match body("bench_async_overlap") {
         // Recorded: 8.0× on the reference box; the CI smoke itself gates
         // at 3× too, so the guard and the smoke agree on the floor.

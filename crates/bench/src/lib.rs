@@ -9,6 +9,7 @@ use batchbb_query::{partition, HyperRect, RangeSum};
 use batchbb_relation::{synth, FrequencyDistribution};
 use batchbb_tensor::Shape;
 
+pub mod mixed;
 pub mod report;
 pub mod slow;
 pub mod trace;

@@ -14,6 +14,14 @@ use batchbb_tensor::CoeffKey;
 use crate::observe::{ExecObserver, StepObservation};
 use crate::{BatchQueries, MasterList};
 
+/// Mirrors the storage layer's near-zero eviction tolerance
+/// (`MemoryStore::add` / `VersionedStore::publish` drop slots whose
+/// post-delta magnitude is at most this, so subsequent reads return
+/// exactly `0.0`).  The update-repair paths snap to the same value so a
+/// repaired executor stays bit-identical to one restarted on the
+/// updated store.
+const STORE_ZERO_TOL: f64 = 1e-13;
+
 /// A heap entry ordered by importance (ties broken by key for
 /// reproducibility).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -964,6 +972,14 @@ impl<'a> ProgressiveExecutor<'a> {
     /// After a full repair, running to completion yields the exact results
     /// on the updated database — progressive evaluation and the paper's
     /// `O((2δ+1)^d log^d N)` update path compose.
+    ///
+    /// Repaired values mirror the stores' near-zero eviction: every
+    /// `MutableStore::add` and `VersionedStore::publish` drops a slot
+    /// whose post-delta magnitude is ≤ 1e-13, after which reads return
+    /// exactly `0.0` — so the repair snaps such values to `0.0` too
+    /// (backing out the residual from the estimates). Without the snap, a
+    /// repaired executor would carry the tiny residual while a restarted
+    /// one reads zero, and the two could never be bit-identical.
     pub fn apply_update(&mut self, key: &CoeffKey, delta: f64) {
         if delta == 0.0 {
             return;
@@ -977,6 +993,13 @@ impl<'a> ProgressiveExecutor<'a> {
             for &(qi, c) in column {
                 self.estimates[qi as usize] += c * delta;
             }
+            if seen.abs() <= STORE_ZERO_TOL && *seen != 0.0 {
+                let residual = *seen;
+                *seen = 0.0;
+                for &(qi, c) in column {
+                    self.estimates[qi as usize] -= c * residual;
+                }
+            }
         }
         // A prefetched-but-unapplied value was read from the store *before*
         // the update landed, so it needs the same repair as a seen key —
@@ -985,6 +1008,9 @@ impl<'a> ProgressiveExecutor<'a> {
         for (entry, value) in &mut self.prefetched {
             if entry.key == *key {
                 *value += delta;
+                if value.abs() <= STORE_ZERO_TOL {
+                    *value = 0.0;
+                }
             }
         }
         // A parked asynchronous prefetch that includes the updated key is
@@ -1006,6 +1032,117 @@ impl<'a> ProgressiveExecutor<'a> {
         }
         // Unretrieved keys need no repair: their importance is query-side
         // only, and their value will be read from the (updated) store.
+        //
+        // An already-exact executor gets no further steps, so the exactness
+        // invariant — estimates are the canonical fold of `seen` — must be
+        // restored here rather than by the (absent) next step.
+        if self.is_exact() {
+            self.canonicalize_estimates();
+        }
+    }
+
+    /// Batched [`ProgressiveExecutor::apply_update`]: repairs the
+    /// progressive state for a whole update batch in input order, with
+    /// bit-identical results to calling `apply_update` once per entry —
+    /// including the per-delta near-zero snap mirroring the stores'
+    /// eviction tolerance.
+    ///
+    /// The batched path amortizes the per-entry costs: runs of equal keys
+    /// (the natural shape of support-grouped streaming updates, see
+    /// `batchbb_relation::cube::batch_point_entries`) share one
+    /// `seen`/column lookup, the prefetch buffer is walked once instead of
+    /// once per entry, and a parked asynchronous prefetch intersecting
+    /// *any* updated key is abandoned exactly once (one heap push-back
+    /// instead of one per intersecting entry — though the sequential path
+    /// also abandons at most once, it pays the intersection scan per
+    /// entry).
+    pub fn apply_update_batch(&mut self, entries: &[(CoeffKey, f64)]) {
+        // Seen/estimate repairs, one key-run at a time.  Per-key deltas are
+        // applied sequentially in input order, and deltas to distinct keys
+        // touch disjoint `seen` slots, so this equals the sequential path
+        // bit for bit (estimate increments for one key fire in input
+        // order; increments for different keys commute only through `+=`
+        // on values that each repair recomputes independently — the same
+        // interleaving the sequential path produces, since it too walks
+        // entries in input order).
+        let mut i = 0;
+        while i < entries.len() {
+            let key = &entries[i].0;
+            let mut j = i;
+            if let Some(seen) = self.seen.get_mut(key) {
+                let column = self
+                    .columns
+                    .get(key)
+                    .expect("seen keys come from the master list");
+                while j < entries.len() && entries[j].0 == *key {
+                    let delta = entries[j].1;
+                    if delta != 0.0 {
+                        *seen += delta;
+                        for &(qi, c) in column {
+                            self.estimates[qi as usize] += c * delta;
+                        }
+                        if seen.abs() <= STORE_ZERO_TOL && *seen != 0.0 {
+                            let residual = *seen;
+                            *seen = 0.0;
+                            for &(qi, c) in column {
+                                self.estimates[qi as usize] -= c * residual;
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+            } else {
+                while j < entries.len() && entries[j].0 == *key {
+                    j += 1;
+                }
+            }
+            i = j;
+        }
+        // Prefetched-but-unapplied values: one pass over the buffer, each
+        // slot absorbing its key's deltas in input order.
+        for (entry, value) in &mut self.prefetched {
+            for (key, delta) in entries {
+                if *delta != 0.0 && entry.key == *key {
+                    *value += delta;
+                    if value.abs() <= STORE_ZERO_TOL {
+                        *value = 0.0;
+                    }
+                }
+            }
+        }
+        // A parked asynchronous prefetch touching any updated key is
+        // abandoned once; untouched fetches keep flying (their pre- and
+        // post-update values are identical).
+        if self.pending_fetch.as_ref().is_some_and(|p| {
+            p.entries
+                .iter()
+                .any(|e| entries.iter().any(|(k, d)| *d != 0.0 && e.key == *k))
+        }) {
+            let pending = self.pending_fetch.take().expect("presence just checked");
+            for entry in pending.entries {
+                self.heap.push(entry);
+            }
+        }
+        // Same exactness re-canonicalization as `apply_update`: with no
+        // steps left to fire it, restore the invariant here.
+        if self.is_exact() {
+            self.canonicalize_estimates();
+        }
+    }
+
+    /// Repairs this executor across a published version delta — the
+    /// reader half of the MVCC protocol (DESIGN.md §13).
+    ///
+    /// `delta` is the concatenated update entries between the executor's
+    /// old and new pinned versions, in publish order, as returned by
+    /// `VersionedStore::delta_between` / `VersionView::advance_to_current`.
+    /// Contract: the caller advances the *view* first (so re-fetched and
+    /// unretrieved coefficients read the new version), then calls this so
+    /// already-retrieved coefficients are re-applied.  After the repair,
+    /// running to completion finalizes bit-identical to a fresh executor
+    /// started on the new version.
+    pub fn advance_version(&mut self, delta: &[(CoeffKey, f64)]) {
+        self.apply_update_batch(delta);
     }
 
     /// Theorem 2's estimate of the penalty expected on a random unit-norm

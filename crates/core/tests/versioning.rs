@@ -1,0 +1,275 @@
+//! Version-advance repair contract of the executor (DESIGN.md §13).
+//!
+//! An executor pinned to one store version may opt in to a newer one:
+//! the caller advances its view first, then calls
+//! `ProgressiveExecutor::advance_version` with the exact concatenated
+//! delta between the versions. These tests pin the headline invariant —
+//! an executor repaired through `k` version deltas finalizes
+//! bit-identically to a fresh executor started on the final version —
+//! plus the degenerate cases: an empty delta, a delta touching every
+//! pinned key, and a delta racing a pending `AsyncFetchStore` completion.
+
+use proptest::prelude::*;
+
+use batchbb_core::{BatchQueries, DrainStatus, ProgressiveExecutor};
+use batchbb_penalty::Sse;
+use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
+use batchbb_relation::{cube, Attribute, FrequencyDistribution, Schema};
+use batchbb_storage::{
+    AsyncFetchStore, CoefficientStore, Completion, IoStats, RetryPolicy, StorageError,
+    VersionedStore,
+};
+use batchbb_tensor::{CoeffKey, Shape};
+use batchbb_wavelet::Wavelet;
+
+/// A deterministic dataset on a `2^bx × 2^by` domain, one batch of count
+/// queries, and the versioned wavelet store holding version 0.
+fn instance(
+    bx: u32,
+    by: u32,
+    seed: u64,
+    wavelet: Wavelet,
+) -> (VersionedStore, BatchQueries, Shape, WaveletStrategy) {
+    let schema = Schema::new(vec![
+        Attribute::new("x", 0.0, (1 << bx) as f64, bx),
+        Attribute::new("y", 0.0, (1 << by) as f64, by),
+    ])
+    .unwrap();
+    let mut dfd = FrequencyDistribution::new(schema);
+    for i in 0..(1usize << bx) {
+        for j in 0..(1usize << by) {
+            let w = ((i as u64 * 7 + j as u64 * 3 + seed) % 5) as f64;
+            if w != 0.0 {
+                dfd.insert_binned(&[i, j], w);
+            }
+        }
+    }
+    let strategy = WaveletStrategy::new(wavelet);
+    let store = VersionedStore::from_entries(strategy.transform_data(dfd.tensor()));
+    let shape = dfd.schema().domain();
+    let cells = 2 + (seed as usize % 3);
+    let queries: Vec<RangeSum> = partition::random_partition(&shape, cells, seed)
+        .into_iter()
+        .map(RangeSum::count)
+        .collect();
+    let batch = BatchQueries::rewrite(&strategy, queries, &shape).unwrap();
+    (store, batch, shape, strategy)
+}
+
+/// Runs a fresh executor to exactness against the store's *current*
+/// version and returns its finals.
+fn restart_finals(
+    store: &VersionedStore,
+    batch: &BatchQueries,
+    window: usize,
+) -> (Vec<f64>, Vec<(CoeffKey, f64)>) {
+    let view = store.pin();
+    let mut exec = ProgressiveExecutor::new(batch, &Sse, &view).with_prefetch_window(window);
+    exec.run_to_end();
+    (exec.estimates().to_vec(), exec.retrieved_entries())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn advance_version_agrees_with_restart(
+        bx in 2u32..5,
+        by in 2u32..5,
+        seed in 0u64..500,
+        k_versions in 1usize..4,
+        steps_between in 0usize..24,
+        window in 1usize..4,
+    ) {
+        let wavelet = if seed % 2 == 0 { Wavelet::Haar } else { Wavelet::Db4 };
+        let (store, batch, shape, strategy) = instance(bx, by, seed, wavelet);
+        let view = store.pin();
+        let mut exec =
+            ProgressiveExecutor::new(&batch, &Sse, &view).with_prefetch_window(window);
+        for v in 0..k_versions {
+            exec.run(steps_between);
+            let x = (seed as usize + 3 * v) % (1 << bx);
+            let y = (seed as usize * 5 + v) % (1 << by);
+            let entries =
+                cube::point_entries(&shape, &[x, y], 1.0 + v as f64, strategy.wavelet);
+            store.publish(&entries);
+            // View first, repair second — the documented advance order.
+            let (_, delta) = view.advance_to_current();
+            exec.advance_version(&delta);
+        }
+        exec.run_to_end();
+        let (estimates, retrieved) = restart_finals(&store, &batch, window);
+        prop_assert_eq!(exec.estimates(), estimates.as_slice());
+        prop_assert_eq!(exec.retrieved_entries(), retrieved);
+    }
+}
+
+/// Degenerate case: publishing an empty delta still creates a version;
+/// advancing through it must change nothing at all.
+#[test]
+fn advance_through_an_empty_delta_is_identity() {
+    let (store, batch, _, _) = instance(4, 4, 7, Wavelet::Db4);
+    let view = store.pin();
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &view);
+    exec.run(10);
+    let before_estimates = exec.estimates().to_vec();
+    let before_bound = exec.worst_case_bound(store.abs_sum());
+    let v0 = view.version();
+    store.publish(&[]);
+    let (v1, delta) = view.advance_to_current();
+    assert_eq!(v1.as_u64(), v0.as_u64() + 1);
+    assert!(delta.is_empty());
+    exec.advance_version(&delta);
+    assert_eq!(exec.estimates(), before_estimates.as_slice());
+    assert_eq!(exec.worst_case_bound(store.abs_sum()), before_bound);
+    exec.run_to_end();
+    let (estimates, retrieved) = restart_finals(&store, &batch, 1);
+    assert_eq!(exec.estimates(), estimates.as_slice());
+    assert_eq!(exec.retrieved_entries(), retrieved);
+}
+
+/// Degenerate case: the delta touches *every* key the executor has
+/// pinned — all retrieved values repaired, every remaining read changed.
+#[test]
+fn advance_through_a_delta_touching_every_pinned_key() {
+    let (store, batch, _, _) = instance(4, 4, 11, Wavelet::Haar);
+    // Probe run: every master-list key with its version-0 value.
+    let all_keys = {
+        let view = store.pin();
+        let mut probe = ProgressiveExecutor::new(&batch, &Sse, &view);
+        probe.run_to_end();
+        probe.retrieved_entries()
+    };
+    assert!(!all_keys.is_empty());
+    let view = store.pin();
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &view);
+    exec.run(all_keys.len() / 2);
+    let delta: Vec<(CoeffKey, f64)> = all_keys
+        .iter()
+        .enumerate()
+        .map(|(i, (key, _))| (*key, 0.25 + i as f64 * 0.5))
+        .collect();
+    store.publish(&delta);
+    let (_, advance) = view.advance_to_current();
+    assert_eq!(advance.len(), delta.len());
+    exec.advance_version(&advance);
+    exec.run_to_end();
+    let (estimates, retrieved) = restart_finals(&store, &batch, 1);
+    assert_eq!(exec.estimates(), estimates.as_slice());
+    assert_eq!(exec.retrieved_entries(), retrieved);
+}
+
+/// A store whose reads block while the gate is closed — pins an
+/// `AsyncFetchStore` completion in flight deterministically.
+struct GatedView {
+    inner: batchbb_storage::VersionView,
+    gate: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl GatedView {
+    fn new(inner: batchbb_storage::VersionView) -> Self {
+        GatedView {
+            inner,
+            gate: std::sync::Mutex::new(true),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn set_gate(&self, open: bool) {
+        *self.gate.lock().unwrap() = open;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let guard = self.gate.lock().unwrap();
+        drop(self.cv.wait_while(guard, |open| !*open).unwrap());
+    }
+
+    fn view(&self) -> &batchbb_storage::VersionView {
+        &self.inner
+    }
+}
+
+impl CoefficientStore for GatedView {
+    fn get(&self, key: &CoeffKey) -> Option<f64> {
+        self.wait_open();
+        self.inner.get(key)
+    }
+
+    fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
+        self.wait_open();
+        self.inner.try_get(key)
+    }
+
+    fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        self.wait_open();
+        self.inner.try_get_many(keys)
+    }
+
+    fn submit(&self, keys: &[CoeffKey]) -> Completion {
+        self.wait_open();
+        self.inner.submit(keys)
+    }
+
+    fn version_tag(&self) -> u64 {
+        self.inner.version_tag()
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+/// Degenerate case: a version delta lands while an asynchronous prefetch
+/// is still in flight. The advance abandons the pending fetch (its keys
+/// intersect the delta), so the executor re-fetches them from the *new*
+/// version and still finalizes bit-identically to a restart.
+#[test]
+fn advance_racing_a_pending_async_completion() {
+    let (store, batch, _, _) = instance(4, 4, 3, Wavelet::Haar);
+    let gated = GatedView::new(store.pin());
+    gated.set_gate(false);
+    let asynchronous = AsyncFetchStore::new(gated, 1);
+    let mut exec = ProgressiveExecutor::new(&batch, &Sse, &asynchronous).with_prefetch_window(2);
+    // With the gate closed, the first budgeted drain submits its prefetch
+    // and parks on it: the completion is pinned in flight.
+    let status = exec.drain_with_faults_budgeted(&RetryPolicy::default(), 4);
+    assert_eq!(status, None);
+    assert!(exec.fetch_pending() && !exec.fetch_ready());
+    // Publish a delta touching every master-list key, so the pending
+    // fetch provably intersects it; advance view-first as always.
+    let all_keys = {
+        let view = store.pin();
+        let mut probe = ProgressiveExecutor::new(&batch, &Sse, &view);
+        probe.run_to_end();
+        probe.retrieved_entries()
+    };
+    let delta: Vec<(CoeffKey, f64)> = all_keys
+        .iter()
+        .map(|(key, value)| (*key, 1.0 + value.abs()))
+        .collect();
+    store.publish(&delta);
+    let (_, advance) = asynchronous.inner().view().advance_to_current();
+    exec.advance_version(&advance);
+    assert!(
+        !exec.fetch_pending(),
+        "the intersecting pending fetch must be abandoned"
+    );
+    // Release the stale read and finish: every retrieval now comes from
+    // the new version.
+    asynchronous.inner().set_gate(true);
+    let status = exec.drain_with_faults(&RetryPolicy::default());
+    assert_eq!(status, DrainStatus::Exact);
+    let (estimates, retrieved) = restart_finals(&store, &batch, 1);
+    assert_eq!(exec.estimates(), estimates.as_slice());
+    assert_eq!(exec.retrieved_entries(), retrieved);
+    asynchronous.quiesce();
+}

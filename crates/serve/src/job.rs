@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use batchbb_core::{DegradationReport, DrainStatus, ProgressiveExecutor};
 use batchbb_obs::MetricsSnapshot;
+use batchbb_storage::VersionId;
 use batchbb_tensor::CoeffKey;
 use parking_lot::Mutex;
 
@@ -101,6 +102,14 @@ pub struct BatchResult {
     /// per-batch snapshots mid-flight would capture racy prefixes).
     /// Empty when the run had no registry configured.
     pub metrics: MetricsSnapshot,
+    /// The coefficient-store version this batch's answer is certified
+    /// against: in versioned serving
+    /// ([`BatchServer::serve_versioned`](crate::BatchServer::serve_versioned))
+    /// the version pinned at admission, bumped each time
+    /// [`ServeSession::advance_batch`](crate::ServeSession::advance_batch)
+    /// opts the batch in to a newer snapshot. `None` for sessions over a
+    /// plain (unversioned) store.
+    pub pinned_version: Option<VersionId>,
 }
 
 impl BatchResult {
@@ -133,13 +142,18 @@ pub struct BatchSnapshot {
 }
 
 /// Executor state guarded by the job's slice lock. Workers hold this lock
-/// for one slice at a time; the session's update barrier holds every
-/// job's lock at once.
+/// for one slice at a time; the *unversioned* session's update barrier
+/// holds every job's lock at once, while versioned sessions never take it
+/// during [`ServeSession::update`](crate::ServeSession::update) — only
+/// [`ServeSession::advance_batch`](crate::ServeSession::advance_batch)
+/// locks the one job it repairs.
 pub(crate) struct JobState<'a> {
     pub(crate) exec: ProgressiveExecutor<'a>,
     pub(crate) slices: usize,
     pub(crate) bound_history: Vec<f64>,
     pub(crate) result: Option<BatchResult>,
+    /// The store version this job currently reads (versioned mode only).
+    pub(crate) pinned_version: Option<VersionId>,
 }
 
 /// One submitted batch: its executor (behind the slice lock), its
@@ -159,6 +173,7 @@ impl<'a> JobCell<'a> {
         exec: ProgressiveExecutor<'a>,
         config: &ServeConfig,
         contract: SloContract,
+        pinned: Option<VersionId>,
     ) -> Self {
         let snapshot = snapshot_of(&exec, 0, false, config);
         JobCell {
@@ -169,6 +184,7 @@ impl<'a> JobCell<'a> {
                 slices: 0,
                 bound_history: Vec::new(),
                 result: None,
+                pinned_version: pinned,
             }),
             snapshot: Mutex::new(snapshot),
             cancelled: AtomicBool::new(false),
@@ -187,6 +203,7 @@ impl<'a> JobCell<'a> {
         contract: SloContract,
         estimate: &AdmissionEstimate,
         capacity: u64,
+        pinned: Option<VersionId>,
     ) -> Self {
         let report = exec.degradation_report(config.n_total, config.k_abs_sum);
         let snapshot = snapshot_of(&exec, 0, true, config);
@@ -201,6 +218,7 @@ impl<'a> JobCell<'a> {
             retrieved_entries: Vec::new(),
             slices: 0,
             metrics: Default::default(),
+            pinned_version: pinned,
         };
         JobCell {
             index,
@@ -210,6 +228,7 @@ impl<'a> JobCell<'a> {
                 slices: 0,
                 bound_history: Vec::new(),
                 result: Some(result),
+                pinned_version: pinned,
             }),
             snapshot: Mutex::new(snapshot),
             cancelled: AtomicBool::new(false),

@@ -22,8 +22,17 @@
 //!   ([`BatchSnapshot`]) and cooperative cancellation while the pool
 //!   runs, reachable from the driver closure of
 //!   [`BatchServer::serve_with`];
-//! * [`ServeSession::update`] — live data updates applied atomically
-//!   across the store, the shared cache, and every in-flight executor;
+//! * [`ServeSession::update`] — live data updates. Against a plain store
+//!   they are applied atomically across the store, the shared cache, and
+//!   every in-flight executor (a stop-the-world barrier). Against a
+//!   [`batchbb_storage::VersionedStore`]
+//!   ([`BatchServer::serve_versioned_with`]) the update is *published* as
+//!   a new immutable snapshot version with zero reader coordination: each
+//!   batch keeps answering for the version it pinned at admission
+//!   ([`BatchResult::pinned_version`]) unless the driver opts it forward
+//!   with [`ServeSession::advance_batch`], which repairs that one batch's
+//!   estimates and certified bounds against the exact inter-version
+//!   delta;
 //! * cross-batch I/O sharing — with [`ServeConfig::share_cache`] (the
 //!   default) all batches read through one
 //!   [`batchbb_storage::ShardedCachingStore`], so coefficients needed by

@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use batchbb_core::{DegradationReport, ExecObserver, ProgressiveExecutor};
 use batchbb_obs::LabeledSink;
-use batchbb_storage::{CoefficientStore, FaultStats, ShardedCachingStore};
+use batchbb_storage::{
+    CoefficientStore, FaultStats, ShardedCachingStore, VersionId, VersionView, VersionedStore,
+};
 use batchbb_tensor::CoeffKey;
 use parking_lot::Mutex;
 
@@ -117,29 +119,105 @@ impl BatchServer {
             None => store,
         };
 
-        let shared = PoolShared {
-            consumed: AtomicU64::new(0),
-            capacity: config.capacity,
-            slo: SloObserver::new(config.sink.clone(), config.registry.clone()),
-            parked: Mutex::new(Vec::new()),
+        let shared = pool_shared(config);
+        let jobs = self.admit_jobs(&shared, requests, |_| (eff, None));
+        let driver_out = {
+            let session = ServeSession {
+                jobs: &jobs,
+                cache: cache.as_ref(),
+                store,
+                config,
+                versioned: None,
+            };
+            run_pool(config, &shared, &jobs, &session, driver)
         };
+        (collect_results(config, jobs), driver_out)
+    }
 
-        // Executors are built — and contracts priced — serially on the
-        // caller thread: importance scoring sees a quiescent store,
-        // admission sees requests in submission order, and no `Penalty`
-        // crosses a thread boundary.
+    /// Serves every request against a [`VersionedStore`] snapshot per
+    /// batch and returns the results in request order.
+    ///
+    /// See [`BatchServer::serve_versioned_with`].
+    pub fn serve_versioned(
+        &self,
+        store: &VersionedStore,
+        requests: &[BatchRequest<'_>],
+    ) -> Vec<BatchResult> {
+        self.serve_versioned_with(store, requests, |_| ()).0
+    }
+
+    /// Serves every request under *snapshot isolation* while running
+    /// `driver` on the calling thread.
+    ///
+    /// Each batch pins the store version current at its admission
+    /// ([`VersionedStore::pin`]) and reads that immutable snapshot for its
+    /// whole drain. [`ServeSession::update`] becomes a lock-free publish:
+    /// it installs a new version without pausing, quiescing, or even
+    /// touching any in-flight executor — in-flight batches keep answering
+    /// against their pinned version (recorded in
+    /// [`BatchResult::pinned_version`]) unless the driver opts them in to
+    /// the newer data with [`ServeSession::advance_batch`].
+    ///
+    /// No shared read cache is layered on top in this mode: snapshot reads
+    /// are in-memory hash lookups, and jobs pinned at different versions
+    /// could not share one cache generation anyway (the version-keyed
+    /// caches in `batchbb_storage` cover the disk-backed topologies).
+    pub fn serve_versioned_with<R>(
+        &self,
+        store: &VersionedStore,
+        requests: &[BatchRequest<'_>],
+        driver: impl FnOnce(&ServeSession<'_, '_>) -> R,
+    ) -> (Vec<BatchResult>, R) {
+        let config = &self.config;
+        let shared = pool_shared(config);
+        let views: Vec<VersionView> = requests.iter().map(|_| store.pin()).collect();
+        let jobs = self.admit_jobs(&shared, requests, |i| {
+            (&views[i] as &dyn CoefficientStore, Some(views[i].version()))
+        });
+        let driver_out = {
+            let session = ServeSession {
+                jobs: &jobs,
+                cache: None,
+                store,
+                config,
+                versioned: Some(VersionedCtx {
+                    store,
+                    views: &views,
+                }),
+            };
+            run_pool(config, &shared, &jobs, &session, driver)
+        };
+        (collect_results(config, jobs), driver_out)
+    }
+
+    /// Builds one [`JobCell`] per request — executors constructed, and
+    /// contracts priced, serially on the caller thread: importance scoring
+    /// sees a quiescent store, admission sees requests in submission
+    /// order, and no `Penalty` crosses a thread boundary. `store_for`
+    /// hands each job its read store (the shared effective store, or the
+    /// job's own pinned [`VersionView`]) plus the version it pins, if any.
+    fn admit_jobs<'a>(
+        &self,
+        shared: &PoolShared,
+        requests: &[BatchRequest<'a>],
+        mut store_for: impl FnMut(usize) -> (&'a dyn CoefficientStore, Option<VersionId>),
+    ) -> Vec<JobCell<'a>> {
+        let config = &self.config;
         let mut committed: u64 = 0;
-        let jobs: Vec<JobCell<'_>> = requests
+        requests
             .iter()
             .enumerate()
             .map(|(i, req)| {
-                let mut exec = ProgressiveExecutor::new(req.batch, req.penalty, eff)
+                let (store, pinned) = store_for(i);
+                let mut exec = ProgressiveExecutor::new(req.batch, req.penalty, store)
                     .with_prefetch_window(config.prefetch_window);
                 let estimate = estimate_cost(&exec, &req.slo, config.k_abs_sum);
                 if let Some(capacity) = config.capacity {
                     if committed.saturating_add(estimate.steps_to_target) > capacity {
                         shared.slo.on_rejected(i, &req.slo, &estimate, capacity);
-                        return JobCell::rejected(i, exec, config, req.slo, &estimate, capacity);
+                        return JobCell::rejected(
+                            i, exec, config, req.slo, &estimate, capacity, pinned,
+                        );
                     }
                 }
                 committed += estimate.steps_to_target;
@@ -149,73 +227,9 @@ impl BatchServer {
                 if let Some(observer) = self.observer_for(i) {
                     exec = exec.with_observer(observer);
                 }
-                JobCell::new(i, exec, config, req.slo)
+                JobCell::new(i, exec, config, req.slo, pinned)
             })
-            .collect();
-
-        let admitted: Vec<&JobCell<'_>> = jobs
-            .iter()
-            .filter(|cell| !cell.finished.load(Ordering::Acquire))
-            .collect();
-        let active = AtomicUsize::new(admitted.len());
-        shared.slo.set_queue_depth(admitted.len() as u64);
-        let queue = SliceQueue::new(
-            config.scheduler,
-            config.workers,
-            admitted.iter().map(|cell| {
-                let snapshot = cell.snapshot.lock();
-                let per_step = snapshot.worst_case_bound
-                    / (snapshot.remaining + snapshot.deferred).max(1) as f64;
-                (cell.index, cell.contract.priority_weight() * per_step)
-            }),
-        );
-
-        let driver_out = {
-            let session = ServeSession {
-                jobs: &jobs,
-                cache: cache.as_ref(),
-                store,
-                config,
-            };
-            std::thread::scope(|scope| {
-                for me in 0..config.workers {
-                    let jobs = &jobs;
-                    let queue = &queue;
-                    let active = &active;
-                    let shared = &shared;
-                    scope.spawn(move || worker_loop(me, jobs, queue, active, config, shared));
-                }
-                driver(&session)
-            })
-        };
-
-        // One run-wide final metrics snapshot: every result of this run
-        // carries the same totals (a per-batch snapshot at finalize time
-        // would capture a racy prefix of the shared registry), and — when
-        // a trace sink is configured — the snapshot is appended to the
-        // trace as `metrics.*` events, so metrics and events land in one
-        // replayable file.
-        let metrics = config
-            .registry
-            .as_ref()
-            .map(|registry| registry.snapshot())
-            .unwrap_or_default();
-        if let Some(sink) = &config.sink {
-            metrics.emit(&**sink);
-        }
-        let results = jobs
-            .into_iter()
-            .map(|cell| {
-                let mut result = cell
-                    .state
-                    .into_inner()
-                    .result
-                    .expect("the pool only exits once every job has published");
-                result.metrics = metrics.clone();
-                result
-            })
-            .collect();
-        (results, driver_out)
+            .collect()
     }
 
     /// Builds batch `index`'s observer from the configured sink/registry,
@@ -241,12 +255,94 @@ impl BatchServer {
     }
 }
 
-/// The in-flight pool, as seen by [`BatchServer::serve_with`]'s driver.
+/// Fresh run-wide shared state for one serve call.
+fn pool_shared(config: &ServeConfig) -> PoolShared {
+    PoolShared {
+        consumed: AtomicU64::new(0),
+        capacity: config.capacity,
+        slo: SloObserver::new(config.sink.clone(), config.registry.clone()),
+        parked: Mutex::new(Vec::new()),
+    }
+}
+
+/// Runs the worker pool over `jobs` while `driver` runs on the calling
+/// thread; returns once the driver has returned *and* every job has
+/// published its final result.
+fn run_pool<'s, 'a, R>(
+    config: &ServeConfig,
+    shared: &PoolShared,
+    jobs: &'s [JobCell<'a>],
+    session: &ServeSession<'s, 'a>,
+    driver: impl FnOnce(&ServeSession<'s, 'a>) -> R,
+) -> R {
+    let admitted: Vec<&JobCell<'_>> = jobs
+        .iter()
+        .filter(|cell| !cell.finished.load(Ordering::Acquire))
+        .collect();
+    let active = AtomicUsize::new(admitted.len());
+    shared.slo.set_queue_depth(admitted.len() as u64);
+    let queue = SliceQueue::new(
+        config.scheduler,
+        config.workers,
+        admitted.iter().map(|cell| {
+            let snapshot = cell.snapshot.lock();
+            let per_step =
+                snapshot.worst_case_bound / (snapshot.remaining + snapshot.deferred).max(1) as f64;
+            (cell.index, cell.contract.priority_weight() * per_step)
+        }),
+    );
+    std::thread::scope(|scope| {
+        for me in 0..config.workers {
+            let queue = &queue;
+            let active = &active;
+            scope.spawn(move || worker_loop(me, jobs, queue, active, config, shared));
+        }
+        driver(session)
+    })
+}
+
+/// Extracts the final results in request order, stamping every one with a
+/// single run-wide metrics snapshot: a per-batch snapshot at finalize time
+/// would capture a racy prefix of the shared registry. When a trace sink
+/// is configured the snapshot is also appended to the trace as `metrics.*`
+/// events, so metrics and events land in one replayable file.
+fn collect_results(config: &ServeConfig, jobs: Vec<JobCell<'_>>) -> Vec<BatchResult> {
+    let metrics = config
+        .registry
+        .as_ref()
+        .map(|registry| registry.snapshot())
+        .unwrap_or_default();
+    if let Some(sink) = &config.sink {
+        metrics.emit(&**sink);
+    }
+    jobs.into_iter()
+        .map(|cell| {
+            let mut result = cell
+                .state
+                .into_inner()
+                .result
+                .expect("the pool only exits once every job has published");
+            result.metrics = metrics.clone();
+            result
+        })
+        .collect()
+}
+
+/// The versioned half of a session: the published store plus each job's
+/// pinned read view (index-aligned with `jobs`).
+struct VersionedCtx<'s, 'a> {
+    store: &'a VersionedStore,
+    views: &'s [VersionView],
+}
+
+/// The in-flight pool, as seen by [`BatchServer::serve_with`]'s (or
+/// [`BatchServer::serve_versioned_with`]'s) driver.
 pub struct ServeSession<'s, 'a> {
     jobs: &'s [JobCell<'a>],
     cache: Option<&'s ShardedCachingStore<&'a dyn CoefficientStore>>,
     store: &'a dyn CoefficientStore,
     config: &'s ServeConfig,
+    versioned: Option<VersionedCtx<'s, 'a>>,
 }
 
 impl<'s, 'a> ServeSession<'s, 'a> {
@@ -277,22 +373,38 @@ impl<'s, 'a> ServeSession<'s, 'a> {
             .all(|cell| cell.finished.load(Ordering::Acquire))
     }
 
-    /// Applies a live data update atomically across the store and every
-    /// in-flight executor.
+    /// Applies a live data update.
     ///
-    /// This is a stop-the-world barrier: it takes every job's slice lock
-    /// in index order (workers hold at most one and never take a second,
-    /// so the barrier cannot deadlock), then — with all executors paused —
-    /// runs `write_store` (the caller's store mutation, e.g.
-    /// `SharedStore::add_shared` per entry), invalidates the shared cache
-    /// for the touched keys, and repairs each unfinished executor with
-    /// [`ProgressiveExecutor::apply_update`]. Batches that already
-    /// published a result are left untouched: their answer was final —
-    /// and correct — for the database as of their finish.
+    /// **Versioned sessions** ([`BatchServer::serve_versioned_with`])
+    /// publish the update as a new store version
+    /// ([`VersionedStore::publish`]) with *zero reader coordination*: no
+    /// slice lock is taken, no fetch path quiesced, no cache invalidated.
+    /// Every in-flight executor keeps reading the immutable snapshot it
+    /// pinned at admission — there is nothing to tear — and stays on it
+    /// until the driver opts it in via [`ServeSession::advance_batch`].
+    /// `write_store` still runs (after the publish) for signature parity,
+    /// e.g. to mirror the update into an external system.
+    ///
+    /// **Unversioned sessions** fall back to the stop-the-world barrier:
+    /// take every job's slice lock in index order (workers hold at most
+    /// one and never take a second, so the barrier cannot deadlock), then
+    /// — with all executors paused — run `write_store` (the caller's store
+    /// mutation, e.g. `SharedStore::add_shared` per entry), invalidate the
+    /// shared cache for the touched keys, and repair each unfinished
+    /// executor with [`ProgressiveExecutor::apply_update`]. Batches that
+    /// already published a result are left untouched in either mode:
+    /// their answer was final — and correct — for the database (version)
+    /// as of their finish.
     ///
     /// `entries` lists the changed coefficients as `(key, delta)`, e.g.
-    /// from `batchbb_relation::cube::point_entries`.
+    /// from `batchbb_relation::cube::point_entries` or the batched
+    /// `batchbb_relation::cube::batch_point_entries`.
     pub fn update(&self, entries: &[(CoeffKey, f64)], write_store: impl FnOnce()) {
+        if let Some(versioned) = &self.versioned {
+            versioned.store.publish(entries);
+            write_store();
+            return;
+        }
         let mut guards: Vec<_> = self.jobs.iter().map(|cell| cell.state.lock()).collect();
         // Quiesce the asynchronous fetch path before mutating: with every
         // slice lock held no executor can submit a new fetch, and the
@@ -324,6 +436,56 @@ impl<'s, 'a> ServeSession<'s, 'a> {
                 .degradation_report(self.config.n_total, self.config.k_abs_sum);
             publish_snapshot(cell, state, &report, false);
         }
+    }
+
+    /// The latest published store version, or `None` for unversioned
+    /// sessions.
+    pub fn current_version(&self) -> Option<VersionId> {
+        self.versioned
+            .as_ref()
+            .map(|versioned| versioned.store.current_version())
+    }
+
+    /// The store version batch `index` currently reads, or `None` for
+    /// unversioned sessions (panics if out of range).
+    pub fn pinned_version(&self, index: usize) -> Option<VersionId> {
+        self.versioned
+            .as_ref()
+            .map(|versioned| versioned.views[index].version())
+    }
+
+    /// Opts batch `index` in to the latest published store version.
+    ///
+    /// Takes only that batch's slice lock (never another's), re-pins its
+    /// view to the current version, and repairs the executor with
+    /// [`ProgressiveExecutor::advance_version`] against the exact
+    /// concatenated delta between the two versions — so its estimates and
+    /// certified bounds are what they would have been had it read the new
+    /// version from the start. The order matters and is handled here: the
+    /// view advances *first*, so every fresh read (including the re-fetch
+    /// of an abandoned prefetch) sees the new version, and the repair then
+    /// patches exactly what the executor had already consumed of the old
+    /// one.
+    ///
+    /// Returns the version the batch now reads, or `None` if the session
+    /// is unversioned or the batch has already published its final result
+    /// (its answer stays certified for its pinned version). Panics if
+    /// `index` is out of range.
+    pub fn advance_batch(&self, index: usize) -> Option<VersionId> {
+        let versioned = self.versioned.as_ref()?;
+        let cell = &self.jobs[index];
+        let mut state = cell.state.lock();
+        if state.result.is_some() {
+            return None;
+        }
+        let (id, delta) = versioned.views[index].advance_to_current();
+        state.exec.advance_version(&delta);
+        state.pinned_version = Some(id);
+        let report = state
+            .exec
+            .degradation_report(self.config.n_total, self.config.k_abs_sum);
+        publish_snapshot(cell, &state, &report, false);
+        Some(id)
     }
 }
 
@@ -590,8 +752,154 @@ fn finalize(
         // Stamped with the run-wide final metrics snapshot once the pool
         // exits.
         metrics: Default::default(),
+        pinned_version: state.pinned_version,
     });
     cell.finished.store(true, Ordering::Release);
     let left = active.fetch_sub(1, Ordering::AcqRel) - 1;
     shared.slo.set_queue_depth(left as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchbb_core::{BatchQueries, ProgressiveExecutor};
+    use batchbb_penalty::Sse;
+    use batchbb_query::{HyperRect, LinearStrategy, RangeSum, WaveletStrategy};
+    use batchbb_relation::{Attribute, FrequencyDistribution, Schema};
+    use batchbb_wavelet::Wavelet;
+
+    use crate::{BatchRequest, ServeConfig};
+
+    /// A 32×32 dataset on a versioned store, plus `nb` two-query batches
+    /// whose master lists are hundreds of coefficients long — long enough
+    /// that a driver can pause them all mid-drain before any finishes.
+    fn fixture(nb: usize) -> (VersionedStore, Vec<BatchQueries>, usize, f64) {
+        let schema = Schema::new(vec![
+            Attribute::new("x", 0.0, 32.0, 5),
+            Attribute::new("y", 0.0, 32.0, 5),
+        ])
+        .unwrap();
+        let mut dfd = FrequencyDistribution::new(schema);
+        for i in 0..32 {
+            for j in 0..32 {
+                let w = ((i * 5 + j * 11) % 7) as f64;
+                if w != 0.0 {
+                    dfd.insert_binned(&[i, j], w);
+                }
+            }
+        }
+        let strategy = WaveletStrategy::new(Wavelet::Db4);
+        let store = VersionedStore::from_entries(strategy.transform_data(dfd.tensor()));
+        let shape = dfd.schema().domain();
+        let batches = (0..nb)
+            .map(|b| {
+                let lo = b % 8;
+                BatchQueries::rewrite(
+                    &strategy,
+                    vec![
+                        RangeSum::count(HyperRect::new(vec![lo, 0], vec![31, 31])),
+                        RangeSum::count(HyperRect::new(vec![0, lo], vec![30, 30])),
+                    ],
+                    &shape,
+                )
+                .unwrap()
+            })
+            .collect();
+        let k = store.abs_sum();
+        (store, batches, 1024, k)
+    }
+
+    /// The tentpole acceptance check: with eight batches paused mid-drain
+    /// — the driver holds *every* slice lock, exactly the locks the old
+    /// barrier needed — a versioned `update` still completes. If `update`
+    /// took any batch's slice lock this test would deadlock on the spot.
+    ///
+    /// One round-robin worker makes the pause easy to land: each batch
+    /// needs hundreds of one-step slices dealt evenly, so none finishes
+    /// until thousands of slices have run, and the worker blocks on a
+    /// driver-held lock within eight pops — freezing the whole pool
+    /// mid-drain. The driver can still lose the race outright when the OS
+    /// parks its thread for the entire drain (seen under heavily loaded
+    /// parallel test runs), so a lost race skips the asserts and the whole
+    /// serve is retried; the lock-freedom property is exercised on the
+    /// first attempt whose freeze lands.
+    #[test]
+    fn versioned_update_completes_while_slice_locks_are_held() {
+        let (store, batches, n_total, k) = fixture(8);
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(
+            ServeConfig::new(n_total, k)
+                .workers(1)
+                .slice_steps(1)
+                .scheduler(crate::SchedulerPolicy::RoundRobin),
+        );
+        let key = CoeffKey::new(&[0, 0]);
+        for _ in 0..50 {
+            let (results, frozen_at) = server.serve_versioned_with(&store, &requests, |session| {
+                let guards: Vec<_> = session.jobs.iter().map(|cell| cell.state.lock()).collect();
+                if guards.iter().any(|state| state.result.is_some()) {
+                    return None; // worker outran us; retry the whole serve
+                }
+                let v0 = session.current_version().unwrap();
+                session.update(&[(key, 3.5)], || ());
+                let v1 = session.current_version().unwrap();
+                assert_eq!(v1.as_u64(), v0.as_u64() + 1, "update published a version");
+                for i in 0..session.batches() {
+                    assert_eq!(session.pinned_version(i), Some(v0), "readers stay pinned");
+                }
+                Some(v0)
+            });
+            if let Some(v0) = frozen_at {
+                for result in &results {
+                    assert_eq!(result.status, BatchStatus::Exact);
+                    assert_eq!(result.pinned_version, Some(v0));
+                }
+                return;
+            }
+        }
+        panic!("the pool never froze mid-drain in 50 attempts");
+    }
+
+    /// Opting a batch forward mid-drain finalizes it bit-identically to a
+    /// fresh serial run against the version it advanced to; batches that
+    /// finished first keep answers bit-identical to their pinned snapshot.
+    #[test]
+    fn advance_batch_agrees_with_restart_on_the_new_version() {
+        let (store, batches, n_total, k) = fixture(3);
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        let server = BatchServer::new(ServeConfig::new(n_total, k).workers(2).slice_steps(2));
+        let entries = vec![
+            (CoeffKey::new(&[0, 0]), 2.5),
+            (CoeffKey::new(&[1, 3]), -1.25),
+            (CoeffKey::new(&[2, 2]), 0.5),
+        ];
+        let (results, (v0, v1)) = server.serve_versioned_with(&store, &requests, |session| {
+            let v0 = session.current_version().unwrap();
+            session.update(&entries, || ());
+            let v1 = session.current_version().unwrap();
+            for i in 0..session.batches() {
+                if let Some(id) = session.advance_batch(i) {
+                    assert_eq!(id, v1);
+                }
+            }
+            (v0, v1)
+        });
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.status, BatchStatus::Exact);
+            let pinned = result
+                .pinned_version
+                .expect("versioned runs pin every batch");
+            let view = store.pin_at(pinned).expect("pinned versions are retained");
+            let mut serial = ProgressiveExecutor::new(&batches[i], &Sse, &view);
+            serial.run_to_end();
+            assert_eq!(
+                result.estimates(),
+                serial.estimates(),
+                "batch {i} (pinned {pinned}) must replay bit-for-bit"
+            );
+            assert!(pinned == v0 || pinned == v1);
+        }
+    }
 }

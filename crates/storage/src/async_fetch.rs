@@ -38,8 +38,10 @@ use crate::completion::{Completion, InflightSlot};
 use crate::{CoefficientStore, IoStats, StorageError};
 
 /// One queued fetch: the new (not-already-in-flight) keys of a submit,
-/// paired with the slots their verdicts land in.
+/// paired with the slots their verdicts land in and the inner store's
+/// version tag at submit time (the dedup-table namespace to retire from).
 struct Job {
+    tag: u64,
     keys: Vec<CoeffKey>,
     slots: Vec<Arc<InflightSlot>>,
 }
@@ -58,9 +60,13 @@ struct Shared {
     work_cv: Condvar,
     /// Signals [`AsyncFetchStore::quiesce`] waiters that the engine drained.
     idle_cv: Condvar,
-    /// Keys with an outstanding read: the cross-batch dedup table. Holds
-    /// only pending slots — completed entries are removed immediately.
-    inflight: Mutex<HashMap<CoeffKey, Arc<InflightSlot>>>,
+    /// Keys with an outstanding read: the cross-batch dedup table, keyed
+    /// by `(version tag at submit, key)` so riders pinned to different
+    /// versions of a [`crate::VersionedStore`]/[`crate::VersionView`]
+    /// never share a physical read (unversioned stores all tag `0`, so
+    /// the table degenerates to the plain per-key one). Holds only
+    /// pending slots — completed entries are removed immediately.
+    inflight: Mutex<HashMap<(u64, CoeffKey), Arc<InflightSlot>>>,
     /// Keys currently outstanding (queued or running), mirrored into the
     /// `store.pending_depth` gauge when a registry is attached.
     pending_keys: AtomicU64,
@@ -218,8 +224,9 @@ fn io_loop<S: CoefficientStore>(inner: &S, shared: &Shared) {
             // completion, in which case the table holds a newer slot.
             let mut table = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
             for (key, slot) in job.keys.iter().zip(&job.slots) {
-                if table.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
-                    table.remove(key);
+                let tagged = (job.tag, *key);
+                if table.get(&tagged).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+                    table.remove(&tagged);
                 }
             }
         }
@@ -246,9 +253,14 @@ impl<S: CoefficientStore + 'static> CoefficientStore for AsyncFetchStore<S> {
     }
 
     /// Enqueues the batch and returns immediately.  Keys already in flight
-    /// join the outstanding read (one dedup hit each); the rest form one
-    /// queue job so the inner store's batched coalescing is preserved.
+    /// *at the same inner version* join the outstanding read (one dedup
+    /// hit each); the rest form one queue job so the inner store's batched
+    /// coalescing is preserved.  The version tag is sampled once per
+    /// submit: a submit issued after a version advance never joins a read
+    /// issued before it (see DESIGN.md §13 for the advance protocol that
+    /// makes the remaining fetch/advance interleavings benign).
     fn submit(&self, keys: &[CoeffKey]) -> Completion {
+        let tag = self.inner.version_tag();
         let mut slots = Vec::with_capacity(keys.len());
         let mut new_keys: Vec<CoeffKey> = Vec::new();
         let mut new_slots: Vec<Arc<InflightSlot>> = Vec::new();
@@ -259,7 +271,7 @@ impl<S: CoefficientStore + 'static> CoefficientStore for AsyncFetchStore<S> {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             for key in keys {
-                if let Some(slot) = table.get(key) {
+                if let Some(slot) = table.get(&(tag, *key)) {
                     self.shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
                     if let Some(c) = &self.shared.dedup_counter {
                         c.inc();
@@ -267,7 +279,7 @@ impl<S: CoefficientStore + 'static> CoefficientStore for AsyncFetchStore<S> {
                     slots.push(Arc::clone(slot));
                 } else {
                     let slot = Arc::new(InflightSlot::new());
-                    table.insert(*key, Arc::clone(&slot));
+                    table.insert((tag, *key), Arc::clone(&slot));
                     new_keys.push(*key);
                     new_slots.push(Arc::clone(&slot));
                     slots.push(slot);
@@ -278,6 +290,7 @@ impl<S: CoefficientStore + 'static> CoefficientStore for AsyncFetchStore<S> {
             self.shared.add_pending(new_keys.len() as u64);
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             state.queue.push_back(Job {
+                tag,
                 keys: new_keys,
                 slots: new_slots,
             });
@@ -302,6 +315,10 @@ impl<S: CoefficientStore + 'static> CoefficientStore for AsyncFetchStore<S> {
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    fn version_tag(&self) -> u64 {
+        self.inner.version_tag()
     }
 
     fn nnz(&self) -> usize {
@@ -510,6 +527,98 @@ mod tests {
         assert!(asynchronous.submit(&keys(1)).wait().is_ok());
         asynchronous.quiesce();
         assert_eq!(asynchronous.inner().batches.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn submits_across_a_version_advance_never_share_a_read() {
+        use crate::VersionedStore;
+
+        /// Gates fetches and forwards the inner version tag, so a read can
+        /// be provably outstanding across a version advance.
+        struct GatedStore<S> {
+            inner: S,
+            batches: AtomicUsize,
+            gate: Mutex<bool>,
+            gate_cv: Condvar,
+        }
+        impl<S: CoefficientStore> CoefficientStore for GatedStore<S> {
+            fn get(&self, key: &CoeffKey) -> Option<f64> {
+                self.inner.get(key)
+            }
+            fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                let mut open = self.gate.lock().unwrap();
+                while !*open {
+                    open = self.gate_cv.wait(open).unwrap();
+                }
+                drop(open);
+                self.inner.try_get_many(keys)
+            }
+            fn version_tag(&self) -> u64 {
+                self.inner.version_tag()
+            }
+            fn nnz(&self) -> usize {
+                self.inner.nnz()
+            }
+            fn stats(&self) -> IoStats {
+                self.inner.stats()
+            }
+            fn reset_stats(&self) {
+                self.inner.reset_stats()
+            }
+        }
+
+        let probe = CoeffKey::new(&[0, 1]);
+        let versioned = VersionedStore::from_entries([(probe, 0.5)]);
+        let view = versioned.pin(); // v0
+        let gated = GatedStore {
+            inner: view,
+            batches: AtomicUsize::new(0),
+            gate: Mutex::new(false),
+            gate_cv: Condvar::new(),
+        };
+        let asynchronous = AsyncFetchStore::new(gated, 2);
+        // Rider A reads `probe` at v0 and is stuck at the gate.
+        let a = asynchronous.submit(&[probe]);
+        // Publish a version touching a *different* key and advance the
+        // view: `probe`'s value is unchanged, only the tag moved.
+        versioned.publish(&[(CoeffKey::new(&[7, 7]), 1.0)]);
+        asynchronous.inner().inner.advance_to_current();
+        // Rider B asks for the same key at v1: same-key dedup must NOT
+        // fire across the version bump.
+        let b = asynchronous.submit(&[probe]);
+        assert_eq!(
+            asynchronous.dedup_hits(),
+            0,
+            "a post-advance submit must not join a pre-advance read"
+        );
+        {
+            let mut open = asynchronous.inner().gate.lock().unwrap();
+            *open = true;
+            asynchronous.inner().gate_cv.notify_all();
+        }
+        assert_eq!(a.wait().unwrap(), vec![Some(0.5)]);
+        assert_eq!(b.wait().unwrap(), vec![Some(0.5)]);
+        asynchronous.quiesce();
+        assert_eq!(
+            asynchronous.inner().batches.load(Ordering::Relaxed),
+            2,
+            "two versions, two physical reads"
+        );
+        // Same-version dedup still works at the new tag (gate closed again
+        // so C's read is provably outstanding when D submits).
+        *asynchronous.inner().gate.lock().unwrap() = false;
+        let c = asynchronous.submit(&[probe]);
+        let d = asynchronous.submit(&[probe]);
+        assert_eq!(asynchronous.dedup_hits(), 1, "same-tag riders still share");
+        {
+            let mut open = asynchronous.inner().gate.lock().unwrap();
+            *open = true;
+            asynchronous.inner().gate_cv.notify_all();
+        }
+        c.wait().unwrap();
+        d.wait().unwrap();
+        asynchronous.quiesce();
     }
 
     #[test]

@@ -31,7 +31,10 @@ use crate::{CoefficientStore, IoStats, StorageError};
 #[derive(Debug)]
 pub struct CachingStore<S> {
     inner: S,
-    cache: Mutex<HashMap<CoeffKey, Option<f64>>>,
+    /// Memo keyed by `(inner version tag, key)` so a versioned inner store
+    /// never serves one version's memo to a reader of another (tag is the
+    /// constant `0` for unversioned stores — plain single-map behavior).
+    cache: Mutex<HashMap<(u64, CoeffKey), Option<f64>>>,
     counters: Counters,
 }
 
@@ -59,14 +62,15 @@ impl<S: CoefficientStore> CachingStore<S> {
 impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
     fn get(&self, key: &CoeffKey) -> Option<f64> {
         self.counters.count_retrieval();
+        let tagged = (self.inner.version_tag(), *key);
         let mut cache = self.cache.lock();
-        if let Some(v) = cache.get(key) {
+        if let Some(v) = cache.get(&tagged) {
             self.counters.count_hit();
             return *v;
         }
         self.counters.count_physical();
         let v = self.inner.get(key);
-        cache.insert(*key, v);
+        cache.insert(tagged, v);
         v
     }
 
@@ -75,14 +79,15 @@ impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
     /// can recover) on later calls.
     fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
         self.counters.count_retrieval();
+        let tagged = (self.inner.version_tag(), *key);
         let mut cache = self.cache.lock();
-        if let Some(v) = cache.get(key) {
+        if let Some(v) = cache.get(&tagged) {
             self.counters.count_hit();
             return Ok(*v);
         }
         self.counters.count_physical();
         let v = self.inner.try_get(key)?;
-        cache.insert(*key, v);
+        cache.insert(tagged, v);
         Ok(v)
     }
 
@@ -92,6 +97,7 @@ impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
     /// counted as hits, exactly as the singleton sequence would memoize
     /// them.  On a batch error nothing is memoized.
     fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        let tag = self.inner.version_tag();
         let mut out = vec![None; keys.len()];
         let mut cache = self.cache.lock();
         let mut miss_keys: Vec<CoeffKey> = Vec::new();
@@ -101,7 +107,7 @@ impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
         let mut dup_fill: Vec<(usize, usize)> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             self.counters.count_retrieval();
-            if let Some(v) = cache.get(key) {
+            if let Some(v) = cache.get(&(tag, *key)) {
                 self.counters.count_hit();
                 out[i] = *v;
             } else if let Some(&p) = pending.get(key) {
@@ -117,7 +123,7 @@ impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
         if !miss_keys.is_empty() {
             let fetched = self.inner.try_get_many(&miss_keys)?;
             for (p, v) in fetched.iter().enumerate() {
-                cache.insert(miss_keys[p], *v);
+                cache.insert((tag, miss_keys[p]), *v);
                 out[miss_idx[p]] = *v;
             }
             for (i, p) in dup_fill {
@@ -131,6 +137,10 @@ impl<S: CoefficientStore> CoefficientStore for CachingStore<S> {
     // wrapper's memoizing `try_get_many`; the barrier still forwards.
     fn quiesce(&self) {
         self.inner.quiesce()
+    }
+
+    fn version_tag(&self) -> u64 {
+        self.inner.version_tag()
     }
 
     fn nnz(&self) -> usize {

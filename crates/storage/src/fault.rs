@@ -271,6 +271,10 @@ impl<S: CoefficientStore> CoefficientStore for FaultInjectingStore<S> {
         self.inner.quiesce()
     }
 
+    fn version_tag(&self) -> u64 {
+        self.inner.version_tag()
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }

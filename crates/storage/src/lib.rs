@@ -28,7 +28,12 @@
 //! * [`AsyncFetchStore`] — the completion-based asynchronous engine: a
 //!   pool of I/O threads behind [`CoefficientStore::submit`], with an
 //!   in-flight table that dedups reads *across* concurrent batches (see
-//!   [`Completion`] and DESIGN.md §12).
+//!   [`Completion`] and DESIGN.md §12);
+//! * [`VersionedStore`] — MVCC copy-on-write snapshots for live updates
+//!   with zero reader coordination: publishers install immutable versions
+//!   (untouched shards `Arc`-shared), readers pin a [`VersionView`] and
+//!   advance on their own schedule, receiving the exact update delta for
+//!   estimate repair (see DESIGN.md §13).
 //!
 //! All stores are safe to share across threads (`&self` reads, atomic
 //! counters).
@@ -107,6 +112,7 @@ mod sharded;
 mod shared;
 mod stats;
 mod store;
+mod versioned;
 
 pub use async_fetch::AsyncFetchStore;
 #[cfg(unix)]
@@ -124,3 +130,4 @@ pub use sharded::ShardedCachingStore;
 pub use shared::SharedStore;
 pub use stats::{FaultStats, IoStats};
 pub use store::{CoefficientStore, MutableStore};
+pub use versioned::{VersionId, VersionView, VersionedStore};

@@ -25,6 +25,18 @@
 //! an evicted key reads through again like an
 //! [`ShardedCachingStore::invalidate`]d one, and both paths share the same
 //! removal, so eviction can never corrupt invalidation accounting.
+//!
+//! # Version awareness
+//!
+//! Memo entries are keyed by `(version, key)` where `version` is the inner
+//! store's [`CoefficientStore::version_tag`] at lookup time.  For
+//! unversioned stores the tag is the constant `0` and nothing changes; over
+//! a [`crate::VersionedStore`]/[`crate::VersionView`] a version advance
+//! silently retires the old version's entries (they stop matching) instead
+//! of serving stale values, and entries belonging to *untouched* versions
+//! survive — publishing never blows away another reader's warm cache.
+//! [`ShardedCachingStore::invalidate`] is version-scoped for the same
+//! reason: it removes the memo for the *current* version only.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,10 +71,14 @@ impl CacheEntry {
     }
 }
 
+/// A memo slot address: the inner store's version tag at lookup time plus
+/// the coefficient key.  Distinct versions never alias.
+type VersionedKey = (u64, CoeffKey);
+
 /// One cache shard: the memo map plus a logical clock for LRU stamps.
 #[derive(Debug, Default)]
 struct ShardState {
-    map: HashMap<CoeffKey, CacheEntry>,
+    map: HashMap<VersionedKey, CacheEntry>,
     clock: u64,
 }
 
@@ -73,7 +89,7 @@ impl ShardState {
     }
 
     /// Looks `key` up, refreshing its LRU stamp on a hit.
-    fn get(&mut self, key: &CoeffKey) -> Option<Option<f64>> {
+    fn get(&mut self, key: &VersionedKey) -> Option<Option<f64>> {
         let stamp = self.touch();
         self.map.get_mut(key).map(|entry| {
             entry.touch = stamp;
@@ -81,7 +97,7 @@ impl ShardState {
         })
     }
 
-    fn insert(&mut self, key: CoeffKey, value: Option<f64>) {
+    fn insert(&mut self, key: VersionedKey, value: Option<f64>) {
         let touch = self.touch();
         self.map.insert(key, CacheEntry { value, touch });
     }
@@ -101,6 +117,8 @@ impl ShardState {
                 })
                 .map(|(k, _)| *k)
                 .expect("a shard over capacity is non-empty");
+            // (victim is a `(version, key)` pair; stale versions' entries
+            // weigh the same as live ones and age out through LRU.)
             self.map.remove(&victim);
             evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -180,22 +198,27 @@ impl<S: CoefficientStore> ShardedCachingStore<S> {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Drops the memoized value for `key`, so the next retrieval reads
-    /// through to the (possibly updated) inner store. Returns whether a
-    /// cached value was present.
+    /// Drops the memoized value for `key` *at the inner store's current
+    /// version*, so the next retrieval reads through to the (possibly
+    /// updated) inner store. Returns whether a cached value was present.
     ///
     /// This is the invalidation half of the live-update contract: callers
-    /// that mutate the underlying store mid-serve (e.g.
+    /// that mutate the underlying store in place mid-serve (e.g.
     /// `SharedStore::add_shared`) must invalidate the touched keys, or
-    /// in-flight batches would keep reading the stale memo. Invalidating
-    /// a key the capacity cap already evicted is a no-op returning
-    /// `false` — eviction and invalidation share the same removal path,
-    /// so the two can interleave freely.
+    /// in-flight batches would keep reading the stale memo. Invalidation
+    /// is version-scoped: entries memoized under *other* versions are left
+    /// alone — they can only be read by callers pinned to those versions,
+    /// for whom they are still correct (a versioned publish never needs
+    /// invalidation at all; the new tag simply stops matching).
+    /// Invalidating a key the capacity cap already evicted is a no-op
+    /// returning `false` — eviction and invalidation share the same
+    /// removal path, so the two can interleave freely.
     pub fn invalidate(&self, key: &CoeffKey) -> bool {
+        let tag = self.inner.version_tag();
         self.shards[fingerprint::shard_of(key, self.shards.len())]
             .lock()
             .map
-            .remove(key)
+            .remove(&(tag, *key))
             .is_some()
     }
 
@@ -213,14 +236,15 @@ impl<S: CoefficientStore> ShardedCachingStore<S> {
 impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
     fn get(&self, key: &CoeffKey) -> Option<f64> {
         self.counters.count_retrieval();
+        let tagged = (self.inner.version_tag(), *key);
         let mut shard = self.shard(key).lock();
-        if let Some(v) = shard.get(key) {
+        if let Some(v) = shard.get(&tagged) {
             self.counters.count_hit();
             return v;
         }
         self.counters.count_physical();
         let v = self.inner.get(key);
-        shard.insert(*key, v);
+        shard.insert(tagged, v);
         self.trim(&mut shard);
         v
     }
@@ -230,14 +254,15 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
     /// can recover) on later calls — from *any* batch.
     fn try_get(&self, key: &CoeffKey) -> Result<Option<f64>, StorageError> {
         self.counters.count_retrieval();
+        let tagged = (self.inner.version_tag(), *key);
         let mut shard = self.shard(key).lock();
-        if let Some(v) = shard.get(key) {
+        if let Some(v) = shard.get(&tagged) {
             self.counters.count_hit();
             return Ok(v);
         }
         self.counters.count_physical();
         let v = self.inner.try_get(key)?;
-        shard.insert(*key, v);
+        shard.insert(tagged, v);
         self.trim(&mut shard);
         Ok(v)
     }
@@ -252,8 +277,11 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
     /// at a time.  On a batch error nothing from the failing shard is
     /// memoized (earlier shards' fills stand, as the singleton sequence's
     /// would).  Capacity trimming runs after each shard's fills, so a
-    /// batch wider than the cap passes through rather than wedging.
+    /// batch wider than the cap passes through rather than wedging.  The
+    /// inner version tag is sampled once per call: a batch memoizes under
+    /// the version it started on.
     fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+        let tag = self.inner.version_tag();
         let mut out = vec![None; keys.len()];
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, key) in keys.iter().enumerate() {
@@ -271,7 +299,7 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
             for &i in &members {
                 let key = &keys[i];
                 self.counters.count_retrieval();
-                if let Some(v) = shard.get(key) {
+                if let Some(v) = shard.get(&(tag, *key)) {
                     self.counters.count_hit();
                     out[i] = v;
                 } else if let Some(&p) = pending.get(key) {
@@ -287,7 +315,7 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
             if !miss_keys.is_empty() {
                 let fetched = self.inner.try_get_many(&miss_keys)?;
                 for (p, v) in fetched.iter().enumerate() {
-                    shard.insert(miss_keys[p], *v);
+                    shard.insert((tag, miss_keys[p]), *v);
                     out[miss_idx[p]] = *v;
                 }
                 for (i, p) in dup_fill {
@@ -307,6 +335,10 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
         self.inner.quiesce()
     }
 
+    fn version_tag(&self) -> u64 {
+        self.inner.version_tag()
+    }
+
     fn nnz(&self) -> usize {
         self.inner.nnz()
     }
@@ -323,7 +355,7 @@ impl<S: CoefficientStore> CoefficientStore for ShardedCachingStore<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FaultInjectingStore, FaultPlan, MemoryStore};
+    use crate::{FaultInjectingStore, FaultPlan, MemoryStore, VersionedStore};
 
     fn store(n: usize) -> MemoryStore {
         MemoryStore::from_entries((0..n).map(|i| (CoeffKey::one(i), i as f64 + 1.0)))
@@ -463,6 +495,62 @@ mod tests {
         assert_eq!(invalidated, resident, "only resident keys invalidate");
         assert_eq!(s.cached(), 0);
         assert_eq!(s.evictions(), before, "invalidation is not an eviction");
+    }
+
+    #[test]
+    fn version_bump_never_serves_stale_values() {
+        let inner = VersionedStore::from_entries([(CoeffKey::one(1), 2.0)]);
+        let s = ShardedCachingStore::new(inner);
+        let key = CoeffKey::one(1);
+        assert_eq!(s.get(&key), Some(2.0)); // memoized under v0
+        assert_eq!(s.get(&key), Some(2.0));
+        assert_eq!(s.stats().cache_hits, 1);
+        s.inner().publish(&[(key, 5.0)]);
+        // No invalidation call: the new version tag simply stops matching
+        // the v0 memo, so the read goes through and sees the update.
+        assert_eq!(s.get(&key), Some(7.0));
+        let st = s.stats();
+        assert_eq!(st.cache_hits, 1, "stale memo must not hit across versions");
+        assert_eq!(st.physical_reads, 2);
+        // Both versions' entries are resident (no pollution, no blow-away).
+        assert_eq!(s.cached(), 2);
+    }
+
+    #[test]
+    fn views_on_different_versions_keep_their_own_entries() {
+        let inner = VersionedStore::from_entries([(CoeffKey::one(1), 2.0)]);
+        let view = inner.pin(); // pinned at v0
+        let s = ShardedCachingStore::new(view);
+        let key = CoeffKey::one(1);
+        assert_eq!(s.get(&key), Some(2.0));
+        inner.publish(&[(key, 5.0)]);
+        // The view is still pinned at v0: its memo entry stays a hit.
+        assert_eq!(s.get(&key), Some(2.0));
+        assert_eq!(s.stats().cache_hits, 1, "pinned version keeps its cache");
+        // Advancing re-tags the view; the v0 entry stops matching and the
+        // first v1 read fills a fresh slot.
+        s.inner().advance_to_current();
+        assert_eq!(s.get(&key), Some(7.0));
+        assert_eq!(s.stats().cache_hits, 1, "no cross-version hit");
+        assert_eq!(s.get(&key), Some(7.0));
+        assert_eq!(s.stats().cache_hits, 2, "v1 entry now warm");
+    }
+
+    #[test]
+    fn invalidate_is_version_scoped() {
+        let inner = VersionedStore::from_entries([(CoeffKey::one(1), 2.0)]);
+        let s = ShardedCachingStore::new(inner);
+        let key = CoeffKey::one(1);
+        assert_eq!(s.get(&key), Some(2.0)); // v0 memo
+        s.inner().publish(&[(key, 5.0)]);
+        assert_eq!(s.get(&key), Some(7.0)); // v1 memo
+        assert_eq!(s.cached(), 2);
+        // Invalidation removes only the *current* (v1) version's entry.
+        assert!(s.invalidate(&key));
+        assert_eq!(s.cached(), 1, "the untouched v0 entry survives");
+        assert!(!s.invalidate(&key), "v1 entry already gone");
+        assert_eq!(s.get(&key), Some(7.0));
+        assert_eq!(s.stats().physical_reads, 3, "v1 read through again");
     }
 
     #[test]

@@ -83,6 +83,20 @@ pub trait CoefficientStore: Send + Sync {
     /// it to their inner store.
     fn quiesce(&self) {}
 
+    /// The data version this store currently answers from, as an opaque
+    /// tag.
+    ///
+    /// Unversioned stores return `0` (the default) — "there is only one
+    /// version".  [`crate::VersionedStore`] returns the current
+    /// [`crate::VersionId`] and a pinned [`crate::VersionView`] returns its
+    /// pinned id, so version-aware wrappers ([`crate::ShardedCachingStore`],
+    /// [`crate::AsyncFetchStore`]) can key cache and in-flight tables by
+    /// `(version, key)` and never serve one version's value to a reader of
+    /// another.  Pass-through wrappers must forward it.
+    fn version_tag(&self) -> u64 {
+        0
+    }
+
     /// Number of stored (nonzero) coefficients.
     fn nnz(&self) -> usize;
 
@@ -121,6 +135,10 @@ impl<S: CoefficientStore + ?Sized> CoefficientStore for &S {
 
     fn quiesce(&self) {
         (**self).quiesce()
+    }
+
+    fn version_tag(&self) -> u64 {
+        (**self).version_tag()
     }
 
     fn nnz(&self) -> usize {

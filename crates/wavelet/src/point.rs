@@ -31,7 +31,14 @@ pub fn point_transform(n: usize, t: usize, weight: f64, wavelet: Wavelet) -> Spa
         let half = m / 2;
         let mut next: HashMap<usize, f64> = HashMap::with_capacity(approx.len() + l);
         let mut details: HashMap<usize, f64> = HashMap::with_capacity(approx.len() + l);
-        for (&i, &v) in &approx {
+        // Fold in ascending index order: several positions can contribute
+        // to the same output coefficient, and f64 `+=` is order-sensitive,
+        // so HashMap iteration order would make the low bits vary between
+        // calls — breaking the bit-identity contract of the batched and
+        // versioned update paths.
+        let mut positions: Vec<(usize, f64)> = approx.iter().map(|(&i, &v)| (i, v)).collect();
+        positions.sort_unstable_by_key(|&(i, _)| i);
+        for (i, v) in positions {
             // i contributes to output k whenever (2k + j) ≡ i (mod m).
             for j in 0..l {
                 let pos = (i + m - (j % m)) % m;

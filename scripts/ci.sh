@@ -3,7 +3,7 @@
 # docs, example smoke-runs, and bench bitrot checks.
 # Runs entirely offline — all dependencies are in-tree (see shims/).
 #
-# Usage: scripts/ci.sh [--quick] [--threads] [--slow-store]
+# Usage: scripts/ci.sh [--quick] [--threads] [--slow-store] [--mixed]
 #   --quick      skip the release build, docs gate, example smoke-runs, and
 #                bench bitrot checks (fmt + clippy + tests only)
 #   --threads    run ONLY the concurrency test matrix (the serve-layer tests
@@ -13,6 +13,11 @@
 #                2ms-per-round-trip store), the async-vs-sync bit-identity
 #                proptests, and the bench-regression guard over the
 #                recorded results/BENCH_exec.json thresholds
+#   --mixed      run ONLY the mixed update+query gate: the snapshot-isolation
+#                and version-advance test batteries (never-torn reads,
+#                advance-equals-restart bit identity), the versioned serve
+#                tests including the held-locks update check, and the
+#                bench_mixed smoke
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,11 +25,13 @@ cd "$(dirname "$0")/.."
 quick=0
 threads_only=0
 slow_store_only=0
+mixed_only=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --threads) threads_only=1 ;;
         --slow-store) slow_store_only=1 ;;
+        --mixed) mixed_only=1 ;;
         *)
             echo "unknown argument: $arg" >&2
             exit 2
@@ -66,6 +73,24 @@ slow_store_gate() {
         --check-bench results/BENCH_exec.json
 }
 
+# Mixed update+query gate: the MVCC serving contract (DESIGN.md §13).
+# Snapshot isolation — concurrent publishes never tear a pinned batch and
+# every final is bit-identical to a fresh run on its pinned version;
+# version advance — an executor repaired through k deltas finalizes
+# bit-identically to a restart on the final version (plus the degenerate
+# empty/full/racing-async deltas); the versioned serve tests include the
+# held-locks check proving `update` takes no slice lock; and the
+# bench_mixed smoke keeps the mixed fixture (and its recorded publish
+# latencies in results/BENCH_exec.json) from rotting.
+mixed_gate() {
+    run cargo test -q -p batchbb --test concurrency snapshot_isolation
+    run cargo test -q -p batchbb-core --test versioning
+    run cargo test -q -p batchbb-serve versioned
+    run cargo test -q -p batchbb-serve advance_batch
+    run cargo test -q -p batchbb-relation batched_point_entries_equivalence
+    run cargo test -q -p batchbb-bench --bench bench_mixed
+}
+
 if [ "$threads_only" -eq 1 ]; then
     threads_matrix
     echo "==> ci green (threads matrix)"
@@ -75,6 +100,12 @@ fi
 if [ "$slow_store_only" -eq 1 ]; then
     slow_store_gate
     echo "==> ci green (slow-store gate)"
+    exit 0
+fi
+
+if [ "$mixed_only" -eq 1 ]; then
+    mixed_gate
+    echo "==> ci green (mixed gate)"
     exit 0
 fi
 
@@ -146,6 +177,7 @@ if [ "$quick" -eq 0 ]; then
     run cargo run -q --release -p batchbb-bench --bin progress_report -- --diff "$trace" "$trace" > /dev/null
 
     slow_store_gate
+    mixed_gate
 fi
 
 echo "==> ci green"

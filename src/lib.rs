@@ -105,6 +105,7 @@ pub mod prelude {
         retry::get_with_retry, ArrayStore, AsyncFetchStore, CachingStore, CoefficientStore,
         Completion, FaultInjectingStore, FaultPlan, FaultStats, InstrumentedStore, IoStats,
         MemoryStore, MutableStore, RetryPolicy, ShardedCachingStore, SharedStore, StorageError,
+        VersionId, VersionView, VersionedStore,
     };
     #[cfg(unix)]
     pub use batchbb_storage::{BlockLayout, BlockStore, FileStore};
