@@ -27,14 +27,33 @@
 //! With `--check-bench results/BENCH_exec.json`, the binary instead acts
 //! as the ✦ bench-regression guard: it reads the recorded benchmark
 //! sections and fails (nonzero exit) if prefetch round-trip counts,
-//! head-scan block reads, or the slow-store overlap speedup regress past
-//! the recorded thresholds. Sections not present in the file are noted
-//! and skipped — partial bench runs stay usable — but a file with *no*
-//! recognized section fails, so the gate cannot pass vacuously.
+//! head-scan block reads, the slow-store overlap speedup, or the
+//! span-tracing overhead regress past the recorded thresholds. Sections
+//! not present in the file are noted and skipped — partial bench runs
+//! stay usable — but a file with *no* recognized section fails, so the
+//! gate cannot pass vacuously.
+//!
+//! With `--attribute trace.jsonl`, the binary replays a *causally traced*
+//! run (a trace carrying `span.*` events, see DESIGN.md §14): it verifies
+//! the span invariants — every span closes, children nest inside their
+//! parents, dedup riders reference a real physical read, and each batch's
+//! phase intervals **partition** its admitted-to-finalized wall time
+//! exactly — then prints the per-batch phase waterfall, the time-in-phase
+//! table per priority class, and the SLO-miss table attributing every
+//! `deadline_expired`/`shed` outcome to its dominant phase.  Any
+//! structural violation exits nonzero.
+//!
+//! With `--serve-trace out.jsonl`, the binary generates the traced
+//! seeded-fault overload fixture (deadline-bound batches over a
+//! transiently faulty store at overcommitted capacity) and writes its
+//! trace for `--attribute` to replay — the pair forms the CI tracing
+//! gate.  The trace is validated before it is written.
 //!
 //! Flags: `--input trace.jsonl` (replay instead of demo), `--diff a b`
 //! (compare two traces), `--check-bench report.json` (bench-regression
-//! guard), `--output trace.jsonl` (save the demo trace), `--curves true`
+//! guard), `--attribute trace.jsonl` (span attribution replay),
+//! `--serve-trace out.jsonl` (generate a traced overload run),
+//! `--output trace.jsonl` (save the demo trace), `--curves true`
 //! (append single-trace ASCII penalty log-curves for both bound families
 //! to the table), `--limit N` (table head/tail rows, default 10),
 //! `--records N`, `--cells N`, `--seed N` (demo workload).
@@ -46,12 +65,13 @@ use batchbb_bench::report::{number_field, read_sections, window_field};
 use batchbb_bench::trace::{
     format_diff_table, format_summary_diff, render_curves, BoundFamily, TraceDiff, TraceSummary,
 };
-use batchbb_bench::{temperature_workload, Args};
+use batchbb_bench::{spans, temperature_workload, Args};
 use batchbb_core::{BatchQueries, ExecObserver, ProgressiveExecutor};
 use batchbb_obs::jsonl::{self, ParsedEvent};
-use batchbb_obs::MemorySink;
+use batchbb_obs::{MemorySink, Tracer};
 use batchbb_penalty::Sse;
-use batchbb_query::{LinearStrategy, WaveletStrategy};
+use batchbb_query::{partition, LinearStrategy, RangeSum, WaveletStrategy};
+use batchbb_serve::{BatchRequest, BatchServer, ServeConfig, SloContract};
 use batchbb_storage::{
     FaultInjectingStore, FaultPlan, InstrumentedStore, MemoryStore, RetryPolicy,
 };
@@ -78,6 +98,12 @@ fn main() -> ExitCode {
     }
     if let Some((path_a, path_b)) = diff_paths {
         return diff_mode(&path_a, &path_b, limit);
+    }
+    if let Some(path) = args.get("attribute") {
+        return attribute_mode(path);
+    }
+    if let Some(path) = args.get("serve-trace") {
+        return serve_trace_mode(path, args.usize("records", 8_000), args.u64("seed", 7));
     }
 
     let lines: Vec<String> = match args.get("input") {
@@ -247,6 +273,45 @@ fn check_bench(path: &str) -> ExitCode {
         },
         None => println!("  SKIP bench_async_overlap: section absent"),
     }
+    match body("bench_obs_span_overhead") {
+        Some(b) => {
+            // Recorded: ~1.0x traced-vs-untraced serve wall ratio (the
+            // recorder buffers transitions per batch and flushes once at
+            // finalize). The 3x ceiling is far above noise but trips if
+            // span emission ever lands on the per-step hot path. The
+            // span_events floor keeps the ratio from passing vacuously:
+            // the traced run must actually have emitted lifecycles.
+            match number_field(b, "overhead_ratio") {
+                Some(ratio) => {
+                    checked += 1;
+                    if ratio <= 3.0 {
+                        println!(
+                            "  ok   bench_obs_span_overhead: traced/untraced ratio = {ratio} <= 3"
+                        );
+                    } else {
+                        println!(
+                            "  FAIL bench_obs_span_overhead: traced/untraced ratio = {ratio} > 3"
+                        );
+                        failures += 1;
+                    }
+                }
+                None => println!("  SKIP bench_obs_span_overhead: overhead_ratio not recorded"),
+            }
+            match number_field(b, "span_events") {
+                Some(n) => {
+                    checked += 1;
+                    if n >= 1.0 {
+                        println!("  ok   bench_obs_span_overhead: span_events = {n} >= 1");
+                    } else {
+                        println!("  FAIL bench_obs_span_overhead: span_events = {n} < 1");
+                        failures += 1;
+                    }
+                }
+                None => println!("  SKIP bench_obs_span_overhead: span_events not recorded"),
+            }
+        }
+        None => println!("  SKIP bench_obs_span_overhead: section absent"),
+    }
     match body("bench_storage_head_scan") {
         Some(b) => {
             let imp = layout_field(b, "ImportanceOrder", "block_reads");
@@ -328,6 +393,104 @@ fn diff_mode(path_a: &str, path_b: &str, limit: usize) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `--attribute` mode: verifies the causal span invariants and prints
+/// the phase waterfall, per-priority time-in-phase, and SLO-miss
+/// attribution (all in `batchbb_bench::spans` — this is a thin shell).
+fn attribute_mode(path: &str) -> ExitCode {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read trace {path}: {e}"));
+    let events = parse_events(&text.lines().map(str::to_string).collect::<Vec<_>>());
+    match spans::format_attribution(&events) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(violation) => {
+            eprintln!("SPAN INVARIANT VIOLATED: {violation}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `--serve-trace` mode: generates the traced seeded-fault overload
+/// fixture, validates its spans, and writes the trace for `--attribute`
+/// to replay.  Validation happens *before* the write so the generator can
+/// never hand CI a torn trace.
+fn serve_trace_mode(path: &str, records: usize, seed: u64) -> ExitCode {
+    let lines = serve_trace(records, seed);
+    let events = parse_events(&lines);
+    if let Err(violation) = spans::format_attribution(&events) {
+        eprintln!("SPAN INVARIANT VIOLATED in generated trace: {violation}");
+        return ExitCode::FAILURE;
+    }
+    let mut text = lines.join("\n");
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!(
+        "# traced serve run saved to {path} ({} events)",
+        lines.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Runs the traced overload fixture and returns its JSONL trace: six
+/// 3-query batches over the §6 temperature wavelet store, half of them
+/// deadline-bound (10 ticks — far under their serial cost, so the
+/// deadline certainly expires), all under a 20 % transient fault rate
+/// with capacity declared ~5 % below the fault-free total so inflated
+/// actuals trip shedding.  One [`Tracer`] is wired through the pool, so
+/// every batch flushes a phase lifecycle into the same trace as its
+/// `exec.*`/`slo.*` streams.
+fn serve_trace(records: usize, seed: u64) -> Vec<String> {
+    let w = temperature_workload(records, 8, false, true, seed);
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let store = MemoryStore::from_entries(strategy.transform_data(w.cube.tensor()));
+    let k = store.abs_sum();
+    let batches: Vec<BatchQueries> = (0..6)
+        .map(|b| {
+            let queries: Vec<RangeSum> = partition::random_partition(&w.domain, 3, seed + 100 + b)
+                .into_iter()
+                .map(RangeSum::count)
+                .collect();
+            BatchQueries::rewrite(&strategy, queries, &w.domain).expect("ranges fit the domain")
+        })
+        .collect();
+    let total: u64 = batches
+        .iter()
+        .map(|b| {
+            let mut probe = ProgressiveExecutor::new(b, &Sse, &store);
+            probe.run_to_end();
+            probe.retrieved() as u64
+        })
+        .sum();
+    let faulty = FaultInjectingStore::new(&store, FaultPlan::new(seed).with_transient_rate(0.2));
+    let requests: Vec<BatchRequest<'_>> = batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let slo = if i % 2 == 0 {
+                SloContract::new()
+                    .with_deadline_ticks(10)
+                    .with_priority((i % 3) as u8)
+            } else {
+                SloContract::new().with_priority((i % 3) as u8)
+            };
+            BatchRequest::new(b, &Sse).with_slo(slo)
+        })
+        .collect();
+    let sink = Arc::new(MemorySink::new());
+    let server = BatchServer::new(
+        ServeConfig::new(w.domain.len(), k)
+            .workers(3)
+            .slice_steps(4)
+            .capacity(total.saturating_sub(total / 20).max(1))
+            .sink(sink.clone())
+            .tracing(Tracer::new(seed)),
+    );
+    server.serve(&faulty, &requests);
+    sink.lines()
 }
 
 /// Runs the fault-injected demo evaluation and returns its JSONL trace.
@@ -495,83 +658,137 @@ fn print_slo_summary(events: &[ParsedEvent]) {
 
 /// Checks the trace invariants; returns a one-line summary or the first
 /// violation found.
+///
+/// Serve-pool traces interleave several batches (each event stamped with
+/// its `batch` label by the pool's sink), so both checks group by batch:
+/// the bound must be monotone *within* each batch's progression, and the
+/// counters of each batch's last `exec.finish` are summed before
+/// reconciling against the event stream.  Single-executor traces carry
+/// no `batch` field and land in one group, preserving the old semantics.
 fn verify(events: &[ParsedEvent]) -> Result<String, String> {
     let steps: Vec<&ParsedEvent> = events.iter().filter(|e| e.name() == "exec.step").collect();
     if steps.is_empty() {
         return Err("trace holds no exec.step events".to_string());
     }
 
-    // 1. The worst-case penalty bound never increases along the progression.
-    let mut last: Option<f64> = None;
+    // 1. The worst-case penalty bound never increases along any batch's
+    //    progression.
+    let mut last_by_batch: std::collections::BTreeMap<Option<u64>, f64> = Default::default();
     for (i, e) in steps.iter().enumerate() {
         let Some(bound) = e.num("worst_case_bound") else {
             continue; // engines without importance tracking omit the field
         };
-        if let Some(prev) = last {
+        let batch = e.u64("batch");
+        if let Some(&prev) = last_by_batch.get(&batch) {
             if bound > prev * (1.0 + 1e-12) + 1e-12 {
                 return Err(format!(
                     "worst_case_bound rose from {prev} to {bound} at step event {i}"
                 ));
             }
         }
-        last = Some(bound);
+        last_by_batch.insert(batch, bound);
     }
+    // The headline bound: the worst final bound across batches.
+    let last = last_by_batch.values().copied().reduce(f64::max);
 
-    // 2. The final cumulative counters reconcile with the event stream.
-    let finish = events
-        .iter()
-        .rev()
-        .find(|e| e.name() == "exec.finish")
-        .ok_or("trace holds no exec.finish event")?;
-    let c = |k: &str| finish.u64(k).unwrap_or(0);
-    let (attempts, successes) = (c("attempts"), c("successes"));
-    let (transient, permanent) = (c("transient_failures"), c("permanent_failures"));
-    let (deferrals, recoveries) = (c("deferrals"), c("recoveries"));
-    if attempts != successes + transient + permanent {
-        return Err(format!(
-            "attempts {attempts} != successes {successes} + transient {transient} + permanent {permanent}"
-        ));
+    // 2. The final cumulative counters reconcile with the event stream,
+    //    batch by batch.  A batch finalized mid-flight (deadline expiry,
+    //    shed) never emits `exec.finish`, so only finished batches have
+    //    counters to reconcile — their step/defer events are matched by
+    //    the shared `batch` label.
+    let mut finishes: std::collections::BTreeMap<Option<u64>, &ParsedEvent> = Default::default();
+    for e in events.iter().filter(|e| e.name() == "exec.finish") {
+        finishes.insert(e.u64("batch"), e); // cumulative: the last wins
     }
-    if deferrals < recoveries {
-        return Err(format!(
-            "recoveries {recoveries} exceed deferrals {deferrals}"
-        ));
+    if finishes.is_empty() {
+        return Err("trace holds no exec.finish event".to_string());
     }
-    let first_deferrals = events
+    for (&batch, finish) in &finishes {
+        let tag = batch.map(|b| format!("batch {b}: ")).unwrap_or_default();
+        let c = |k: &str| finish.u64(k).unwrap_or(0);
+        let (attempts, successes) = (c("attempts"), c("successes"));
+        let (transient, permanent) = (c("transient_failures"), c("permanent_failures"));
+        let (deferrals, recoveries) = (c("deferrals"), c("recoveries"));
+        if attempts != successes + transient + permanent {
+            return Err(format!(
+                "{tag}attempts {attempts} != successes {successes} + transient {transient} + permanent {permanent}"
+            ));
+        }
+        if deferrals < recoveries {
+            return Err(format!(
+                "{tag}recoveries {recoveries} exceed deferrals {deferrals}"
+            ));
+        }
+        let first_deferrals = events
+            .iter()
+            .filter(|e| {
+                e.name() == "exec.defer" && e.bool("first") == Some(true) && e.u64("batch") == batch
+            })
+            .count() as u64;
+        if first_deferrals != deferrals {
+            return Err(format!(
+                "{tag}{first_deferrals} first-deferral events vs {deferrals} counted deferrals"
+            ));
+        }
+        let batch_steps: Vec<&&ParsedEvent> =
+            steps.iter().filter(|e| e.u64("batch") == batch).collect();
+        let recovered_steps = batch_steps
+            .iter()
+            .filter(|e| e.str("kind") == Some("recovered"))
+            .count() as u64;
+        if recovered_steps != recoveries {
+            return Err(format!(
+                "{tag}{recovered_steps} recovered steps vs {recoveries} counted recoveries"
+            ));
+        }
+        if c("retrieved") != batch_steps.len() as u64 {
+            return Err(format!(
+                "{tag}finish reports {} retrievals but the trace holds {} step events",
+                c("retrieved"),
+                batch_steps.len()
+            ));
+        }
+    }
+    let attempts = finishes
+        .values()
+        .map(|e| e.u64("attempts").unwrap_or(0))
+        .sum::<u64>();
+    let deferrals = events
         .iter()
         .filter(|e| e.name() == "exec.defer" && e.bool("first") == Some(true))
         .count() as u64;
-    if first_deferrals != deferrals {
-        return Err(format!(
-            "{first_deferrals} first-deferral events vs {deferrals} counted deferrals"
-        ));
-    }
     let recovered_steps = steps
         .iter()
         .filter(|e| e.str("kind") == Some("recovered"))
         .count() as u64;
-    if recovered_steps != recoveries {
-        return Err(format!(
-            "{recovered_steps} recovered steps vs {recoveries} counted recoveries"
-        ));
-    }
-    if c("retrieved") != steps.len() as u64 {
-        return Err(format!(
-            "finish reports {} retrievals but the trace holds {} step events",
-            c("retrieved"),
-            steps.len()
-        ));
-    }
+
+    // 3. Causal spans, when present: every span closes, children nest
+    //    inside their parents, dedup riders resolve, and each batch's
+    //    phase intervals partition its wall time exactly.  Untraced
+    //    traces (no `span.*` events) skip this silently.
+    let span_note = if events.iter().any(|e| e.name().starts_with("span.")) {
+        let set = spans::SpanSet::from_events(events)?;
+        set.verify()?;
+        let lifecycles = set.lifecycles()?;
+        format!(
+            ", {} spans ({} batch lifecycles partitioned)",
+            set.spans.len(),
+            lifecycles.len()
+        )
+    } else {
+        String::new()
+    };
 
     let store_faults = events.iter().filter(|e| e.name() == "store.fault").count();
     let final_bound = last.map(|b| format!("{b:.4e}")).unwrap_or("-".to_string());
     Ok(format!(
-        "OK: {} steps ({} recovered), {} deferrals, {} store faults, {} attempts, final worst-case bound {}",
+        "OK: {} steps ({} recovered), {} deferrals, {} store faults, {} attempts, final worst-case bound {}{}",
         steps.len(),
         recovered_steps,
         deferrals,
         store_faults,
         attempts,
-        final_bound
+        final_bound,
+        span_note
     ))
 }

@@ -12,6 +12,7 @@ use batchbb_tensor::Shape;
 pub mod mixed;
 pub mod report;
 pub mod slow;
+pub mod spans;
 pub mod trace;
 
 /// Minimal `--flag value` parser for harness binaries.

@@ -14,6 +14,8 @@
 //! Everything here is pure data → data; the `progress_report` binary is a
 //! thin shell over it, which keeps the diff semantics unit-testable.
 
+use std::collections::BTreeMap;
+
 use batchbb_obs::jsonl::ParsedEvent;
 
 /// One retrieval step of a trace, as far as penalty tracking goes.
@@ -64,6 +66,15 @@ impl BoundFamily {
     }
 }
 
+/// Count and total duration of one span name's occurrences in a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAggregate {
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Summed span duration in nanoseconds.
+    pub total_ns: u64,
+}
+
 /// Everything `progress_report` needs from one trace, in step order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
@@ -79,12 +90,26 @@ pub struct TraceSummary {
     pub store_faults: u64,
     /// Cumulative attempts from the last `exec.finish` (0 if none).
     pub attempts: u64,
+    /// `metrics.*` dump values keyed by `"<kind> <name>"` (counters and
+    /// gauges verbatim; histograms expanded to `count`/`mean`/`p99`).
+    /// When a trace holds several dumps the last one wins, matching the
+    /// registry's cumulative semantics.
+    pub metrics: BTreeMap<String, f64>,
+    /// Per-name aggregates over the causal `span.start`/`span.end`
+    /// stream (empty for untraced runs).  Counts diff exactly across
+    /// runs of the same workload; durations are wall-clock and noisy,
+    /// so the diff reports them without gating on them.
+    pub spans: BTreeMap<String, SpanAggregate>,
 }
 
 impl TraceSummary {
     /// Reduces parsed events to a summary.
     pub fn from_events(events: &[ParsedEvent]) -> Self {
         let mut summary = TraceSummary::default();
+        // Tolerant span pairing: id -> (name, start). The diff only
+        // aggregates; the strict structural checks live in
+        // [`crate::spans::SpanSet`].
+        let mut open_spans: BTreeMap<u64, (String, u64)> = BTreeMap::new();
         for event in events {
             match event.name() {
                 "exec.step" => {
@@ -100,6 +125,39 @@ impl TraceSummary {
                 "exec.defer" if event.bool("first") == Some(true) => summary.deferrals += 1,
                 "store.fault" => summary.store_faults += 1,
                 "exec.finish" => summary.attempts = event.u64("attempts").unwrap_or(0),
+                "metrics.counter" | "metrics.gauge" => {
+                    if let (Some(name), Some(value)) = (event.str("name"), event.num("value")) {
+                        let kind = event.name().trim_start_matches("metrics.");
+                        summary.metrics.insert(format!("{kind} {name}"), value);
+                    }
+                }
+                "metrics.histogram" => {
+                    if let Some(name) = event.str("name") {
+                        for field in ["count", "mean", "p99"] {
+                            if let Some(value) = event.num(field) {
+                                summary
+                                    .metrics
+                                    .insert(format!("hist {name}.{field}"), value);
+                            }
+                        }
+                    }
+                }
+                "span.start" => {
+                    if let (Some(name), Some(id), Some(ts)) =
+                        (event.str("name"), event.u64("span"), event.u64("ts_ns"))
+                    {
+                        open_spans.insert(id, (name.to_string(), ts));
+                    }
+                }
+                "span.end" => {
+                    if let (Some(id), Some(ts)) = (event.u64("span"), event.u64("ts_ns")) {
+                        if let Some((name, start)) = open_spans.remove(&id) {
+                            let agg = summary.spans.entry(name).or_default();
+                            agg.count += 1;
+                            agg.total_ns += ts.saturating_sub(start);
+                        }
+                    }
+                }
                 _ => {}
             }
             if summary.engine.is_none() {
@@ -279,6 +337,54 @@ pub fn format_summary_diff(a: &TraceSummary, b: &TraceSummary) -> String {
                 (Some(av), Some(bv)) => format!("{:+.2e}", av - bv),
                 _ => "-".to_string(),
             },
+        ));
+    }
+    // `metrics.*` dumps and `span.*` aggregates, over the union of keys
+    // so a measurement present on one side only still shows up (as `-`).
+    let keys: Vec<&String> = {
+        let mut keys: Vec<&String> = a.metrics.keys().chain(b.metrics.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    };
+    for key in keys {
+        let (av, bv) = (a.metrics.get(key).copied(), b.metrics.get(key).copied());
+        let delta = match (av, bv) {
+            (Some(av), Some(bv)) if av == bv => "0".to_string(),
+            (Some(av), Some(bv)) => format!("{:+.4}", av - bv),
+            _ => "-".to_string(),
+        };
+        let label = format!("metric {key}");
+        out.push_str(&format!(
+            "{label:<34} {:>14} {:>14} {delta:>10}\n",
+            fmt_opt(av),
+            fmt_opt(bv),
+        ));
+    }
+    let span_names: Vec<&String> = {
+        let mut names: Vec<&String> = a.spans.keys().chain(b.spans.keys()).collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    for name in span_names {
+        let (av, bv) = (a.spans.get(name), b.spans.get(name));
+        let label = format!("spans {name}");
+        out.push_str(&format!(
+            "{label:<34} {:>14} {:>14} {:>10}\n",
+            fmt_opt_u64(av.map(|s| s.count)),
+            fmt_opt_u64(bv.map(|s| s.count)),
+            match (av, bv) {
+                (Some(av), Some(bv)) => fmt_i64_delta(av.count, bv.count),
+                _ => "-".to_string(),
+            },
+        ));
+        let label = format!("spans {name} total ms");
+        out.push_str(&format!(
+            "{label:<34} {:>14} {:>14} {:>10}\n",
+            fmt_opt(av.map(|s| s.total_ns as f64 / 1e6)),
+            fmt_opt(bv.map(|s| s.total_ns as f64 / 1e6)),
+            "wallclock",
         ));
     }
     out
@@ -509,6 +615,49 @@ mod tests {
         assert!(text.contains("steps to 0.5x Thm1 bound"));
         assert!(text.contains("final Thm2 E[pen]"));
         assert!(text.contains("A (pe)") && text.contains("B (rr)"));
+    }
+
+    #[test]
+    fn metrics_and_span_aggregates_join_the_summary_diff() {
+        let mut lines = synthetic_trace(&[8.0, 4.0], "a");
+        lines.push(r#"{"event":"metrics.counter","name":"slo.admitted","value":5}"#.to_string());
+        lines.push(
+            r#"{"event":"metrics.histogram","name":"exec.latency","count":10,"mean":2.5,"p99":7}"#
+                .to_string(),
+        );
+        lines.push(
+            r#"{"event":"span.start","name":"batch","trace":1,"span":1,"ts_ns":100,"batch":0}"#
+                .to_string(),
+        );
+        lines.push(r#"{"event":"span.end","trace":1,"span":1,"ts_ns":400}"#.to_string());
+        let a = TraceSummary::from_events(&events(&lines));
+        assert_eq!(a.metrics.get("counter slo.admitted"), Some(&5.0));
+        assert_eq!(a.metrics.get("hist exec.latency.p99"), Some(&7.0));
+        let agg = a.spans.get("batch").unwrap();
+        assert_eq!((agg.count, agg.total_ns), (1, 300));
+
+        // B carries neither metrics nor spans: rows are one-sided, not 0.
+        let b = TraceSummary::from_events(&events(&synthetic_trace(&[8.0, 4.0], "b")));
+        let text = format_summary_diff(&a, &b);
+        assert!(text.contains("metric counter slo.admitted"));
+        assert!(text.contains("metric hist exec.latency.count"));
+        assert!(text.contains("spans batch"));
+        assert!(text.contains("wallclock"), "durations never gate the diff");
+
+        // A self-diff of the instrumented trace has zero deltas on every
+        // metric and span-count row (durations are reported, not gated).
+        let self_text = format_summary_diff(&a, &a);
+        let gated = self_text
+            .lines()
+            .filter(|l| l.starts_with("metric counter") || l.starts_with("metric hist"))
+            .chain(
+                self_text
+                    .lines()
+                    .filter(|l| l.starts_with("spans ") && !l.contains("wallclock")),
+            );
+        for line in gated {
+            assert!(line.trim_end().ends_with(" 0"), "nonzero self-diff: {line}");
+        }
     }
 
     #[test]

@@ -340,7 +340,9 @@ impl<'a> ProgressiveExecutor<'a> {
         }
         let entry = self.heap.pop()?;
         let timer = ExecObserver::maybe_timer(&self.observer);
+        let wait = ExecObserver::store_wait_scope(&self.observer);
         let value = self.store.get(&entry.key).unwrap_or(0.0);
+        drop(wait);
         let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
         let info = self.apply_value(&entry, value);
         self.debit_remaining(entry.importance);
@@ -380,7 +382,9 @@ impl<'a> ProgressiveExecutor<'a> {
             timer,
         } = pending;
         let w = entries.len();
+        let wait = ExecObserver::store_wait_scope(&self.observer);
         let fetched = completion.wait();
+        drop(wait);
         let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
         match fetched {
             Ok(values) => {
@@ -592,7 +596,9 @@ impl<'a> ProgressiveExecutor<'a> {
                 }
                 let keys: Vec<CoeffKey> = entries.iter().map(|e| e.key).collect();
                 let timer = ExecObserver::maybe_timer(&self.observer);
+                let wait = ExecObserver::store_wait_scope(&self.observer);
                 let completion = self.store.submit(&keys);
+                drop(wait);
                 let pending = PendingFetch {
                     entries,
                     completion,
@@ -621,7 +627,9 @@ impl<'a> ProgressiveExecutor<'a> {
         }
         if let Some(entry) = self.heap.pop() {
             let timer = ExecObserver::maybe_timer(&self.observer);
+            let wait = ExecObserver::store_wait_scope(&self.observer);
             let out = get_with_retry(self.store, &entry.key, policy, attempts_allowed);
+            drop(wait);
             let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
             out.record(&mut self.fault);
             match out.result {
@@ -651,7 +659,9 @@ impl<'a> ProgressiveExecutor<'a> {
             }
         } else if let Some(entry) = self.deferred.pop_front() {
             let timer = ExecObserver::maybe_timer(&self.observer);
+            let wait = ExecObserver::store_wait_scope(&self.observer);
             let out = get_with_retry(self.store, &entry.key, policy, attempts_allowed);
+            drop(wait);
             let latency_ns = timer.map_or(0, |t| t.elapsed_ns());
             out.record(&mut self.fault);
             match out.result {

@@ -16,7 +16,8 @@
 use std::sync::Arc;
 
 use batchbb_obs::{
-    Counter, Event, EventSink, Gauge, Histogram, MetricsRegistry, NullSink, SpanTimer,
+    span_end_event, span_start_event, Counter, Event, EventSink, Gauge, Histogram, Lifecycle,
+    MetricsRegistry, NullSink, Phase, PhaseGuard, SpanTimer,
 };
 use batchbb_storage::{FaultStats, StorageError};
 use batchbb_tensor::CoeffKey;
@@ -70,6 +71,7 @@ pub struct ExecObserver {
     engine: &'static str,
     n_total: Option<usize>,
     k_abs_sum: Option<f64>,
+    lifecycle: Option<Lifecycle>,
     steps: Counter,
     deferrals: Counter,
     recoveries: Counter,
@@ -116,6 +118,7 @@ impl ExecObserver {
             engine,
             n_total: None,
             k_abs_sum: None,
+            lifecycle: None,
         }
     }
 
@@ -125,6 +128,7 @@ impl ExecObserver {
         let mut built = Self::build(self.sink, registry, self.engine);
         built.n_total = self.n_total;
         built.k_abs_sum = self.k_abs_sum;
+        built.lifecycle = self.lifecycle;
         built
     }
 
@@ -134,7 +138,18 @@ impl ExecObserver {
         let mut built = Self::build(self.sink, self.registry, engine);
         built.n_total = self.n_total;
         built.k_abs_sum = self.k_abs_sum;
+        built.lifecycle = self.lifecycle;
         built
+    }
+
+    /// Attaches the batch's lifecycle recorder (causal tracing, DESIGN.md
+    /// §14). The executor then carves [`Phase::StoreWait`] out of the
+    /// batch's executing time around every store call and emits a
+    /// `prefetch` span per prefetch window under the batch's root span.
+    /// Without this the tracing sites stay `None`-guarded no-ops.
+    pub fn with_lifecycle(mut self, lifecycle: Lifecycle) -> Self {
+        self.lifecycle = Some(lifecycle);
+        self
     }
 
     /// Enables the per-step penalty-bound fields: `n_total` is the domain
@@ -161,6 +176,17 @@ impl ExecObserver {
     /// reading, so unobserved paths never touch the clock.
     pub(crate) fn maybe_timer(observer: &Option<ExecObserver>) -> Option<SpanTimer> {
         observer.as_ref().map(|_| SpanTimer::start())
+    }
+
+    /// Brackets a store call as [`Phase::StoreWait`] in the batch's
+    /// lifecycle: the guard enters the phase now and restores the previous
+    /// phase (normally `Executing`) when dropped. `None` — a free no-op —
+    /// unless a lifecycle recorder is attached.
+    pub(crate) fn store_wait_scope(observer: &Option<ExecObserver>) -> Option<PhaseGuard> {
+        observer
+            .as_ref()
+            .and_then(|o| o.lifecycle.as_ref())
+            .map(|lifecycle| PhaseGuard::enter(lifecycle, Phase::StoreWait))
     }
 
     pub(crate) fn on_start(&self, batch_size: usize, coefficients: usize) {
@@ -243,6 +269,24 @@ impl ExecObserver {
                 .bool("ok", ok)
                 .u64("latency_ns", latency_ns),
         );
+        // With a lifecycle attached, the prefetch window also lands as a
+        // causal span under the batch's root: the window resolved *now*
+        // and covered `latency_ns` (the overlap latency for parked async
+        // fetches), so its start is reconstructed backwards.
+        if let Some(lifecycle) = &self.lifecycle {
+            if let Ok(recorder) = lifecycle.lock() {
+                let tracer = recorder.tracer();
+                let ctx = tracer.child_context(recorder.root_span());
+                let end = tracer.now_ns();
+                let start = end.saturating_sub(latency_ns);
+                self.sink.emit(
+                    &span_start_event("prefetch", ctx, start)
+                        .u64("keys", batch as u64)
+                        .bool("ok", ok),
+                );
+                self.sink.emit(&span_end_event(ctx, end));
+            }
+        }
     }
 
     /// A batched prefetch of `batch` coefficients was submitted to an

@@ -69,9 +69,75 @@ pub enum OverflowPolicy {
     DropOldest,
 }
 
+/// Adaptive-sampling factors are capped so even a pathological overload
+/// keeps at least one in 256 events of every name.
+pub const MAX_ADAPTIVE_FACTOR: u64 = 256;
+
+/// Feedback state for adaptive sampling. Lives *inside* the queue mutex —
+/// the emit path already takes that lock for every admitted event, so
+/// adapting adds no locks to the hot path.
+struct Adaptive {
+    /// Events considered per adaptation window.
+    window: u64,
+    /// Events considered so far in the current window.
+    seen: u64,
+    /// `obs.dropped_events` reading at the window start; growth across a
+    /// window is the overload signal.
+    dropped_at_start: u64,
+    /// Per-name event counts this window (to find the heavy hitters).
+    counts: BTreeMap<&'static str, u64>,
+    /// Per-name dynamic `(factor, tick)`: keep one in `factor`,
+    /// admission-ordered by `tick`. Absent name = factor 1 = keep all.
+    factors: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl Adaptive {
+    /// Considers one event named `name`; returns `true` when the current
+    /// dynamic factor thins it out. Runs the window-boundary adaptation:
+    /// if `obs.dropped_events` grew over the window, the window's heavy
+    /// hitters double their factor (capped); a drop-free window halves
+    /// every factor back toward 1.
+    fn consider(&mut self, name: &'static str, dropped_now: u64) -> bool {
+        self.seen += 1;
+        *self.counts.entry(name).or_insert(0) += 1;
+        let thinned = match self.factors.get_mut(name) {
+            Some((factor, tick)) => {
+                let t = *tick;
+                *tick += 1;
+                t % *factor != 0
+            }
+            None => false,
+        };
+        if self.seen >= self.window {
+            if dropped_now > self.dropped_at_start {
+                // Overloaded: raise sampling on the names that filled the
+                // window (at least a quarter of it), sparing rare events.
+                let threshold = (self.window / 4).max(1);
+                for (&name, &count) in self.counts.iter() {
+                    if count >= threshold {
+                        let (factor, _) = self.factors.entry(name).or_insert((1, 0));
+                        *factor = (*factor * 2).min(MAX_ADAPTIVE_FACTOR);
+                    }
+                }
+            } else {
+                // Pressure is off: decay every factor toward keep-all.
+                for (factor, _) in self.factors.values_mut() {
+                    *factor /= 2;
+                }
+                self.factors.retain(|_, (factor, _)| *factor > 1);
+            }
+            self.seen = 0;
+            self.counts.clear();
+            self.dropped_at_start = dropped_now;
+        }
+        thinned
+    }
+}
+
 struct Queue {
     events: VecDeque<Event>,
     closed: bool,
+    adaptive: Option<Adaptive>,
 }
 
 struct Shared {
@@ -95,6 +161,7 @@ pub struct BoundedSinkBuilder {
     overflow: OverflowPolicy,
     registry: Option<Arc<MetricsRegistry>>,
     sampling: BTreeMap<&'static str, u64>,
+    adaptive_window: Option<u64>,
 }
 
 impl BoundedSinkBuilder {
@@ -130,6 +197,23 @@ impl BoundedSinkBuilder {
         self
     }
 
+    /// Enables feedback-driven sampling: every `window` admitted events
+    /// the sink compares `obs.dropped_events` against the window start —
+    /// if drops grew, the window's high-frequency event names double
+    /// their 1-in-N sampling factor (capped at [`MAX_ADAPTIVE_FACTOR`]);
+    /// a drop-free window halves every factor back toward keep-all.
+    /// Thinned events count under `obs.sampled_events`, so the exact
+    /// ledger `emitted == written + dropped + sampled` is unchanged.
+    /// Values below 16 are clamped to 16 (sub-window feedback would
+    /// chase noise). Composes with [`sample_one_in`]
+    /// (static factors apply first).
+    ///
+    /// [`sample_one_in`]: BoundedSinkBuilder::sample_one_in
+    pub fn adaptive_sampling(mut self, window: u64) -> Self {
+        self.adaptive_window = Some(window.max(16));
+        self
+    }
+
     /// Builds the sink around `inner` and starts the flusher thread.
     pub fn build(self, inner: Arc<dyn EventSink>) -> BoundedSink {
         let registry = self
@@ -139,6 +223,13 @@ impl BoundedSinkBuilder {
             queue: Mutex::new(Queue {
                 events: VecDeque::new(),
                 closed: false,
+                adaptive: self.adaptive_window.map(|window| Adaptive {
+                    window,
+                    seen: 0,
+                    dropped_at_start: 0,
+                    counts: BTreeMap::new(),
+                    factors: BTreeMap::new(),
+                }),
             }),
             ready: Condvar::new(),
             capacity: self.capacity.unwrap_or(DEFAULT_QUEUE_CAPACITY),
@@ -232,6 +323,23 @@ impl BoundedSink {
         &self.registry
     }
 
+    /// The current adaptive 1-in-N factor for events named `name`
+    /// (`1` = keep all). Always `1` unless
+    /// [`BoundedSinkBuilder::adaptive_sampling`] is enabled and drop
+    /// pressure has raised the name's factor.
+    pub fn adaptive_factor(&self, name: &str) -> u64 {
+        let queue = self
+            .shared
+            .queue
+            .lock()
+            .expect("bounded sink lock poisoned");
+        queue
+            .adaptive
+            .as_ref()
+            .and_then(|a| a.factors.get(name).map(|(factor, _)| *factor))
+            .unwrap_or(1)
+    }
+
     /// Current cumulative accounting (see [`BoundedSinkStats`]).
     pub fn stats(&self) -> BoundedSinkStats {
         BoundedSinkStats {
@@ -284,6 +392,14 @@ impl EventSink for BoundedSink {
             drop(queue);
             self.shared.dropped.inc();
             return;
+        }
+        if let Some(adaptive) = queue.adaptive.as_mut() {
+            let dropped_now = self.shared.dropped.get();
+            if adaptive.consider(event.name(), dropped_now) {
+                drop(queue);
+                self.shared.sampled.inc();
+                return;
+            }
         }
         if queue.events.len() >= self.shared.capacity {
             match self.shared.overflow {
@@ -529,6 +645,96 @@ mod tests {
         assert_eq!(stats.emitted, 1000);
         assert_eq!(stats.emitted, stats.written + stats.dropped);
         assert_eq!(mem.len() as u64, stats.written);
+    }
+
+    #[test]
+    fn adaptive_raises_heavy_hitters_on_drop_growth_and_decays() {
+        let mut adaptive = Adaptive {
+            window: 16,
+            seen: 0,
+            dropped_at_start: 0,
+            counts: BTreeMap::new(),
+            factors: BTreeMap::new(),
+        };
+        // Window 1: no drops — nothing raised.
+        for _ in 0..16 {
+            assert!(!adaptive.consider("hot", 0));
+        }
+        assert!(adaptive.factors.is_empty());
+        // Window 2: drops grew; "hot" fills the window, "rare" does not.
+        for _ in 0..15 {
+            adaptive.consider("hot", 4);
+        }
+        adaptive.consider("rare", 4);
+        assert_eq!(adaptive.factors.get("hot").map(|(f, _)| *f), Some(2));
+        assert_eq!(adaptive.factors.get("rare"), None, "rare names spared");
+        // Window 3 with factor 2: every other "hot" event is thinned.
+        let thinned = (0..16).filter(|_| adaptive.consider("hot", 4)).count();
+        assert_eq!(thinned, 8);
+        // Drops stopped growing across window 3, so the factor decayed.
+        assert!(adaptive.factors.is_empty(), "drop-free window decays to 1");
+        // Sustained growth compounds but saturates at the cap.
+        for round in 0..20u64 {
+            for _ in 0..16 {
+                adaptive.consider("hot", 5 + round);
+            }
+        }
+        assert_eq!(
+            adaptive.factors.get("hot").map(|(f, _)| *f),
+            Some(MAX_ADAPTIVE_FACTOR)
+        );
+    }
+
+    #[test]
+    fn adaptive_sampling_reacts_to_overflow_with_exact_ledger() {
+        let slow = Arc::new(SlowSink {
+            inner: MemorySink::new(),
+            delay: Duration::from_millis(2),
+        });
+        let sink = BoundedSink::builder()
+            .capacity(1)
+            .adaptive_sampling(16)
+            .build(slow.clone());
+        for i in 0..600u64 {
+            sink.emit(&Event::new("exec.step").u64("i", i));
+        }
+        assert!(
+            sink.adaptive_factor("exec.step") > 1,
+            "sustained drops must raise the exec.step factor"
+        );
+        assert_eq!(sink.adaptive_factor("exec.finish"), 1);
+        sink.close();
+        let stats = sink.stats();
+        assert_eq!(stats.emitted, 600);
+        assert!(stats.dropped > 0);
+        assert!(stats.sampled > 0, "adaptive thinning must engage");
+        assert_eq!(
+            stats.emitted,
+            stats.written + stats.dropped + stats.sampled,
+            "the ledger stays exact under adaptive sampling"
+        );
+        assert_eq!(slow.inner.len() as u64, stats.written);
+    }
+
+    #[test]
+    fn adaptive_sampling_is_inert_without_drops() {
+        let mem = Arc::new(MemorySink::new());
+        let sink = BoundedSink::builder()
+            .capacity(4096)
+            .adaptive_sampling(32)
+            .build(mem.clone());
+        for i in 0..200u64 {
+            sink.emit(&Event::new("t").u64("i", i));
+            if i % 16 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        sink.close();
+        let stats = sink.stats();
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.sampled, 0, "no drops, no thinning");
+        assert_eq!(stats.written, 200);
+        assert_eq!(sink.adaptive_factor("t"), 1);
     }
 
     #[test]

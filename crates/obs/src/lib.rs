@@ -21,6 +21,11 @@
 //!   sink, and a non-blocking bounded-queue adapter ([`BoundedSink`])
 //!   whose background flusher keeps slow trace I/O off the hot path
 //!   (overflow drops-and-counts, never blocks);
+//! * [`Tracer`] / [`LifecycleRecorder`] — causal spans (`span.start` /
+//!   `span.end` on one monotone clock) and the per-batch [`Phase`]
+//!   lifecycle whose intervals exactly partition a served batch's wall
+//!   time, so SLO misses can be attributed to queueing vs store wait vs
+//!   parking vs repair;
 //! * [`jsonl`] — a minimal flat-JSON parser so traces can be replayed
 //!   (e.g. by the `progress_report` harness in `batchbb-bench`) without an
 //!   external JSON dependency.
@@ -61,11 +66,17 @@ pub mod jsonl;
 mod label;
 mod metrics;
 mod span;
+mod trace;
 
 pub use bounded::{
     BoundedSink, BoundedSinkBuilder, BoundedSinkStats, OverflowPolicy, DEFAULT_QUEUE_CAPACITY,
+    MAX_ADAPTIVE_FACTOR,
 };
 pub use event::{Event, EventSink, FieldValue, JsonlSink, MemorySink, NullSink};
 pub use label::LabeledSink;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::SpanTimer;
+pub use trace::{
+    lifecycle, span_end_event, span_start_event, Lifecycle, LifecycleRecorder, Phase, PhaseGuard,
+    TraceContext, Tracer,
+};

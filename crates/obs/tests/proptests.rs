@@ -196,4 +196,51 @@ proptest! {
             }
         }
     }
+
+    /// The ledger identity survives *adaptive* sampling too: whatever
+    /// factors the feedback loop settles on for heavy-hitter names — and
+    /// however they rise and decay mid-stream — every emitted event is
+    /// accounted for exactly once as written, dropped, or sampled, and
+    /// the inner sink holds exactly `written` lines.
+    #[test]
+    fn adaptive_sampling_keeps_the_ledger_exact(
+        capacity in 1usize..16,
+        names in prop::collection::vec(0u8..8, 1..256),
+        window in 0u64..64,
+        drop_oldest in any::<bool>(),
+    ) {
+        let policy = if drop_oldest {
+            OverflowPolicy::DropOldest
+        } else {
+            OverflowPolicy::DropNewest
+        };
+        let mem = Arc::new(MemorySink::new());
+        let sink = BoundedSink::builder()
+            .capacity(capacity)
+            .overflow(policy)
+            .adaptive_sampling(window)
+            .build(mem.clone());
+        for (i, name) in names.iter().enumerate() {
+            // Skewed: most draws hit `exec.step`, so the tiny queue
+            // overflows and the feedback loop raises its factor.
+            let name = match name {
+                0 => "exec.defer",
+                1 => "store.fault",
+                _ => "exec.step",
+            };
+            sink.emit(&Event::new(name).u64("i", i as u64));
+        }
+        let mid_factor = sink.adaptive_factor("exec.step");
+        prop_assert!(mid_factor >= 1, "factors never fall below 1");
+        sink.close();
+        let stats = sink.stats();
+        prop_assert_eq!(stats.emitted, names.len() as u64);
+        prop_assert_eq!(
+            stats.emitted,
+            stats.written + stats.dropped + stats.sampled,
+            "adaptive ledger must balance: {:?}",
+            stats
+        );
+        prop_assert_eq!(mem.len() as u64, stats.written);
+    }
 }

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use batchbb_core::BatchQueries;
-use batchbb_obs::{EventSink, MetricsRegistry};
+use batchbb_obs::{EventSink, MetricsRegistry, Tracer};
 use batchbb_penalty::Penalty;
 use batchbb_storage::RetryPolicy;
 
@@ -40,6 +40,9 @@ pub struct ServeConfig {
     pub(crate) registry: Option<Arc<MetricsRegistry>>,
     /// Shared trace sink; each batch's events get a `batch = <id>` label.
     pub(crate) sink: Option<Arc<dyn EventSink>>,
+    /// Causal tracer; with a sink also configured, every batch records a
+    /// phase lifecycle and flushes it as spans at finalize.
+    pub(crate) tracer: Option<Tracer>,
     /// How the pool orders runnable batches between slices.
     pub(crate) scheduler: SchedulerPolicy,
     /// Declared serving capacity in store-attempt ticks; enables
@@ -71,6 +74,7 @@ impl ServeConfig {
             cache_shards: 16,
             registry: None,
             sink: None,
+            tracer: None,
             scheduler: SchedulerPolicy::default(),
             capacity: None,
             cache_capacity: None,
@@ -183,6 +187,23 @@ impl ServeConfig {
     /// `batch = i` label so one trace can be split per batch afterwards.
     pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a causal [`Tracer`]. Combined with a
+    /// [`sink`](ServeConfig::sink), every admitted batch records a
+    /// [`batchbb_obs::Phase`] lifecycle — admission, queueing, execution,
+    /// store waits, parking, repair, finalize — whose intervals exactly
+    /// partition its admitted-to-finalized wall time, flushed into the
+    /// trace as `span.start`/`span.end` events at finalize. Wire the
+    /// **same** tracer into any traced store wrappers
+    /// ([`batchbb_storage::AsyncFetchStore::with_tracing`],
+    /// [`batchbb_storage::VersionedStore::with_tracing`]) so store spans
+    /// share the lifecycle clock. Without a sink this is inert; tracing
+    /// never changes batch results (the serve proptests assert
+    /// bit-identity with tracing on and off).
+    pub fn tracing(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 }

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use batchbb_core::{DegradationReport, DrainStatus, ProgressiveExecutor};
-use batchbb_obs::MetricsSnapshot;
+use batchbb_obs::{Lifecycle, MetricsSnapshot, Phase};
 use batchbb_storage::VersionId;
 use batchbb_tensor::CoeffKey;
 use parking_lot::Mutex;
@@ -157,7 +157,8 @@ pub(crate) struct JobState<'a> {
 }
 
 /// One submitted batch: its executor (behind the slice lock), its
-/// published snapshot, its contract, and the cancellation flag.
+/// published snapshot, its contract, the cancellation flag, and — when
+/// the run is traced — its phase lifecycle.
 pub(crate) struct JobCell<'a> {
     pub(crate) index: usize,
     pub(crate) contract: SloContract,
@@ -165,6 +166,10 @@ pub(crate) struct JobCell<'a> {
     pub(crate) snapshot: Mutex<BatchSnapshot>,
     pub(crate) cancelled: AtomicBool,
     pub(crate) finished: AtomicBool,
+    /// The batch's phase recorder, `None` on untraced runs. Shared with
+    /// the executor's observer (which carves out `StoreWait`); the pool
+    /// writes the remaining transitions and flushes at finalize.
+    pub(crate) lifecycle: Option<Lifecycle>,
 }
 
 impl<'a> JobCell<'a> {
@@ -174,6 +179,7 @@ impl<'a> JobCell<'a> {
         config: &ServeConfig,
         contract: SloContract,
         pinned: Option<VersionId>,
+        lifecycle: Option<Lifecycle>,
     ) -> Self {
         let snapshot = snapshot_of(&exec, 0, false, config);
         JobCell {
@@ -189,6 +195,25 @@ impl<'a> JobCell<'a> {
             snapshot: Mutex::new(snapshot),
             cancelled: AtomicBool::new(false),
             finished: AtomicBool::new(false),
+            lifecycle,
+        }
+    }
+
+    /// Enters `phase` on the batch's lifecycle; a no-op on untraced runs
+    /// (and after the lifecycle has flushed).
+    pub(crate) fn enter_phase(&self, phase: Phase) {
+        if let Some(lifecycle) = &self.lifecycle {
+            lifecycle
+                .lock()
+                .expect("lifecycle poisoned")
+                .transition(phase);
+        }
+    }
+
+    /// Flushes the batch's lifecycle spans into the trace (idempotent).
+    pub(crate) fn flush_lifecycle(&self) {
+        if let Some(lifecycle) = &self.lifecycle {
+            lifecycle.lock().expect("lifecycle poisoned").flush();
         }
     }
 
@@ -196,6 +221,7 @@ impl<'a> JobCell<'a> {
     /// retrievals, with the full *initial* Theorem-1/2 certificate as its
     /// published contract. The rejection neither runs nor tears — the
     /// result is as valid (and as wide) as an estimate can be.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn rejected(
         index: usize,
         exec: ProgressiveExecutor<'a>,
@@ -204,7 +230,15 @@ impl<'a> JobCell<'a> {
         estimate: &AdmissionEstimate,
         capacity: u64,
         pinned: Option<VersionId>,
+        lifecycle: Option<Lifecycle>,
     ) -> Self {
+        // A rejected batch's lifecycle is admission → finalize, flushed on
+        // the spot: it never runs, so its trace is complete at birth.
+        if let Some(lifecycle) = &lifecycle {
+            let mut recorder = lifecycle.lock().expect("lifecycle poisoned");
+            recorder.transition(Phase::Finalize);
+            recorder.flush();
+        }
         let report = exec.degradation_report(config.n_total, config.k_abs_sum);
         let snapshot = snapshot_of(&exec, 0, true, config);
         let result = BatchResult {
@@ -233,6 +267,7 @@ impl<'a> JobCell<'a> {
             snapshot: Mutex::new(snapshot),
             cancelled: AtomicBool::new(false),
             finished: AtomicBool::new(true),
+            lifecycle,
         }
     }
 }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use batchbb_core::{DegradationReport, ExecObserver, ProgressiveExecutor};
-use batchbb_obs::LabeledSink;
+use batchbb_obs::{lifecycle, LabeledSink, Lifecycle, LifecycleRecorder, Phase};
 use batchbb_storage::{
     CoefficientStore, FaultStats, ShardedCachingStore, VersionId, VersionView, VersionedStore,
 };
@@ -208,6 +208,9 @@ impl BatchServer {
             .iter()
             .enumerate()
             .map(|(i, req)| {
+                // The lifecycle starts *before* pricing so the Admitted
+                // phase covers the whole admission decision.
+                let batch_lifecycle = self.lifecycle_for(i);
                 let (store, pinned) = store_for(i);
                 let mut exec = ProgressiveExecutor::new(req.batch, req.penalty, store)
                     .with_prefetch_window(config.prefetch_window);
@@ -216,7 +219,14 @@ impl BatchServer {
                     if committed.saturating_add(estimate.steps_to_target) > capacity {
                         shared.slo.on_rejected(i, &req.slo, &estimate, capacity);
                         return JobCell::rejected(
-                            i, exec, config, req.slo, &estimate, capacity, pinned,
+                            i,
+                            exec,
+                            config,
+                            req.slo,
+                            &estimate,
+                            capacity,
+                            pinned,
+                            batch_lifecycle,
                         );
                     }
                 }
@@ -224,12 +234,32 @@ impl BatchServer {
                 shared
                     .slo
                     .on_admitted(i, &req.slo, &estimate, config.capacity);
-                if let Some(observer) = self.observer_for(i) {
+                if let Some(mut observer) = self.observer_for(i) {
+                    if let Some(batch_lifecycle) = &batch_lifecycle {
+                        observer = observer.with_lifecycle(batch_lifecycle.clone());
+                    }
                     exec = exec.with_observer(observer);
                 }
-                JobCell::new(i, exec, config, req.slo, pinned)
+                let cell = JobCell::new(i, exec, config, req.slo, pinned, batch_lifecycle);
+                cell.enter_phase(Phase::Queued);
+                cell
             })
             .collect()
+    }
+
+    /// Builds batch `index`'s phase lifecycle, or `None` unless both a
+    /// tracer and a sink are configured. The recorder flushes into the
+    /// raw (unlabelled) sink — its spans carry an explicit `batch` field.
+    fn lifecycle_for(&self, index: usize) -> Option<Lifecycle> {
+        let (tracer, sink) = match (&self.config.tracer, &self.config.sink) {
+            (Some(tracer), Some(sink)) => (tracer, sink),
+            _ => return None,
+        };
+        Some(lifecycle(LifecycleRecorder::begin(
+            tracer.clone(),
+            sink.clone(),
+            index as u64,
+        )))
     }
 
     /// Builds batch `index`'s observer from the configured sink/registry,
@@ -428,6 +458,15 @@ impl<'s, 'a> ServeSession<'s, 'a> {
             if state.result.is_some() {
                 continue;
             }
+            // With every slice lock held no batch is Executing; bracket
+            // the repair and restore the phase the barrier interrupted
+            // (Queued or Parked).
+            let interrupted = cell.lifecycle.as_ref().map(|lifecycle| {
+                let mut recorder = lifecycle.lock().expect("lifecycle poisoned");
+                let prev = recorder.phase();
+                recorder.transition(Phase::Repair);
+                prev
+            });
             for (key, delta) in entries {
                 state.exec.apply_update(key, *delta);
             }
@@ -435,6 +474,9 @@ impl<'s, 'a> ServeSession<'s, 'a> {
                 .exec
                 .degradation_report(self.config.n_total, self.config.k_abs_sum);
             publish_snapshot(cell, state, &report, false);
+            if let Some(prev) = interrupted {
+                cell.enter_phase(prev);
+            }
         }
     }
 
@@ -478,6 +520,12 @@ impl<'s, 'a> ServeSession<'s, 'a> {
         if state.result.is_some() {
             return None;
         }
+        let interrupted = cell.lifecycle.as_ref().map(|lifecycle| {
+            let mut recorder = lifecycle.lock().expect("lifecycle poisoned");
+            let prev = recorder.phase();
+            recorder.transition(Phase::Repair);
+            prev
+        });
         let (id, delta) = versioned.views[index].advance_to_current();
         state.exec.advance_version(&delta);
         state.pinned_version = Some(id);
@@ -485,6 +533,9 @@ impl<'s, 'a> ServeSession<'s, 'a> {
             .exec
             .degradation_report(self.config.n_total, self.config.k_abs_sum);
         publish_snapshot(cell, &state, &report, false);
+        if let Some(prev) = interrupted {
+            cell.enter_phase(prev);
+        }
         Some(id)
     }
 }
@@ -553,6 +604,7 @@ fn resume_parked(me: usize, jobs: &[JobCell<'_>], queue: &SliceQueue, shared: &P
             continue;
         }
         let index = parked.swap_remove(i);
+        cell.enter_phase(Phase::Queued);
         let snapshot = cell.snapshot.lock();
         let per_step =
             snapshot.worst_case_bound / (snapshot.remaining + snapshot.deferred).max(1) as f64;
@@ -584,6 +636,9 @@ fn run_slice(
     if state.result.is_some() {
         return SliceOutcome::Finished;
     }
+    // Phase transitions happen while the slice lock is held, so during an
+    // update barrier (all locks held) a batch's phase is never Executing.
+    cell.enter_phase(Phase::Executing);
     if cell.cancelled.load(Ordering::Acquire) {
         let report = state
             .exec
@@ -687,10 +742,12 @@ fn run_slice(
             // the fetch landed while we were reporting, in which case it
             // is runnable right now).
             if state.exec.fetch_pending() && !state.exec.fetch_ready() {
+                cell.enter_phase(Phase::Parked);
                 return SliceOutcome::Parked;
             }
             let per_step = report.worst_case_bound
                 / (state.exec.remaining() + state.exec.deferred_count()).max(1) as f64;
+            cell.enter_phase(Phase::Queued);
             SliceOutcome::Requeue {
                 score: cell.contract.priority_weight() * per_step,
                 slices: state.slices,
@@ -725,6 +782,7 @@ fn finalize(
     active: &AtomicUsize,
     shared: &PoolShared,
 ) {
+    cell.enter_phase(Phase::Finalize);
     publish_snapshot(cell, state, &report, true);
     // The outcome is the certificate's verdict, not the status's: any
     // terminal state whose final certified bound meets the target — exact
@@ -755,6 +813,7 @@ fn finalize(
         pinned_version: state.pinned_version,
     });
     cell.finished.store(true, Ordering::Release);
+    cell.flush_lifecycle();
     let left = active.fetch_sub(1, Ordering::AcqRel) - 1;
     shared.slo.set_queue_depth(left as u64);
 }

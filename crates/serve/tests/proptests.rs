@@ -285,6 +285,86 @@ proptest! {
         }
     }
 
+    /// Tracing is bit-for-bit free: a run with a causal tracer and sink
+    /// attached publishes exactly the results of the untraced run —
+    /// estimates, retrieved entries, statuses, bound histories, and (on
+    /// the single-worker faulty configuration, where interleaving is
+    /// deterministic) the whole fault ledger. Spans observe; they never
+    /// steer.
+    #[test]
+    fn tracing_is_bit_for_bit_free(
+        (data, query_batches, shape) in arb_instance(),
+        workers in 1usize..5,
+        slice in 1usize..9,
+        seed in 0u64..1000,
+        rate in 0.0f64..0.4,
+    ) {
+        use batchbb_obs::{MemorySink, Tracer};
+        use std::sync::Arc;
+
+        let strategy = WaveletStrategy::new(Wavelet::Haar);
+        let store = MemoryStore::from_entries(strategy.transform_data(&data));
+        let n_total = shape.len().max(2);
+        let k = store.abs_sum();
+        let batches: Vec<BatchQueries> = query_batches
+            .iter()
+            .map(|qs| BatchQueries::rewrite(&strategy, qs.clone(), &shape).unwrap())
+            .collect();
+        let requests: Vec<BatchRequest<'_>> =
+            batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+        // Fault-free, any pool shape: content is interleaving-independent,
+        // so traced and untraced runs must agree exactly.
+        let run = |traced: bool| {
+            let mut config = ServeConfig::new(n_total, k).workers(workers).slice_steps(slice);
+            if traced {
+                config = config
+                    .tracing(Tracer::new(seed))
+                    .sink(Arc::new(MemorySink::new()));
+            }
+            BatchServer::new(config).serve(&store, &requests)
+        };
+        let plain = run(false);
+        let traced = run(true);
+        prop_assert_eq!(plain.len(), traced.len());
+        for (want, got) in plain.iter().zip(&traced) {
+            prop_assert_eq!(want.status, got.status);
+            prop_assert_eq!(want.estimates(), got.estimates());
+            prop_assert_eq!(&want.retrieved_entries, &got.retrieved_entries);
+            prop_assert_eq!(&want.bound_history, &got.bound_history);
+        }
+        // Seeded faults, one worker: the whole run is deterministic, so
+        // the comparison extends to the fault ledger tick for tick. Each
+        // run gets a *fresh* fault plan — the injector's schedule advances
+        // with every attempt, so a shared instance would desynchronize.
+        let run_faulty = |traced: bool| {
+            let faulty = FaultInjectingStore::new(
+                MemoryStore::from_entries(strategy.transform_data(&data)),
+                FaultPlan::new(seed).with_transient_rate(rate),
+            );
+            let mut config = ServeConfig::new(n_total, k).workers(1).slice_steps(slice);
+            if traced {
+                config = config
+                    .tracing(Tracer::new(seed))
+                    .sink(Arc::new(MemorySink::new()));
+            }
+            BatchServer::new(config).serve(&faulty, &requests)
+        };
+        let plain = run_faulty(false);
+        let traced = run_faulty(true);
+        for (want, got) in plain.iter().zip(&traced) {
+            prop_assert_eq!(want.status, got.status);
+            prop_assert_eq!(want.estimates(), got.estimates());
+            prop_assert_eq!(&want.retrieved_entries, &got.retrieved_entries);
+            prop_assert_eq!(&want.bound_history, &got.bound_history);
+            prop_assert_eq!(&want.report.fault, &got.report.fault,
+                "tracing must not perturb the fault ledger");
+            prop_assert_eq!(want.report.worst_case_bound.to_bits(),
+                got.report.worst_case_bound.to_bits());
+            prop_assert_eq!(want.report.expected_penalty.to_bits(),
+                got.report.expected_penalty.to_bits());
+        }
+    }
+
     /// Every served batch's per-slice worst-case bound trace is monotone
     /// non-increasing and terminates at zero on a fault-free store —
     /// Theorem 1 survives any scheduling interleaving.

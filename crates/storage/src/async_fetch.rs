@@ -31,11 +31,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use batchbb_obs::{Counter, Gauge, MetricsRegistry};
+use batchbb_obs::{
+    span_end_event, span_start_event, Counter, EventSink, Gauge, MetricsRegistry, TraceContext,
+    Tracer,
+};
 use batchbb_tensor::CoeffKey;
 
 use crate::completion::{Completion, InflightSlot};
 use crate::{CoefficientStore, IoStats, StorageError};
+
+/// Span emission for the engine: the run-wide tracer plus the sink the
+/// `store.read`/`store.rider` spans land in.
+struct Tracing {
+    tracer: Tracer,
+    sink: Arc<dyn EventSink>,
+}
 
 /// One queued fetch: the new (not-already-in-flight) keys of a submit,
 /// paired with the slots their verdicts land in and the inner store's
@@ -44,6 +54,18 @@ struct Job {
     tag: u64,
     keys: Vec<CoeffKey>,
     slots: Vec<Arc<InflightSlot>>,
+    /// The physical `store.read` span covering this job, `0` when tracing
+    /// is off. Started at submit; ended by the I/O thread at completion,
+    /// so the span measures true I/O latency including queueing.
+    span: u64,
+}
+
+/// A dedup-table entry: the outstanding read's slot plus the span id of
+/// the physical `store.read` covering it (`0` when tracing is off), so a
+/// rider joining the read can attribute itself to the physical fetch.
+struct InflightEntry {
+    slot: Arc<InflightSlot>,
+    span: u64,
 }
 
 /// Queue + liveness state shared between submitters and I/O threads.
@@ -66,7 +88,7 @@ struct Shared {
     /// never share a physical read (unversioned stores all tag `0`, so
     /// the table degenerates to the plain per-key one). Holds only
     /// pending slots — completed entries are removed immediately.
-    inflight: Mutex<HashMap<(u64, CoeffKey), Arc<InflightSlot>>>,
+    inflight: Mutex<HashMap<(u64, CoeffKey), InflightEntry>>,
     /// Keys currently outstanding (queued or running), mirrored into the
     /// `store.pending_depth` gauge when a registry is attached.
     pending_keys: AtomicU64,
@@ -75,6 +97,7 @@ struct Shared {
     dedup_hits: AtomicU64,
     pending_gauge: Option<Gauge>,
     dedup_counter: Option<Counter>,
+    tracing: Option<Tracing>,
 }
 
 impl Shared {
@@ -111,7 +134,7 @@ pub struct AsyncFetchStore<S: CoefficientStore + 'static> {
 impl<S: CoefficientStore + 'static> AsyncFetchStore<S> {
     /// Wraps `inner` behind `threads >= 1` I/O threads.
     pub fn new(inner: S, threads: usize) -> Self {
-        Self::build(inner, threads, None)
+        Self::build(inner, threads, None, None)
     }
 
     /// Like [`AsyncFetchStore::new`], but wires engine metrics into
@@ -126,10 +149,32 @@ impl<S: CoefficientStore + 'static> AsyncFetchStore<S> {
                 registry.gauge("store.pending_depth"),
                 registry.counter("store.inflight_dedup_hits"),
             )),
+            None,
         )
     }
 
-    fn build(inner: S, threads: usize, metrics: Option<(Gauge, Counter)>) -> Self {
+    /// Like [`AsyncFetchStore::new`], but emits causal spans into `sink`
+    /// on `tracer`'s clock: one `store.read` span per physical fetch
+    /// (submit → completion, so the span measures queueing plus inner
+    /// I/O) and one `store.rider` span per submit that joined an
+    /// outstanding read, carrying the joined read's span id in its
+    /// `physical` field. Wire the **same** [`Tracer`] the serve pool
+    /// uses so store spans are time-comparable with batch lifecycles.
+    pub fn with_tracing(
+        inner: S,
+        threads: usize,
+        tracer: Tracer,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        Self::build(inner, threads, None, Some(Tracing { tracer, sink }))
+    }
+
+    fn build(
+        inner: S,
+        threads: usize,
+        metrics: Option<(Gauge, Counter)>,
+        tracing: Option<Tracing>,
+    ) -> Self {
         assert!(threads >= 1, "need at least one I/O thread");
         let (pending_gauge, dedup_counter) = match metrics {
             Some((g, c)) => (Some(g), Some(c)),
@@ -149,6 +194,7 @@ impl<S: CoefficientStore + 'static> AsyncFetchStore<S> {
             dedup_hits: AtomicU64::new(0),
             pending_gauge,
             dedup_counter,
+            tracing,
         });
         let io_threads = (0..threads)
             .map(|_| {
@@ -218,6 +264,18 @@ fn io_loop<S: CoefficientStore>(inner: &S, shared: &Shared) {
                 }
             }
         }
+        if job.span != 0 {
+            if let Some(tracing) = &shared.tracing {
+                let ctx = TraceContext {
+                    trace_id: tracing.tracer.trace_id(),
+                    span_id: job.span,
+                    parent_span_id: None,
+                };
+                tracing.sink.emit(
+                    &span_end_event(ctx, tracing.tracer.now_ns()).bool("ok", fetched.is_ok()),
+                );
+            }
+        }
         {
             // Retire only this job's slots: a key may have been re-submitted
             // (and re-inserted) after an abandoning caller dropped its
@@ -225,7 +283,10 @@ fn io_loop<S: CoefficientStore>(inner: &S, shared: &Shared) {
             let mut table = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
             for (key, slot) in job.keys.iter().zip(&job.slots) {
                 let tagged = (job.tag, *key);
-                if table.get(&tagged).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+                if table
+                    .get(&tagged)
+                    .is_some_and(|e| Arc::ptr_eq(&e.slot, slot))
+                {
                     table.remove(&tagged);
                 }
             }
@@ -264,6 +325,12 @@ impl<S: CoefficientStore + 'static> CoefficientStore for AsyncFetchStore<S> {
         let mut slots = Vec::with_capacity(keys.len());
         let mut new_keys: Vec<CoeffKey> = Vec::new();
         let mut new_slots: Vec<Arc<InflightSlot>> = Vec::new();
+        // The physical read's span id, allocated lazily on the first new
+        // key (0 = tracing off or nothing new to read).
+        let mut read_span = 0u64;
+        // Physical spans this submit rode instead of reading: span id →
+        // keys joined. Only populated when tracing is on.
+        let mut joined: Vec<(u64, u64)> = Vec::new();
         {
             let mut table = self
                 .shared
@@ -271,19 +338,63 @@ impl<S: CoefficientStore + 'static> CoefficientStore for AsyncFetchStore<S> {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             for key in keys {
-                if let Some(slot) = table.get(&(tag, *key)) {
+                if let Some(entry) = table.get(&(tag, *key)) {
                     self.shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
                     if let Some(c) = &self.shared.dedup_counter {
                         c.inc();
                     }
-                    slots.push(Arc::clone(slot));
+                    if self.shared.tracing.is_some() {
+                        match joined.iter_mut().find(|(span, _)| *span == entry.span) {
+                            Some((_, n)) => *n += 1,
+                            None => joined.push((entry.span, 1)),
+                        }
+                    }
+                    slots.push(Arc::clone(&entry.slot));
                 } else {
                     let slot = Arc::new(InflightSlot::new());
-                    table.insert((tag, *key), Arc::clone(&slot));
+                    if let Some(tracing) = &self.shared.tracing {
+                        if read_span == 0 {
+                            read_span = tracing.tracer.next_span_id();
+                        }
+                    }
+                    table.insert(
+                        (tag, *key),
+                        InflightEntry {
+                            slot: Arc::clone(&slot),
+                            span: read_span,
+                        },
+                    );
                     new_keys.push(*key);
                     new_slots.push(Arc::clone(&slot));
                     slots.push(slot);
                 }
+            }
+        }
+        if let Some(tracing) = &self.shared.tracing {
+            let now = tracing.tracer.now_ns();
+            if read_span != 0 {
+                let ctx = TraceContext {
+                    trace_id: tracing.tracer.trace_id(),
+                    span_id: read_span,
+                    parent_span_id: None,
+                };
+                tracing.sink.emit(
+                    &span_start_event("store.read", ctx, now)
+                        .u64("keys", new_keys.len() as u64)
+                        .u64("tag", tag),
+                );
+            }
+            // One rider span per distinct physical read this submit
+            // joined; `physical` names the shared `store.read` span so
+            // attribution can fan the one I/O out to every rider.
+            for &(physical, keys_joined) in &joined {
+                let ctx = tracing.tracer.root_context();
+                tracing.sink.emit(
+                    &span_start_event("store.rider", ctx, now)
+                        .u64("physical", physical)
+                        .u64("keys", keys_joined),
+                );
+                tracing.sink.emit(&span_end_event(ctx, now));
             }
         }
         if !new_keys.is_empty() {
@@ -293,6 +404,7 @@ impl<S: CoefficientStore + 'static> CoefficientStore for AsyncFetchStore<S> {
                 tag,
                 keys: new_keys,
                 slots: new_slots,
+                span: read_span,
             });
             drop(state);
             self.shared.work_cv.notify_one();
@@ -436,6 +548,87 @@ mod tests {
         c.wait().unwrap();
         asynchronous.quiesce();
         assert_eq!(asynchronous.inner().batches.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn rider_span_references_the_physical_read_span() {
+        use batchbb_obs::{jsonl, MemorySink};
+
+        /// Holds fetches at a gate so the second submit provably joins the
+        /// first read while it is outstanding.
+        struct GatedStore {
+            inner: MemoryStore,
+            gate: Mutex<bool>,
+            gate_cv: Condvar,
+        }
+        impl CoefficientStore for GatedStore {
+            fn get(&self, key: &CoeffKey) -> Option<f64> {
+                self.inner.get(key)
+            }
+            fn try_get_many(&self, keys: &[CoeffKey]) -> Result<Vec<Option<f64>>, StorageError> {
+                let mut open = self.gate.lock().unwrap();
+                while !*open {
+                    open = self.gate_cv.wait(open).unwrap();
+                }
+                drop(open);
+                self.inner.try_get_many(keys)
+            }
+            fn nnz(&self) -> usize {
+                self.inner.nnz()
+            }
+            fn stats(&self) -> IoStats {
+                self.inner.stats()
+            }
+            fn reset_stats(&self) {
+                self.inner.reset_stats()
+            }
+        }
+
+        let gated = GatedStore {
+            inner: store(4),
+            gate: Mutex::new(false),
+            gate_cv: Condvar::new(),
+        };
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(9);
+        let asynchronous = AsyncFetchStore::with_tracing(gated, 2, tracer, sink.clone());
+        let a = asynchronous.submit(&keys(1));
+        let b = asynchronous.submit(&keys(1));
+        assert_eq!(asynchronous.dedup_hits(), 1);
+        {
+            let mut open = asynchronous.inner().gate.lock().unwrap();
+            *open = true;
+            asynchronous.inner().gate_cv.notify_all();
+        }
+        a.wait().unwrap();
+        b.wait().unwrap();
+        asynchronous.quiesce();
+        let events: Vec<_> = sink
+            .lines()
+            .iter()
+            .map(|l| jsonl::parse_line(l).unwrap())
+            .collect();
+        let read_start = events
+            .iter()
+            .find(|e| e.name() == "span.start" && e.str("name") == Some("store.read"))
+            .expect("physical read span");
+        let read_span = read_start.u64("span").unwrap();
+        assert_eq!(read_start.u64("keys"), Some(1));
+        let read_end = events
+            .iter()
+            .find(|e| e.name() == "span.end" && e.u64("span") == Some(read_span))
+            .expect("physical read span end");
+        assert_eq!(read_end.bool("ok"), Some(true));
+        let riders: Vec<_> = events
+            .iter()
+            .filter(|e| e.name() == "span.start" && e.str("name") == Some("store.rider"))
+            .collect();
+        assert_eq!(riders.len(), 1, "one submit rode the outstanding read");
+        assert_eq!(
+            riders[0].u64("physical"),
+            Some(read_span),
+            "rider must reference the physical read it joined"
+        );
     }
 
     #[test]

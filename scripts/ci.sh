@@ -176,6 +176,17 @@ if [ "$quick" -eq 0 ]; then
     # invariant checks above).
     run cargo run -q --release -p batchbb-bench --bin progress_report -- --diff "$trace" "$trace" > /dev/null
 
+    # Span-attribution gate: a causally traced serve-pool run (seeded
+    # faults, binding deadlines, capacity squeeze) is generated, then
+    # replayed in attribution mode, which exits nonzero unless every span
+    # closes and nests, every dedup rider references a real physical read,
+    # and each batch's phase intervals exactly partition its
+    # admitted-to-finalized wall time (DESIGN.md §14).
+    spantrace="$(mktemp)"
+    trap 'rm -f "$trace" "$spantrace"' EXIT
+    run cargo run -q --release -p batchbb-bench --bin progress_report -- --serve-trace "$spantrace" > /dev/null
+    run cargo run -q --release -p batchbb-bench --bin progress_report -- --attribute "$spantrace" > /dev/null
+
     slow_store_gate
     mixed_gate
 fi

@@ -82,9 +82,10 @@ pub mod prelude {
         ProgressiveExecutor, RewriteObserver, StepInfo, TryStepOutcome,
     };
     pub use batchbb_obs::{
-        jsonl, BoundedSink, BoundedSinkBuilder, BoundedSinkStats, Event, EventSink, JsonlSink,
-        LabeledSink, MemorySink, MetricsRegistry, MetricsSnapshot, NullSink, OverflowPolicy,
-        SpanTimer,
+        jsonl, lifecycle, span_end_event, span_start_event, BoundedSink, BoundedSinkBuilder,
+        BoundedSinkStats, Event, EventSink, JsonlSink, LabeledSink, Lifecycle, LifecycleRecorder,
+        MemorySink, MetricsRegistry, MetricsSnapshot, NullSink, OverflowPolicy, Phase, PhaseGuard,
+        SpanTimer, TraceContext, Tracer,
     };
     pub use batchbb_penalty::{
         Combination, CursorKernel, CursorPenalty, DiagonalQuadratic, LaplacianPenalty, LpPenalty,
