@@ -1,0 +1,89 @@
+//! ✦ Criterion benchmark for the shared cache's eviction policies:
+//! hit-rate vs memory curves for [`ShardedCachingStore`] under
+//! importance-weighted eviction vs the pure-LRU baseline, on a
+//! hot-prefix + cold-scan trace modeling concurrent batches.  Writes the
+//! curves and the headline constrained-capacity advantage to
+//! `results/BENCH_exec.json` under `bench_cache_eviction` for
+//! `progress_report --check-bench`.
+//!
+//! [`ShardedCachingStore`]: batchbb_storage::ShardedCachingStore
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use batchbb_bench::cachebench::{CacheBenchConfig, CacheFixture, CachePoint};
+use batchbb_bench::report::{results_dir, write_section, Json};
+use batchbb_storage::EvictionPolicy;
+
+fn bench_cache_eviction(c: &mut Criterion) {
+    let fixture = CacheFixture::build(CacheBenchConfig::default());
+    let cfg = fixture.config().clone();
+
+    let mut g = c.benchmark_group("cache_eviction");
+    g.sample_size(10);
+    let constrained = cfg.capacities[cfg.capacities.len() / 2];
+    g.bench_function("importance_weighted_replay", |b| {
+        b.iter(|| fixture.replay(EvictionPolicy::ImportanceWeighted, constrained))
+    });
+    g.bench_function("lru_only_replay", |b| {
+        b.iter(|| fixture.replay(EvictionPolicy::LruOnly, constrained))
+    });
+    g.finish();
+
+    let report = fixture.measure();
+    for (label, points) in [("importance", &report.importance), ("lru", &report.lru)] {
+        for p in points {
+            eprintln!(
+                "cache eviction [{label:>10}]: capacity {:>5}: hit rate {:.3}, \
+                 {:>6} physical reads, {:>6} evictions",
+                p.capacity, p.hit_rate, p.physical_reads, p.evictions
+            );
+        }
+    }
+    eprintln!(
+        "cache eviction: at capacity {} importance-weighted hits {:.3} vs LRU {:.3} \
+         (advantage {:.3}, gate: >= 0.05)",
+        report.constrained_capacity,
+        report.iw_hit_constrained,
+        report.lru_hit_constrained,
+        report.iw_advantage,
+    );
+
+    let curve = |points: &[CachePoint]| {
+        Json::Arr(
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("capacity", Json::U64(p.capacity as u64)),
+                        ("hit_rate", Json::F64(p.hit_rate)),
+                        ("physical_reads", Json::U64(p.physical_reads)),
+                        ("evictions", Json::U64(p.evictions)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    write_section(
+        &results_dir().join("BENCH_exec.json"),
+        "bench_cache_eviction",
+        &Json::obj([
+            ("keys", Json::U64(cfg.keys as u64)),
+            ("hot", Json::U64(cfg.hot as u64)),
+            ("scan", Json::U64(cfg.scan as u64)),
+            ("rounds", Json::U64(cfg.rounds as u64)),
+            ("accesses", Json::U64(fixture.accesses())),
+            ("importance_curve", curve(&report.importance)),
+            ("lru_curve", curve(&report.lru)),
+            (
+                "constrained_capacity",
+                Json::U64(report.constrained_capacity as u64),
+            ),
+            ("iw_hit_constrained", Json::F64(report.iw_hit_constrained)),
+            ("lru_hit_constrained", Json::F64(report.lru_hit_constrained)),
+            ("iw_advantage", Json::F64(report.iw_advantage)),
+        ]),
+    );
+}
+
+criterion_group!(benches, bench_cache_eviction);
+criterion_main!(benches);

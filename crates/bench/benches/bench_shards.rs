@@ -1,0 +1,118 @@
+//! ✦ Criterion benchmark for the sharded scatter-gather layer (DESIGN.md
+//! §15): near-linear shard scaling of windowed retrieval under a
+//! service-rate latency model, and hedged-read tail containment with one
+//! 10x-slow shard.  Writes the headline `speedup_4x` and
+//! `hedged_p99_ratio` to `results/BENCH_exec.json` under `bench_shards` —
+//! the thresholds `progress_report --check-bench` and the CI `--sharded`
+//! gate enforce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use batchbb_bench::report::{results_dir, write_section, Json};
+use batchbb_bench::shardbench::{LatencyProfile, ShardBenchConfig, ShardFixture};
+
+fn bench_shards(c: &mut Criterion) {
+    // Criterion half: pure router overhead (zero-latency fabric), so the
+    // per-window scatter-gather bookkeeping itself is tracked over time.
+    let overhead_cfg = ShardBenchConfig {
+        scaling: LatencyProfile {
+            base_ns: 0,
+            per_key_ns: 0,
+            jitter_ns: 0,
+            spike_permille: 0,
+            spike_ns: 0,
+        },
+        ..ShardBenchConfig::default()
+    };
+    let overhead = ShardFixture::build(overhead_cfg.clone());
+    let fleet = overhead.build_fleet(4, false, overhead_cfg.scaling);
+    let mut g = c.benchmark_group("shard_router");
+    g.sample_size(10);
+    g.bench_function("window_overhead_4shards", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            index += 1;
+            overhead.run_windows(&fleet.router, index, 1)
+        })
+    });
+    g.finish();
+
+    // Measured half: the latency-bound sweeps behind the acceptance gates.
+    let fixture = ShardFixture::build(ShardBenchConfig::default());
+    let cfg = fixture.config().clone();
+    let (rows, speedup_4x) = fixture.measure_scaling();
+    for row in &rows {
+        eprintln!(
+            "shard scaling: {} shard(s): {:>9.0} keys/s, mean window {:.3} ms",
+            row.shards,
+            row.keys_per_sec,
+            row.mean_latency_s * 1e3,
+        );
+    }
+    eprintln!("shard scaling: speedup_4x = {speedup_4x:.2}x (gate: >= 3)");
+
+    let tail = fixture.measure_tail();
+    eprintln!(
+        "hedged tail ({} shards, one {}x-slow): healthy p99 {:.3} ms, unhedged p99 {:.3} ms \
+         ({:.1}x), hedged p99 {:.3} ms ({:.2}x, gate: <= 2); slow shard: {} rpcs, {} hedges, \
+         {} hedge wins, {} failovers",
+        cfg.tail_shards,
+        cfg.slow_factor,
+        tail.healthy_p99_s * 1e3,
+        tail.slow_unhedged_p99_s * 1e3,
+        tail.unhedged_p99_ratio,
+        tail.hedged_p99_s * 1e3,
+        tail.hedged_p99_ratio,
+        tail.slow_shard_stats.rpcs,
+        tail.slow_shard_stats.hedges_launched,
+        tail.slow_shard_stats.hedge_wins,
+        tail.slow_shard_stats.failovers,
+    );
+
+    let scaling_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("shards", Json::U64(r.shards as u64)),
+                ("keys_per_sec", Json::F64(r.keys_per_sec)),
+                ("mean_window_latency_s", Json::F64(r.mean_latency_s)),
+            ])
+        })
+        .collect();
+    write_section(
+        &results_dir().join("BENCH_exec.json"),
+        "bench_shards",
+        &Json::obj([
+            ("keys", Json::U64(cfg.keys as u64)),
+            ("window", Json::U64(cfg.window as u64)),
+            ("scaling_windows", Json::U64(cfg.scaling_windows as u64)),
+            ("tail_windows", Json::U64(cfg.tail_windows as u64)),
+            ("base_us", Json::U64(cfg.scaling.base_ns / 1000)),
+            ("per_key_us", Json::U64(cfg.scaling.per_key_ns / 1000)),
+            (
+                "spike_permille",
+                Json::U64(u64::from(cfg.tail.spike_permille)),
+            ),
+            ("spike_us", Json::U64(cfg.tail.spike_ns / 1000)),
+            ("slow_factor", Json::F64(cfg.slow_factor)),
+            ("scaling", Json::Arr(scaling_rows)),
+            ("speedup_4x", Json::F64(speedup_4x)),
+            ("healthy_p99_s", Json::F64(tail.healthy_p99_s)),
+            ("slow_unhedged_p99_s", Json::F64(tail.slow_unhedged_p99_s)),
+            ("hedged_p99_s", Json::F64(tail.hedged_p99_s)),
+            ("unhedged_p99_ratio", Json::F64(tail.unhedged_p99_ratio)),
+            ("hedged_p99_ratio", Json::F64(tail.hedged_p99_ratio)),
+            (
+                "slow_shard_hedges",
+                Json::U64(tail.slow_shard_stats.hedges_launched),
+            ),
+            (
+                "slow_shard_hedge_wins",
+                Json::U64(tail.slow_shard_stats.hedge_wins),
+            ),
+        ]),
+    );
+}
+
+criterion_group!(benches, bench_shards);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! Fixture for the ✦ `bench_cache_eviction` sweep: hit-rate vs memory
+//! curves for [`ShardedCachingStore`] under the importance-weighted
+//! eviction policy vs the pure-LRU baseline.
+//!
+//! The trace models what the serve pool actually does to the shared cache:
+//! every batch re-reads the **hot prefix** — the largest-magnitude
+//! coefficients, because importance `ι_p` scales with `Δ̂[ξ]²`, so every
+//! batch's importance order opens on the same big coefficients — while
+//! each batch also streams once through its own cold tail.  A
+//! recency-only policy lets each cold scan flush the hot prefix; the
+//! importance-weighted policy keeps the prefix resident because the scan's
+//! small-magnitude entries evict among themselves.  The sweep quantifies
+//! the gap as a function of capacity: the importance-weighted curve should
+//! reach its plateau hit rate at a fraction of the LRU curve's memory.
+
+use batchbb_storage::{CoefficientStore, EvictionPolicy, MemoryStore, ShardedCachingStore};
+use batchbb_tensor::CoeffKey;
+
+/// Configuration for the eviction-policy sweep.
+#[derive(Debug, Clone)]
+pub struct CacheBenchConfig {
+    /// Coefficient population size.
+    pub keys: usize,
+    /// Hot-prefix size (the largest-magnitude keys, re-read every round).
+    pub hot: usize,
+    /// Rounds (stand-ins for batches sharing the cache).
+    pub rounds: usize,
+    /// Cold keys streamed per round (the scan advances each round).
+    pub scan: usize,
+    /// Cache capacities swept (total resident keys).
+    pub capacities: Vec<usize>,
+    /// Cache shard count (lock striping, not eviction granularity).
+    pub cache_shards: usize,
+}
+
+impl Default for CacheBenchConfig {
+    fn default() -> Self {
+        CacheBenchConfig {
+            keys: 8192,
+            hot: 512,
+            rounds: 16,
+            scan: 1024,
+            capacities: vec![256, 512, 1024, 2048, 4096],
+            cache_shards: 16,
+        }
+    }
+}
+
+/// One measured point of a hit-rate curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CachePoint {
+    /// Cache capacity (total resident keys).
+    pub capacity: usize,
+    /// Hits / retrievals over the whole trace.
+    pub hit_rate: f64,
+    /// Physical reads forwarded to the inner store.
+    pub physical_reads: u64,
+    /// Capacity evictions performed.
+    pub evictions: u64,
+}
+
+/// Both policies' curves plus the headline constrained-capacity gap.
+#[derive(Debug, Clone)]
+pub struct CacheReport {
+    /// Importance-weighted curve, one point per swept capacity.
+    pub importance: Vec<CachePoint>,
+    /// Pure-LRU curve, one point per swept capacity.
+    pub lru: Vec<CachePoint>,
+    /// The "constrained" capacity the headline gap is read at: the
+    /// smallest swept capacity that holds the hot prefix but not a full
+    /// round's working set.
+    pub constrained_capacity: usize,
+    /// Importance-weighted hit rate at the constrained capacity.
+    pub iw_hit_constrained: f64,
+    /// LRU hit rate at the constrained capacity.
+    pub lru_hit_constrained: f64,
+    /// `iw_hit_constrained - lru_hit_constrained` — the ✦ check-bench
+    /// floor keeps this positive.
+    pub iw_advantage: f64,
+}
+
+/// The eviction-policy fixture: a magnitude-skewed population and the
+/// hot-prefix + cold-scan access trace.
+pub struct CacheFixture {
+    cfg: CacheBenchConfig,
+    store: MemoryStore,
+    /// Keys in magnitude order (index 0 = largest): the first
+    /// [`CacheBenchConfig::hot`] are the hot prefix.
+    keys: Vec<CoeffKey>,
+}
+
+impl CacheFixture {
+    /// Builds the population: hot keys get zipf-ish large magnitudes,
+    /// cold keys small ones, so magnitude order and hot/cold split agree.
+    pub fn build(cfg: CacheBenchConfig) -> Self {
+        assert!(cfg.hot < cfg.keys, "need cold keys to scan");
+        let entries: Vec<(CoeffKey, f64)> = (0..cfg.keys)
+            .map(|i| {
+                let key = CoeffKey::new(&[i % 64, i / 64]);
+                let value = if i < cfg.hot {
+                    // Hot prefix: magnitudes 100 down to ~100/hot.
+                    100.0 / (i + 1) as f64
+                } else {
+                    // Cold tail: uniformly tiny, alternating sign.
+                    let v = 0.01 / (1 + (i - cfg.hot) % 97) as f64;
+                    if i % 2 == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                };
+                (key, value)
+            })
+            .collect();
+        let keys = entries.iter().map(|(k, _)| *k).collect();
+        CacheFixture {
+            cfg,
+            store: MemoryStore::from_entries(entries),
+            keys,
+        }
+    }
+
+    /// The fixture configuration.
+    pub fn config(&self) -> &CacheBenchConfig {
+        &self.cfg
+    }
+
+    /// Total accesses one trace replay issues.
+    pub fn accesses(&self) -> u64 {
+        (self.cfg.rounds * (self.cfg.hot + self.cfg.scan)) as u64
+    }
+
+    /// Replays the trace against a fresh cache with the given policy and
+    /// capacity, returning the measured point.
+    pub fn replay(&self, policy: EvictionPolicy, capacity: usize) -> CachePoint {
+        let cache = ShardedCachingStore::with_shards(&self.store, self.cfg.cache_shards)
+            .with_capacity(capacity)
+            .with_eviction_policy(policy);
+        let cold = &self.keys[self.cfg.hot..];
+        for round in 0..self.cfg.rounds {
+            for key in &self.keys[..self.cfg.hot] {
+                cache.get(key);
+            }
+            for s in 0..self.cfg.scan {
+                cache.get(&cold[(round * self.cfg.scan + s) % cold.len()]);
+            }
+        }
+        let stats = cache.stats();
+        CachePoint {
+            capacity,
+            hit_rate: stats.cache_hits as f64 / stats.retrievals as f64,
+            physical_reads: stats.physical_reads,
+            evictions: cache.evictions(),
+        }
+    }
+
+    /// Sweeps both policies across every configured capacity.
+    pub fn measure(&self) -> CacheReport {
+        let sweep = |policy: EvictionPolicy| -> Vec<CachePoint> {
+            self.cfg
+                .capacities
+                .iter()
+                .map(|&cap| self.replay(policy, cap))
+                .collect()
+        };
+        let importance = sweep(EvictionPolicy::ImportanceWeighted);
+        let lru = sweep(EvictionPolicy::LruOnly);
+        // Constrained point: holds the hot prefix, not hot + a full scan.
+        let constrained_capacity = self
+            .cfg
+            .capacities
+            .iter()
+            .copied()
+            .find(|&cap| cap >= self.cfg.hot * 2 && cap < self.cfg.hot + self.cfg.scan)
+            .unwrap_or(self.cfg.capacities[self.cfg.capacities.len() / 2]);
+        let at = |points: &[CachePoint]| {
+            points
+                .iter()
+                .find(|p| p.capacity == constrained_capacity)
+                .map(|p| p.hit_rate)
+                .unwrap_or(f64::NAN)
+        };
+        let iw_hit_constrained = at(&importance);
+        let lru_hit_constrained = at(&lru);
+        CacheReport {
+            importance,
+            lru,
+            constrained_capacity,
+            iw_hit_constrained,
+            lru_hit_constrained,
+            iw_advantage: iw_hit_constrained - lru_hit_constrained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheBenchConfig {
+        CacheBenchConfig {
+            keys: 512,
+            hot: 64,
+            rounds: 4,
+            scan: 128,
+            capacities: vec![128, 256],
+            cache_shards: 4,
+        }
+    }
+
+    #[test]
+    fn importance_weighting_beats_lru_under_scan_pressure() {
+        let fixture = CacheFixture::build(tiny());
+        let report = fixture.measure();
+        assert_eq!(report.constrained_capacity, 128);
+        assert!(
+            report.iw_advantage > 0.0,
+            "importance-weighted {} should beat LRU {} at capacity {}",
+            report.iw_hit_constrained,
+            report.lru_hit_constrained,
+            report.constrained_capacity
+        );
+    }
+
+    #[test]
+    fn unconstrained_capacity_converges_the_policies() {
+        let fixture = CacheFixture::build(CacheBenchConfig {
+            capacities: vec![8192],
+            ..tiny()
+        });
+        let iw = fixture.replay(EvictionPolicy::ImportanceWeighted, 8192);
+        let lru = fixture.replay(EvictionPolicy::LruOnly, 8192);
+        assert_eq!(iw.physical_reads, lru.physical_reads);
+        assert_eq!(iw.evictions, 0);
+        assert_eq!(lru.evictions, 0);
+    }
+}

@@ -9,8 +9,10 @@ use batchbb_query::{partition, HyperRect, RangeSum};
 use batchbb_relation::{synth, FrequencyDistribution};
 use batchbb_tensor::Shape;
 
+pub mod cachebench;
 pub mod mixed;
 pub mod report;
+pub mod shardbench;
 pub mod slow;
 pub mod spans;
 pub mod trace;

@@ -938,6 +938,16 @@ impl<'a> ProgressiveExecutor<'a> {
         self.deferred_importance
     }
 
+    /// The keys currently parked in the deferral queue, in queue order.
+    ///
+    /// In sharded serving this is the attribution surface: mapping each
+    /// deferred key through `batchbb_storage::shard_of` names the shard
+    /// whose failure deferred it, turning a batch's `DegradationReport`
+    /// into a per-shard blast-radius account.
+    pub fn deferred_keys(&self) -> Vec<CoeffKey> {
+        self.deferred.iter().map(|e| e.key).collect()
+    }
+
     /// Fault-path counters accumulated by this executor's
     /// [`ProgressiveExecutor::try_step`] calls.
     pub fn fault_stats(&self) -> FaultStats {

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use batchbb_core::BatchQueries;
 use batchbb_obs::{EventSink, MetricsRegistry, Tracer};
 use batchbb_penalty::Penalty;
-use batchbb_storage::RetryPolicy;
+use batchbb_storage::{RetryPolicy, ShardTopology};
 
 use crate::sched::SchedulerPolicy;
 use crate::slo::SloContract;
@@ -52,6 +52,9 @@ pub struct ServeConfig {
     pub(crate) cache_capacity: Option<usize>,
     /// Scale retry attempts down under high observed fault rates.
     pub(crate) adaptive_retry: bool,
+    /// Scatter-gather topology for
+    /// [`BatchServer::serve_sharded`](crate::BatchServer::serve_sharded).
+    pub(crate) shard_topology: Option<ShardTopology>,
 }
 
 impl ServeConfig {
@@ -79,6 +82,7 @@ impl ServeConfig {
             capacity: None,
             cache_capacity: None,
             adaptive_retry: true,
+            shard_topology: None,
         }
     }
 
@@ -204,6 +208,15 @@ impl ServeConfig {
     /// bit-identity with tracing on and off).
     pub fn tracing(mut self, tracer: Tracer) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Sets the scatter-gather shard topology used by
+    /// [`BatchServer::serve_sharded`](crate::BatchServer::serve_sharded):
+    /// shard count, replication, the mock-network latency profile, and
+    /// the hedge policy. Ignored by the single-store entry points.
+    pub fn shard_topology(mut self, topology: ShardTopology) -> Self {
+        self.shard_topology = Some(topology);
         self
     }
 }

@@ -109,7 +109,7 @@ mod slo;
 pub use config::{BatchRequest, ServeConfig};
 pub use job::{BatchHandle, BatchResult, BatchSnapshot, BatchStatus};
 pub use sched::SchedulerPolicy;
-pub use server::{BatchServer, ServeSession};
+pub use server::{BatchServer, ServeSession, ShardedRun};
 pub use slo::{AdmissionEstimate, SloContract, SloOutcome};
 
 #[cfg(test)]

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use batchbb_core::{DegradationReport, ExecObserver, ProgressiveExecutor};
 use batchbb_obs::{lifecycle, LabeledSink, Lifecycle, LifecycleRecorder, Phase};
 use batchbb_storage::{
-    CoefficientStore, FaultStats, ShardedCachingStore, VersionId, VersionView, VersionedStore,
+    shard_of, CoefficientStore, FaultStats, ShardRouter, ShardStats, ShardedCachingStore,
+    VersionId, VersionView, VersionedStore,
 };
 use batchbb_tensor::CoeffKey;
 use parking_lot::Mutex;
@@ -190,6 +191,94 @@ impl BatchServer {
         (collect_results(config, jobs), driver_out)
     }
 
+    /// Serves every request through a scatter-gather [`ShardRouter`] built
+    /// from [`ServeConfig::shard_topology`] over `entries`.
+    ///
+    /// See [`BatchServer::serve_sharded_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`ServeConfig::shard_topology`] was configured.
+    pub fn serve_sharded(
+        &self,
+        entries: &[(CoeffKey, f64)],
+        requests: &[BatchRequest<'_>],
+    ) -> ShardedRun {
+        self.serve_sharded_with(entries, requests, |_| ())
+    }
+
+    /// Serves every request through a scatter-gather [`ShardRouter`],
+    /// calling `prepare` on the freshly built router before any batch
+    /// starts (the hook tests use to kill a shard deterministically).
+    ///
+    /// The router is built from [`ServeConfig::shard_topology`]:
+    /// `entries` is partitioned across the shards by
+    /// [`batchbb_storage::shard_of`], each shard goes behind its
+    /// mock-network latency boundary, and — when the topology replicates —
+    /// hedged reads race a replica against slow primaries. The configured
+    /// [`ServeConfig::registry`] receives the per-shard
+    /// `store.shard.{i}.*` counters and, with a tracer + sink configured,
+    /// shard RPC spans share the batch lifecycles' clock.
+    ///
+    /// The shared read-through cache is forced **off** for the run: the
+    /// router's per-shard RPC batches are the coalescing layer, and a
+    /// cache on top would serve repeats from memory, hiding exactly the
+    /// shard behavior this entry point exists to exercise. Batch results
+    /// stay bit-identical to the single-store path — scatter-gather
+    /// changes who answers a read, never the value.
+    ///
+    /// Shard failures surface as *bounded degradation*, never errors:
+    /// keys a dead shard could not serve are deferred by each executor
+    /// and certified in its `DegradationReport`; the returned
+    /// [`ShardedRun::deferred_by_shard`] maps every deferred key back to
+    /// the shard that owned it, naming the blast radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`ServeConfig::shard_topology`] was configured.
+    pub fn serve_sharded_with(
+        &self,
+        entries: &[(CoeffKey, f64)],
+        requests: &[BatchRequest<'_>],
+        prepare: impl FnOnce(&ShardRouter),
+    ) -> ShardedRun {
+        let topology = self
+            .config
+            .shard_topology
+            .expect("serve_sharded requires ServeConfig::shard_topology");
+        let tracing = match (&self.config.tracer, &self.config.sink) {
+            (Some(tracer), Some(sink)) => Some((tracer.clone(), sink.clone())),
+            _ => None,
+        };
+        let router = ShardRouter::with_instrumentation(
+            topology.clients(entries.iter().copied()),
+            topology.hedge(),
+            self.config.registry.as_deref(),
+            tracing,
+        );
+        prepare(&router);
+        let mut config = self.config.clone();
+        config.share_cache = false;
+        let sharded = BatchServer { config };
+        let (results, ()) = sharded.serve_with(&router, requests, |_| ());
+        // Drain outstanding hedge obligations so the counters below are
+        // final (a cancelled hedge may still sit queued after the last
+        // batch publishes).
+        router.quiesce();
+        let shards = topology.shards();
+        let mut deferred_by_shard = vec![Vec::new(); shards];
+        for result in &results {
+            for &(key, importance) in &result.report.deferred {
+                deferred_by_shard[shard_of(&key, shards)].push((key, importance));
+            }
+        }
+        ShardedRun {
+            results,
+            shard_stats: router.shard_stats(),
+            deferred_by_shard,
+        }
+    }
+
     /// Builds one [`JobCell`] per request — executors constructed, and
     /// contracts priced, serially on the caller thread: importance scoring
     /// sees a quiescent store, admission sees requests in submission
@@ -358,11 +447,40 @@ fn collect_results(config: &ServeConfig, jobs: Vec<JobCell<'_>>) -> Vec<BatchRes
         .collect()
 }
 
+/// What [`BatchServer::serve_sharded`] returns: the per-batch results
+/// plus the shard-level account of the run.
+pub struct ShardedRun {
+    /// Per-batch results, in request order — bit-identical to the
+    /// single-store path on a healthy topology.
+    pub results: Vec<BatchResult>,
+    /// Per-shard RPC / hedge / failover counters, indexed by shard.
+    pub shard_stats: Vec<ShardStats>,
+    /// Every deferred `(key, importance)` across all batches, attributed
+    /// to the shard owning the key: the per-shard blast radius of a
+    /// failure, reconciling with each batch's `DegradationReport`.
+    pub deferred_by_shard: Vec<Vec<(CoeffKey, f64)>>,
+}
+
 /// The versioned half of a session: the published store plus each job's
 /// pinned read view (index-aligned with `jobs`).
 struct VersionedCtx<'s, 'a> {
     store: &'a VersionedStore,
     views: &'s [VersionView],
+}
+
+impl VersionedCtx<'_, '_> {
+    /// Compacts the version log to the oldest version any batch's view
+    /// still pins ([`VersionedStore::compact`]). Finished batches freeze
+    /// their view at their final pinned version, so every
+    /// `BatchResult::pinned_version` stays retrievable (`pin_at`) for the
+    /// life of the session — while a long-serving session whose batches
+    /// keep advancing keeps the log bounded instead of accreting one
+    /// delta per publish forever.
+    fn compact(&self) {
+        if let Some(oldest) = self.views.iter().map(|view| view.version()).min() {
+            self.store.compact(oldest);
+        }
+    }
 }
 
 /// The in-flight pool, as seen by [`BatchServer::serve_with`]'s (or
@@ -433,6 +551,7 @@ impl<'s, 'a> ServeSession<'s, 'a> {
         if let Some(versioned) = &self.versioned {
             versioned.store.publish(entries);
             write_store();
+            versioned.compact();
             return;
         }
         let mut guards: Vec<_> = self.jobs.iter().map(|cell| cell.state.lock()).collect();
@@ -536,6 +655,8 @@ impl<'s, 'a> ServeSession<'s, 'a> {
         if let Some(prev) = interrupted {
             cell.enter_phase(prev);
         }
+        drop(state);
+        versioned.compact();
         Some(id)
     }
 }

@@ -68,6 +68,22 @@ impl InflightSlot {
         self.cv.notify_all();
     }
 
+    /// Races a verdict against other writers: publishes `result` and wakes
+    /// every waiter iff the slot is still pending, returning whether this
+    /// call won.  The first-success-wins primitive for hedged reads, where
+    /// a primary and a replica fetch legitimately race to fill one slot —
+    /// unlike [`InflightSlot::complete`], a lost race is not a bug.
+    pub(crate) fn try_complete(&self, result: Result<Option<f64>, StorageError>) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*state, SlotState::Done(_)) {
+            return false;
+        }
+        *state = SlotState::Done(result);
+        drop(state);
+        self.cv.notify_all();
+        true
+    }
+
     /// True once the verdict has been published.
     fn is_done(&self) -> bool {
         matches!(

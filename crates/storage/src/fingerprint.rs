@@ -28,7 +28,12 @@ pub(crate) fn mix(mut z: u64) -> u64 {
 
 /// The shard a key routes to among `shards` shards (well-mixed, so nearby
 /// keys spread across shards instead of piling onto one).
-pub(crate) fn shard_of(key: &CoeffKey, shards: usize) -> usize {
+///
+/// Public because it is the routing contract of the scatter-gather layer
+/// (DESIGN.md §15): [`crate::ShardTopology`] partitions entries with it,
+/// [`crate::ShardRouter`] routes reads with it, and the serve layer uses
+/// it to attribute deferred keys back to the shard that failed them.
+pub fn shard_of(key: &CoeffKey, shards: usize) -> usize {
     debug_assert!(shards >= 1);
     (mix(key_fingerprint(key)) % shards as u64) as usize
 }

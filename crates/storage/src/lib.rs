@@ -108,6 +108,7 @@ mod fingerprint;
 mod instrument;
 mod memory;
 pub mod retry;
+mod shard;
 mod sharded;
 mod shared;
 mod stats;
@@ -123,10 +124,12 @@ pub use completion::Completion;
 pub use disk::FileStore;
 pub use error::StorageError;
 pub use fault::{FaultInjectingStore, FaultPlan};
+pub use fingerprint::shard_of;
 pub use instrument::InstrumentedStore;
 pub use memory::{ArrayStore, MemoryStore};
 pub use retry::{RetryOutcome, RetryPolicy};
-pub use sharded::ShardedCachingStore;
+pub use shard::{HedgeConfig, LatencyStore, ShardClient, ShardRouter, ShardStats, ShardTopology};
+pub use sharded::{EvictionPolicy, ShardedCachingStore};
 pub use shared::SharedStore;
 pub use stats::{FaultStats, IoStats};
 pub use store::{CoefficientStore, MutableStore};

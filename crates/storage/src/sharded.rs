@@ -75,6 +75,25 @@ impl CacheEntry {
 /// the coefficient key.  Distinct versions never alias.
 type VersionedKey = (u64, CoeffKey);
 
+/// How [`ShardedCachingStore`] picks eviction victims when over capacity.
+///
+/// The default, [`EvictionPolicy::ImportanceWeighted`], is the policy the
+/// progressive model argues for: importance `ι_p` scales with `Δ̂[ξ]²`
+/// for quadratic penalties, so magnitude order is importance order for
+/// *every* batch sharing the cache — small coefficients are both the
+/// cheapest to re-fetch (they barely move any bound) and the least likely
+/// to sit on another batch's hot prefix.  [`EvictionPolicy::LruOnly`] is
+/// the classic recency-only baseline; the `bench_cache_eviction` sweep in
+/// `batchbb-bench` measures the hit-rate-vs-memory curves of both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the smallest-|value| entry, ties broken least-recently-used.
+    #[default]
+    ImportanceWeighted,
+    /// Evict the least-recently-used entry regardless of magnitude.
+    LruOnly,
+}
+
 /// One cache shard: the memo map plus a logical clock for LRU stamps.
 #[derive(Debug, Default)]
 struct ShardState {
@@ -102,18 +121,20 @@ impl ShardState {
         self.map.insert(key, CacheEntry { value, touch });
     }
 
-    /// Evicts minimum-weight (then least-recently-used) entries until at
-    /// most `cap` remain, counting each eviction.
-    fn evict_to(&mut self, cap: usize, evictions: &AtomicU64) {
+    /// Evicts entries by `policy` until at most `cap` remain, counting
+    /// each eviction.
+    fn evict_to(&mut self, cap: usize, policy: EvictionPolicy, evictions: &AtomicU64) {
         while self.map.len() > cap {
             let victim = self
                 .map
                 .iter()
-                .min_by(|(ka, a), (kb, b)| {
-                    a.weight()
+                .min_by(|(ka, a), (kb, b)| match policy {
+                    EvictionPolicy::ImportanceWeighted => a
+                        .weight()
                         .total_cmp(&b.weight())
                         .then(a.touch.cmp(&b.touch))
-                        .then(ka.cmp(kb))
+                        .then(ka.cmp(kb)),
+                    EvictionPolicy::LruOnly => a.touch.cmp(&b.touch).then(ka.cmp(kb)),
                 })
                 .map(|(k, _)| *k)
                 .expect("a shard over capacity is non-empty");
@@ -141,6 +162,8 @@ pub struct ShardedCachingStore<S> {
     shards: Box<[Shard]>,
     /// Per-shard resident cap; `None` keeps the table unbounded.
     shard_capacity: Option<usize>,
+    /// Victim-selection rule applied when a shard overflows.
+    policy: EvictionPolicy,
     counters: Counters,
     evictions: AtomicU64,
 }
@@ -160,6 +183,7 @@ impl<S: CoefficientStore> ShardedCachingStore<S> {
                 .map(|_| Mutex::new(ShardState::default()))
                 .collect(),
             shard_capacity: None,
+            policy: EvictionPolicy::default(),
             counters: Counters::default(),
             evictions: AtomicU64::new(0),
         }
@@ -174,6 +198,19 @@ impl<S: CoefficientStore> ShardedCachingStore<S> {
         assert!(capacity >= 1, "need room for at least one entry");
         self.shard_capacity = Some(capacity.div_ceil(self.shards.len()).max(1));
         self
+    }
+
+    /// Picks the eviction victim-selection rule (default:
+    /// [`EvictionPolicy::ImportanceWeighted`]). Inert without a
+    /// [`ShardedCachingStore::with_capacity`] cap.
+    pub fn with_eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The eviction policy in force.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// The wrapped store.
@@ -228,7 +265,7 @@ impl<S: CoefficientStore> ShardedCachingStore<S> {
 
     fn trim(&self, shard: &mut ShardState) {
         if let Some(cap) = self.shard_capacity {
-            shard.evict_to(cap, &self.evictions);
+            shard.evict_to(cap, self.policy, &self.evictions);
         }
     }
 }
@@ -475,6 +512,33 @@ mod tests {
         assert_eq!(s.stats().cache_hits, 2, "recently touched keys stay");
         s.get(&CoeffKey::one(1));
         assert_eq!(s.stats().physical_reads, 1, "the LRU key was evicted");
+    }
+
+    #[test]
+    fn lru_only_policy_ignores_magnitude() {
+        // Values grow with the key index; a pure-LRU cache evicts in
+        // insertion order regardless, so after a cold sweep the *last*
+        // keys are resident — not the heaviest ones (here they coincide),
+        // and re-touching a light key keeps it in over a heavy one.
+        let inner = MemoryStore::from_entries((0..8).map(|i| (CoeffKey::one(i), i as f64 + 1.0)));
+        let s = ShardedCachingStore::with_shards(inner, 1)
+            .with_capacity(2)
+            .with_eviction_policy(EvictionPolicy::LruOnly);
+        assert_eq!(s.eviction_policy(), EvictionPolicy::LruOnly);
+        s.get(&CoeffKey::one(7)); // heavy
+        s.get(&CoeffKey::one(0)); // light
+        s.get(&CoeffKey::one(0)); // refresh the light key: 7 is now LRU
+        s.get(&CoeffKey::one(1)); // overflow: evicts the heavy key 7
+        s.reset_stats();
+        s.get(&CoeffKey::one(0));
+        s.get(&CoeffKey::one(1));
+        assert_eq!(s.stats().cache_hits, 2, "recently touched keys stay");
+        s.get(&CoeffKey::one(7));
+        assert_eq!(
+            s.stats().physical_reads,
+            1,
+            "the heavy-but-stale key was evicted under pure LRU"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 # docs, example smoke-runs, and bench bitrot checks.
 # Runs entirely offline — all dependencies are in-tree (see shims/).
 #
-# Usage: scripts/ci.sh [--quick] [--threads] [--slow-store] [--mixed]
+# Usage: scripts/ci.sh [--quick] [--threads] [--slow-store] [--mixed] [--sharded]
 #   --quick      skip the release build, docs gate, example smoke-runs, and
 #                bench bitrot checks (fmt + clippy + tests only)
 #   --threads    run ONLY the concurrency test matrix (the serve-layer tests
@@ -18,6 +18,12 @@
 #                advance-equals-restart bit identity), the versioned serve
 #                tests including the held-locks update check, and the
 #                bench_mixed smoke
+#   --sharded    run ONLY the sharded retrieval gate: the scatter-gather
+#                bit-identity proptest, the dead-shard degradation test,
+#                the compaction version-log bound, the shard-router and
+#                eviction-policy unit tests, the bench_shards/bench_cache
+#                smokes, and the bench-regression guard over the recorded
+#                scaling, hedging, and eviction thresholds
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,12 +32,14 @@ quick=0
 threads_only=0
 slow_store_only=0
 mixed_only=0
+sharded_only=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --threads) threads_only=1 ;;
         --slow-store) slow_store_only=1 ;;
         --mixed) mixed_only=1 ;;
+        --sharded) sharded_only=1 ;;
         *)
             echo "unknown argument: $arg" >&2
             exit 2
@@ -91,6 +99,27 @@ mixed_gate() {
     run cargo test -q -p batchbb-bench --bench bench_mixed
 }
 
+# Sharded retrieval gate (DESIGN.md §15): the scatter-gather proptest —
+# sharded serving must be bit-identical to a single-store run across
+# shard counts, replication factors, and seeded fault plans; the
+# dead-shard test — a downed shard yields certified DegradationReports
+# on the batches that needed it and leaves every other batch exact; the
+# version-log bound — long sharded sessions with compaction wired into
+# the serve loop keep the delta log from growing without bound; the
+# shard-router and cache-eviction unit tests; and the bench_shards /
+# bench_cache smokes, whose recorded thresholds (4-shard retrieval
+# speedup >= 3x, hedged p99 <= 2x the healthy baseline with one
+# 10x-slow shard, importance-weighted eviction beating LRU under scan
+# pressure) the bench-regression guard then re-checks.
+sharded_gate() {
+    run cargo test -q -p batchbb --test sharded
+    run cargo test -q -p batchbb-storage shard
+    run cargo test -q -p batchbb-bench --bench bench_shards
+    run cargo test -q -p batchbb-bench --bench bench_cache
+    run cargo run -q --release -p batchbb-bench --bin progress_report -- \
+        --check-bench results/BENCH_exec.json
+}
+
 if [ "$threads_only" -eq 1 ]; then
     threads_matrix
     echo "==> ci green (threads matrix)"
@@ -106,6 +135,12 @@ fi
 if [ "$mixed_only" -eq 1 ]; then
     mixed_gate
     echo "==> ci green (mixed gate)"
+    exit 0
+fi
+
+if [ "$sharded_only" -eq 1 ]; then
+    sharded_gate
+    echo "==> ci green (sharded gate)"
     exit 0
 fi
 
@@ -189,6 +224,7 @@ if [ "$quick" -eq 0 ]; then
 
     slow_store_gate
     mixed_gate
+    sharded_gate
 fi
 
 echo "==> ci green"

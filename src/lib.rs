@@ -100,13 +100,15 @@ pub mod prelude {
     };
     pub use batchbb_serve::{
         AdmissionEstimate, BatchHandle, BatchRequest, BatchResult, BatchServer, BatchSnapshot,
-        BatchStatus, SchedulerPolicy, ServeConfig, ServeSession, SloContract, SloOutcome,
+        BatchStatus, SchedulerPolicy, ServeConfig, ServeSession, ShardedRun, SloContract,
+        SloOutcome,
     };
     pub use batchbb_storage::{
-        retry::get_with_retry, ArrayStore, AsyncFetchStore, CachingStore, CoefficientStore,
-        Completion, FaultInjectingStore, FaultPlan, FaultStats, InstrumentedStore, IoStats,
-        MemoryStore, MutableStore, RetryPolicy, ShardedCachingStore, SharedStore, StorageError,
-        VersionId, VersionView, VersionedStore,
+        retry::get_with_retry, shard_of, ArrayStore, AsyncFetchStore, CachingStore,
+        CoefficientStore, Completion, EvictionPolicy, FaultInjectingStore, FaultPlan, FaultStats,
+        HedgeConfig, InstrumentedStore, IoStats, LatencyStore, MemoryStore, MutableStore,
+        RetryPolicy, ShardClient, ShardRouter, ShardStats, ShardTopology, ShardedCachingStore,
+        SharedStore, StorageError, VersionId, VersionView, VersionedStore,
     };
     #[cfg(unix)]
     pub use batchbb_storage::{BlockLayout, BlockStore, FileStore};

@@ -1,0 +1,323 @@
+//! DESIGN.md §15: sharded scatter-gather serving.
+//!
+//! Scatter-gather changes *who answers a read*, never the value: on a
+//! healthy topology every batch's finals, witness, and fault ledger must
+//! be bit-identical to the single-store path across shard counts,
+//! replication, and pool shapes. A dead shard must surface as *bounded
+//! degradation* — deferred keys certified in each batch's
+//! `DegradationReport` and attributed back to the failing shard — never
+//! as a query error; batches that own no key on the dead shard must be
+//! untouched. And a long-serving versioned session must keep the version
+//! log bounded: the serve loop compacts off the oldest live pin.
+
+use batchbb::prelude::*;
+
+/// A 16×16 wavelet fixture: the transformed entries plus a few
+/// multi-query batches whose master lists overlap heavily.
+fn wavelet_fixture() -> (Vec<(CoeffKey, f64)>, Vec<BatchQueries>, Shape) {
+    let schema = Schema::new(vec![
+        Attribute::new("x", 0.0, 16.0, 4),
+        Attribute::new("y", 0.0, 16.0, 4),
+    ])
+    .unwrap();
+    let mut dfd = FrequencyDistribution::new(schema);
+    for i in 0..16 {
+        for j in 0..16 {
+            let w = ((i * 7 + j * 3) % 5) as f64;
+            if w != 0.0 {
+                dfd.insert_binned(&[i, j], w);
+            }
+        }
+    }
+    let strategy = WaveletStrategy::new(Wavelet::Haar);
+    let entries = strategy.transform_data(dfd.tensor());
+    let shape = dfd.schema().domain();
+    let mut batches = Vec::new();
+    for b in 0..4u64 {
+        let queries: Vec<RangeSum> = partition::random_partition(&shape, 3, 70 + b)
+            .into_iter()
+            .map(RangeSum::count)
+            .collect();
+        batches.push(BatchQueries::rewrite(&strategy, queries, &shape).unwrap());
+    }
+    (entries, batches, shape)
+}
+
+mod bit_identity {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Healthy topologies: finals, witness, and FaultStats are exact
+        /// equality against the single-store pool, for every shard count
+        /// × replication × pool shape.
+        #[test]
+        fn sharded_serving_matches_the_single_store_bit_for_bit(
+            shards in 1usize..9,
+            replicate in any::<bool>(),
+            workers in 1usize..5,
+            slice_steps in 1usize..6,
+            window in 1usize..5,
+        ) {
+            let (entries, batches, shape) = wavelet_fixture();
+            let n_total = shape.len();
+            let single = MemoryStore::from_entries(entries.iter().copied());
+            let k = single.abs_sum();
+            let requests: Vec<BatchRequest<'_>> =
+                batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+            // The shared cache is off on both sides: serve_sharded forces
+            // it off (the router is the coalescing layer), and the
+            // baseline must count retrievals the same way.
+            let config = ServeConfig::new(n_total, k)
+                .workers(workers)
+                .slice_steps(slice_steps)
+                .prefetch_window(window)
+                .share_cache(false);
+            let baseline = BatchServer::new(config.clone()).serve(&single, &requests);
+            let mut topology = ShardTopology::new(shards).with_seed(7);
+            if replicate {
+                topology = topology.with_replication();
+            }
+            let run = BatchServer::new(config.shard_topology(topology))
+                .serve_sharded(&entries, &requests);
+            for (single_result, sharded_result) in baseline.iter().zip(&run.results) {
+                prop_assert_eq!(single_result.status, BatchStatus::Exact);
+                prop_assert_eq!(sharded_result.status, BatchStatus::Exact);
+                prop_assert_eq!(single_result.estimates(), sharded_result.estimates());
+                prop_assert_eq!(
+                    &single_result.retrieved_entries,
+                    &sharded_result.retrieved_entries
+                );
+                prop_assert_eq!(&single_result.report.fault, &sharded_result.report.fault);
+            }
+            prop_assert_eq!(run.shard_stats.len(), shards);
+            prop_assert!(run.deferred_by_shard.iter().all(Vec::is_empty));
+            // Every logical retrieval was answered by some shard RPC —
+            // singleton (window-1) calls and scatter-gather batches both
+            // land in the per-shard key account.
+            let rpc_keys: u64 = run.shard_stats.iter().map(|s| s.keys).sum();
+            let logical: u64 = run
+                .results
+                .iter()
+                .map(|r| r.report.fault.attempts)
+                .sum();
+            prop_assert!(rpc_keys >= logical);
+        }
+    }
+}
+
+/// A small identity-strategy fixture where each batch's key set is its
+/// query rectangle, so batches can be constructed to hit — or provably
+/// avoid — a chosen shard.
+fn identity_fixture() -> (Vec<(CoeffKey, f64)>, Vec<BatchQueries>, Shape) {
+    let schema = Schema::new(vec![
+        Attribute::new("x", 0.0, 16.0, 4),
+        Attribute::new("y", 0.0, 16.0, 4),
+    ])
+    .unwrap();
+    let mut dfd = FrequencyDistribution::new(schema);
+    for i in 0..16 {
+        for j in 0..16 {
+            dfd.insert_binned(&[i, j], 1.0 + ((i * 5 + j) % 7) as f64);
+        }
+    }
+    let strategy = IdentityStrategy;
+    let entries = strategy.transform_data(dfd.tensor());
+    let shape = dfd.schema().domain();
+    let wide = BatchQueries::rewrite(
+        &strategy,
+        vec![RangeSum::count(HyperRect::new(vec![0, 0], vec![5, 5]))],
+        &shape,
+    )
+    .unwrap();
+    let narrow = BatchQueries::rewrite(
+        &strategy,
+        vec![RangeSum::count(HyperRect::new(vec![12, 12], vec![12, 12]))],
+        &shape,
+    )
+    .unwrap();
+    (entries, vec![wide, narrow], shape)
+}
+
+/// The keys a batch retrieves when drained healthy — its witness set.
+fn witness_keys(batch: &BatchQueries, entries: &[(CoeffKey, f64)]) -> Vec<CoeffKey> {
+    let store = MemoryStore::from_entries(entries.iter().copied());
+    let mut exec = ProgressiveExecutor::new(batch, &Sse, &store);
+    exec.run_to_end();
+    exec.retrieved_entries().iter().map(|(k, _)| *k).collect()
+}
+
+#[test]
+fn a_dead_shard_degrades_its_batches_and_spares_the_rest() {
+    let (entries, batches, shape) = identity_fixture();
+    let n_total = shape.len();
+    let k: f64 = entries.iter().map(|(_, v)| v.abs()).sum();
+    const SHARDS: usize = 4;
+    // Pick the dead shard deterministically: one that owns keys of the
+    // wide batch but none of the narrow one.
+    let wide_keys = witness_keys(&batches[0], &entries);
+    let narrow_keys = witness_keys(&batches[1], &entries);
+    let dead = (0..SHARDS)
+        .find(|&d| {
+            wide_keys.iter().any(|key| shard_of(key, SHARDS) == d)
+                && narrow_keys.iter().all(|key| shard_of(key, SHARDS) != d)
+        })
+        .expect("some shard hits the wide batch only");
+    let requests: Vec<BatchRequest<'_>> =
+        batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+    let config = ServeConfig::new(n_total, k)
+        .workers(2)
+        .slice_steps(4)
+        .prefetch_window(4)
+        .shard_topology(ShardTopology::new(SHARDS).with_seed(11));
+    let run = BatchServer::new(config.clone()).serve_sharded_with(&entries, &requests, |router| {
+        router.fail_shard(dead);
+    });
+
+    // The affected batch finalizes *degraded*, never errored: its
+    // DegradationReport reconciles and names exactly the dead shard's
+    // keys as deferred.
+    let wide_result = &run.results[0];
+    assert_eq!(wide_result.status, BatchStatus::Degraded);
+    let report = &wide_result.report;
+    assert!(!report.is_exact);
+    assert!(report.worst_case_bound.is_finite() && report.worst_case_bound > 0.0);
+    assert!(report.fault.attempts_reconcile(), "torn ledger");
+    assert!(report
+        .fault
+        .deferrals_reconcile(report.deferred.len() as u64));
+    assert!(!report.deferred.is_empty());
+    for (key, importance) in &report.deferred {
+        assert_eq!(
+            shard_of(key, SHARDS),
+            dead,
+            "deferral blames a healthy shard"
+        );
+        assert!(*importance >= 0.0);
+    }
+
+    // The batch with no key on the dead shard is bit-identical to a
+    // healthy serial run — unaffected, not merely "still correct".
+    let narrow_result = &run.results[1];
+    assert_eq!(narrow_result.status, BatchStatus::Exact);
+    let single = MemoryStore::from_entries(entries.iter().copied());
+    let mut serial = ProgressiveExecutor::new(&batches[1], &Sse, &single);
+    serial.run_to_end();
+    assert_eq!(narrow_result.estimates(), serial.estimates());
+    assert_eq!(narrow_result.retrieved_entries, serial.retrieved_entries());
+
+    // The run-level attribution account reconciles with the reports:
+    // every deferred key lands in the dead shard's bucket, none anywhere
+    // else.
+    assert_eq!(run.deferred_by_shard[dead].len(), report.deferred.len());
+    for (shard, bucket) in run.deferred_by_shard.iter().enumerate() {
+        if shard != dead {
+            assert!(bucket.is_empty(), "shard {shard} wrongly blamed");
+        }
+    }
+    assert!(
+        run.shard_stats[dead].errors > 0,
+        "dead shard surfaced errors"
+    );
+
+    // With replication the same topology serves the same run *exactly*:
+    // the dead primary fails over to its replica.
+    let replicated = BatchServer::new(
+        ServeConfig::new(n_total, k)
+            .workers(2)
+            .slice_steps(4)
+            .prefetch_window(4)
+            .shard_topology(ShardTopology::new(SHARDS).with_seed(11).with_replication()),
+    )
+    .serve_sharded_with(&entries, &requests, |router| {
+        router.fail_shard(dead);
+    });
+    for result in &replicated.results {
+        assert_eq!(result.status, BatchStatus::Exact);
+        assert!(result.report.deferred.is_empty());
+    }
+    assert!(
+        replicated.shard_stats[dead].failovers > 0,
+        "replica must have covered the dead primary"
+    );
+}
+
+#[test]
+fn long_serving_sessions_keep_the_version_log_bounded() {
+    // Identity-strategy partition batches need every cell of the domain
+    // (~1024 one-step slices each), so eight of them on a single-worker
+    // 1-step-slice pool drain for many milliseconds while the driver
+    // publishes a stream of updates and opts every batch forward after
+    // each. With the serve loop compacting off the oldest live pin, the
+    // log stays at a couple of versions instead of one delta per publish.
+    let schema = Schema::new(vec![
+        Attribute::new("x", 0.0, 32.0, 5),
+        Attribute::new("y", 0.0, 32.0, 5),
+    ])
+    .unwrap();
+    let mut dfd = FrequencyDistribution::new(schema);
+    for i in 0..32 {
+        for j in 0..32 {
+            dfd.insert_binned(&[i, j], 1.0 + ((i * 13 + j * 5) % 7) as f64);
+        }
+    }
+    let strategy = IdentityStrategy;
+    let store = VersionedStore::from_entries(strategy.transform_data(dfd.tensor()));
+    let shape = dfd.schema().domain();
+    let mut batches = Vec::new();
+    for b in 0..8u64 {
+        let queries: Vec<RangeSum> = partition::random_partition(&shape, 4, 21 + b)
+            .into_iter()
+            .map(RangeSum::count)
+            .collect();
+        batches.push(BatchQueries::rewrite(&strategy, queries, &shape).unwrap());
+    }
+    let n_total = shape.len();
+    let k = store.abs_sum();
+    let requests: Vec<BatchRequest<'_>> =
+        batches.iter().map(|b| BatchRequest::new(b, &Sse)).collect();
+    let server = BatchServer::new(ServeConfig::new(n_total, k).workers(1).slice_steps(1));
+    let (results, live_checks) = server.serve_versioned_with(&store, &requests, |session| {
+        let mut live_checks = 0u32;
+        for p in 0..16u64 {
+            // Identity coefficients ARE cells: a point update publishes
+            // one-entry deltas directly.
+            let entries = [(
+                CoeffKey::new(&[(p % 32) as usize, ((3 * p) % 32) as usize]),
+                1.5,
+            )];
+            session.update(&entries, || ());
+            let mut all_live = true;
+            for i in 0..session.batches() {
+                all_live &= session.advance_batch(i).is_some();
+            }
+            if all_live {
+                // Every batch now pins the newest version: compaction
+                // must have dropped everything older.
+                assert!(
+                    store.retained_versions() <= 2,
+                    "log grew to {} versions",
+                    store.retained_versions()
+                );
+                live_checks += 1;
+            }
+        }
+        live_checks
+    });
+    // The driver's publish/advance cycles run in microseconds while the
+    // single worker grinds 1-step slices through eight batches: the pool
+    // is still fully live for at least the early cycles, so the
+    // bounded-log assertion fired.
+    assert!(live_checks > 0, "pool drained before any publish cycle");
+    // Retention invariant: whatever each batch finally pinned survived
+    // every compaction, so its certified answer is still replayable.
+    for (batch, result) in batches.iter().zip(&results) {
+        assert_eq!(result.status, BatchStatus::Exact);
+        let pinned = result.pinned_version.expect("versioned runs pin");
+        let view = store.pin_at(pinned).expect("final pinned version retained");
+        let mut serial = ProgressiveExecutor::new(batch, &Sse, &view);
+        serial.run_to_end();
+        assert_eq!(result.estimates(), serial.estimates());
+    }
+}
